@@ -1,0 +1,359 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper (regenerating the same rows/series the paper reports, at a
+// reduced scale chosen to finish in seconds), plus micro-benchmarks for the
+// expensive substrates. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks report domain numbers via b.ReportMetric (e.g.
+// coverage per suite) in addition to timing.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ga"
+	"repro/internal/isa"
+	"repro/internal/mica"
+	"repro/internal/mica/ilp"
+	"repro/internal/mica/ppm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// benchConfig is the scale used by the table/figure benchmarks.
+func benchConfig() core.Config {
+	cfg := core.TestConfig()
+	cfg.IntervalLength = 2500
+	cfg.SamplesPerBenchmark = 10
+	cfg.MaxIntervalsPerBenchmark = 16
+	cfg.NumClusters = 80
+	cfg.NumProminent = 40
+	cfg.KeyCharacteristics = 8
+	return cfg
+}
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiments.NewEnv(reg, benchConfig(), "", nil)
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	x, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		if _, err := x.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure --------------------------------
+
+func BenchmarkTable1Inventory(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkTable2GASelection(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3IntervalCounts(b *testing.B) {
+	runExperiment(b, "table3")
+}
+func BenchmarkFig1GASweep(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig23KiviatPlots(b *testing.B) { runExperiment(b, "fig23") }
+
+func BenchmarkFig4Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		if _, err := experiments.Fig4(env); err != nil {
+			b.Fatal(err)
+		}
+		res, err := env.Result()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov := res.SuiteCoverage()
+		for _, s := range []bench.Suite{bench.SuiteBioPerf, bench.SuiteSPECfp2006, bench.SuiteMediaBench} {
+			b.ReportMetric(float64(cov[s]), "clusters/"+string(s))
+		}
+	}
+}
+
+func BenchmarkFig5Diversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		if _, err := experiments.Fig5(env); err != nil {
+			b.Fatal(err)
+		}
+		res, err := env.Result()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ClustersFor(bench.SuiteSPECfp2006, 0.8)), "c80/SPECfp2006")
+		b.ReportMetric(float64(res.ClustersFor(bench.SuiteMediaBench, 0.8)), "c80/MediaBenchII")
+	}
+}
+
+func BenchmarkFig6Uniqueness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		if _, err := experiments.Fig6(env); err != nil {
+			b.Fatal(err)
+		}
+		res, err := env.Result()
+		if err != nil {
+			b.Fatal(err)
+		}
+		uf := res.UniqueFraction()
+		b.ReportMetric(100*uf[bench.SuiteBioPerf], "%unique/BioPerf")
+		b.ReportMetric(100*uf[bench.SuiteMediaBench], "%unique/MediaBenchII")
+	}
+}
+
+func BenchmarkAblationAggregate(b *testing.B) { runExperiment(b, "ablation-aggregate") }
+func BenchmarkAblationK(b *testing.B)         { runExperiment(b, "ablation-k") }
+func BenchmarkAblationSampling(b *testing.B)  { runExperiment(b, "ablation-sampling") }
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkTraceGeneration measures raw synthetic-instruction throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := reg.Lookup("SPECfp2006/lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	beh := bm.BehaviorAt(0, 10)
+	g, err := trace.NewGenerator(beh, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins isa.Instruction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+	}
+}
+
+// BenchmarkMICACharacterization measures generation + full 69-metric
+// analysis, the pipeline's hot loop.
+func BenchmarkMICACharacterization(b *testing.B) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"SPECfp2006/lbm", "BioPerf/grappa", "SPECint2006/astar"} {
+		bm, err := reg.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		beh := bm.BehaviorAt(0, 10)
+		b.Run(name, func(b *testing.B) {
+			a := mica.NewAnalyzer()
+			g, err := trace.NewGenerator(beh, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ins isa.Instruction
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Next(&ins)
+				a.Record(&ins)
+			}
+		})
+	}
+}
+
+func BenchmarkPPMGroup(b *testing.B) {
+	g, err := ppm.NewGroup(ppm.Global, ppm.PerAddress, []int{4, 8, 12}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := uint64(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1
+		g.Record(0x400000+uint64(i%32)*4, x>>63 == 1)
+	}
+}
+
+func BenchmarkILPAnalyzer(b *testing.B) {
+	a, err := ilp.NewAnalyzer(ilp.StandardWindows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := isa.Instruction{Op: isa.OpIntAdd, Dst: 5, Src: [isa.MaxSrcRegs]uint8{3, 7}, NSrc: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins.Dst = uint8(1 + i%60)
+		a.Record(&ins)
+	}
+}
+
+func BenchmarkPCA69Columns(b *testing.B) {
+	rng := trace.NewRNG(1)
+	data := stats.NewMatrix(500, mica.NumMetrics)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.ComputePCA(data, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansK300(b *testing.B) {
+	rng := trace.NewRNG(2)
+	data := stats.NewMatrix(3000, 15)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(data, 300, cluster.Options{Seed: 1, Restarts: 1, MaxIters: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGASelection(b *testing.B) {
+	rng := trace.NewRNG(3)
+	data := stats.NewMatrix(100, mica.NumMetrics)
+	for i := 0; i < data.Rows; i++ {
+		base := rng.Float64() * 10
+		row := data.Row(i)
+		for j := range row {
+			row[j] = base*float64(j%5) + rng.Float64()
+		}
+	}
+	fitness, err := ga.DistanceFitness(data, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := ga.Run(mica.NumMetrics, fitness, ga.Config{
+			TargetCount: 12, Seed: int64(i + 1),
+			Populations: 2, PopulationSize: 12, MaxGenerations: 10, Patience: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullPipeline measures an end-to-end run at the benchmark scale.
+func BenchmarkFullPipeline(b *testing.B) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(reg, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Dataset.Instructions), "instructions")
+	}
+}
+
+var sinkString string
+
+// BenchmarkKiviatRender measures SVG figure generation.
+func BenchmarkKiviatRender(b *testing.B) {
+	env := benchEnv(b)
+	if _, err := env.Result(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig23(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = out
+	}
+}
+
+func BenchmarkUarchCPU(b *testing.B) {
+	cpu, err := uarch.NewCPU(uarch.BigCore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := reg.Lookup("SPECint2006/astar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := trace.NewGenerator(bm.BehaviorAt(0, 10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins isa.Instruction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+		cpu.Record(&ins)
+	}
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := reg.Lookup("SPECfp2006/lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := trace.NewGenerator(bm.BehaviorAt(0, 10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := trace.NewWriter(io.Discard)
+	var ins isa.Instruction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(&ins)
+		if err := w.Write(&ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchicalClustering(b *testing.B) {
+	rng := trace.NewRNG(9)
+	data := stats.NewMatrix(77, 12)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Hierarchical(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaseStudies(b *testing.B) { runExperiment(b, "casestudies") }

@@ -1,0 +1,173 @@
+// Command phasechar runs the phase-level workload characterization
+// pipeline of Hoste & Eeckhout (ISPASS 2008) over the five synthetic
+// benchmark suites and regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	phasechar [flags] <experiment>|all|list
+//
+// Experiments: table1 table2 table3 fig1 fig23 fig4 fig5 fig6
+// ablation-aggregate ablation-k ablation-sampling.
+//
+// Examples:
+//
+//	phasechar list
+//	phasechar -out results fig4
+//	phasechar -paper-scale -out results all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "phasechar:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out        = flag.String("out", "", "directory for SVG/CSV artifacts (empty: text output only)")
+		interval   = flag.Int("interval", 0, "instructions per interval (0: default)")
+		samples    = flag.Int("samples", 0, "sampled intervals per benchmark (0: default)")
+		clusters   = flag.Int("clusters", 0, "number of k-means clusters (0: default 300)")
+		prominent  = flag.Int("prominent", 0, "number of prominent phases (0: default 100)")
+		key        = flag.Int("key", 0, "number of GA-selected key characteristics (0: default 12)")
+		seed       = flag.Int64("seed", 1, "pipeline seed")
+		workers    = flag.Int("workers", 0, "characterization workers (0: GOMAXPROCS)")
+		paperScale = flag.Bool("paper-scale", false, "use larger, closer-to-paper parameters (slower)")
+		quick      = flag.Bool("quick", false, "use small, fast parameters (for smoke runs)")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		return fmt.Errorf("expected an experiment id (or 'all' / 'list' / 'export' / 'simpoints <benchmark>')")
+	}
+	target := flag.Arg(0)
+
+	cfg := core.DefaultConfig()
+	switch {
+	case *paperScale:
+		cfg.IntervalLength = 100000
+		cfg.SamplesPerBenchmark = 150
+		cfg.MaxIntervalsPerBenchmark = 160
+	case *quick:
+		cfg = core.TestConfig()
+		cfg.IntervalLength = 5000
+		cfg.SamplesPerBenchmark = 20
+		cfg.MaxIntervalsPerBenchmark = 40
+		cfg.NumClusters = 150
+		cfg.NumProminent = 50
+	}
+	if *interval > 0 {
+		cfg.IntervalLength = *interval
+	}
+	if *samples > 0 {
+		cfg.SamplesPerBenchmark = *samples
+	}
+	if *clusters > 0 {
+		cfg.NumClusters = *clusters
+	}
+	if *prominent > 0 {
+		cfg.NumProminent = *prominent
+	}
+	if *key > 0 {
+		cfg.KeyCharacteristics = *key
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	if target == "list" {
+		for _, x := range experiments.All() {
+			fmt.Printf("  %-19s %s\n", x.ID, x.Title)
+		}
+		fmt.Printf("  %-19s %s\n", "export", "run the pipeline and dump a JSON summary to stdout")
+		fmt.Printf("  %-19s %s\n", "simpoints <bench>", "select weighted simulation points for one benchmark (section 5.3)")
+		return nil
+	}
+
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		return err
+	}
+	env := experiments.NewEnv(reg, cfg, *out, logf)
+
+	switch target {
+	case "export":
+		res, err := env.Result()
+		if err != nil {
+			return err
+		}
+		return res.WriteJSON(os.Stdout)
+	case "simpoints":
+		if flag.NArg() != 2 {
+			return fmt.Errorf("usage: phasechar simpoints <suite/benchmark>")
+		}
+		b, err := reg.Lookup(flag.Arg(1))
+		if err != nil {
+			return err
+		}
+		res, err := env.Result()
+		if err != nil {
+			return err
+		}
+		points, err := res.SimulationPoints(b.ID(), 10)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulation points for %s (up to 10):\n", b.ID())
+		for _, p := range points {
+			fmt.Printf("  interval %4d  weight %5.1f%%  phase %-24s cluster %d\n",
+				p.Ref.Index, 100*p.Weight, p.Ref.PhaseName(), p.Cluster)
+		}
+		acc, err := res.SimPointAccuracy(b.ID(), points)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean relative characteristic error vs full run: %.1f%%\n", 100*acc)
+		return nil
+	}
+
+	var todo []experiments.Experiment
+	if target == "all" {
+		todo = experiments.All()
+	} else {
+		x, ok := experiments.ByID(target)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'list')", target)
+		}
+		todo = []experiments.Experiment{x}
+	}
+	for i, x := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		report, err := x.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", x.ID, err)
+		}
+		fmt.Print(report)
+	}
+	if target == "all" && *out != "" {
+		if err := experiments.WriteGallery(*out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command tracegen dumps the synthetic instruction stream of one benchmark
+// interval in a human-readable format — useful for inspecting what the
+// workload generator actually emits.
+//
+// Usage:
+//
+//	tracegen [-n N] [-interval-index I] <suite/benchmark | benchmark>
+//
+// Example:
+//
+//	tracegen -n 40 BioPerf/grappa
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n            = flag.Int("n", 50, "number of instructions to dump")
+		intervalIdx  = flag.Int("interval-index", 0, "which interval of the benchmark to generate")
+		maxIntervals = flag.Int("max-intervals", 60, "cap on the benchmark's interval count")
+		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("expected one benchmark name")
+	}
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		return err
+	}
+	b, err := reg.Lookup(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	total := b.ScaledIntervals(*maxIntervals)
+	if *intervalIdx < 0 || *intervalIdx >= total {
+		return fmt.Errorf("interval index %d out of [0,%d)", *intervalIdx, total)
+	}
+	beh := b.BehaviorAt(*intervalIdx, total)
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw := trace.NewWriter(f)
+		var werr error
+		err = trace.GenerateInterval(beh, b.IntervalSeed(*intervalIdx), *n, func(ins *isa.Instruction) {
+			if werr == nil {
+				werr = tw.Write(ins)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if werr != nil {
+			return werr
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d instructions of %s (%s) to %s\n", tw.Count(), b.ID(), beh.Name, *outFile)
+		return f.Close()
+	}
+
+	fmt.Printf("%s interval %d/%d, phase %q:\n", b.ID(), *intervalIdx, total, beh.Name)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	return trace.GenerateInterval(beh, b.IntervalSeed(*intervalIdx), *n, func(ins *isa.Instruction) {
+		fmt.Fprintln(w, ins.String())
+	})
+}

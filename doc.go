@@ -1,0 +1,18 @@
+// Package repro reproduces Hoste & Eeckhout, "Characterizing the Unique
+// and Diverse Behaviors in Existing and Emerging General-Purpose and
+// Domain-Specific Benchmark Suites" (ISPASS 2008).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable surfaces are the commands under cmd/ and the
+// programs under examples/:
+//
+//   - cmd/phasechar regenerates every table and figure of the paper,
+//   - cmd/micastat characterizes one benchmark with the 69 MICA metrics,
+//   - cmd/tracegen dumps the synthetic instruction streams,
+//   - examples/quickstart, examples/suitecompare and
+//     examples/customworkload exercise the library API on the paper's
+//     scenarios.
+//
+// The root package itself holds the repository-level integration tests and
+// benchmark harness (bench_test.go): one benchmark per paper table/figure.
+package repro

@@ -1,0 +1,188 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// The integration tests check that the paper's headline findings hold in
+// shape on the synthetic suites (see DESIGN.md: absolute numbers are not
+// the target; orderings are). The pipeline runs once and is shared.
+
+var (
+	integOnce sync.Once
+	integRes  *core.Result
+	integErr  error
+)
+
+func integResult(t *testing.T) *core.Result {
+	t.Helper()
+	integOnce.Do(func() {
+		reg, err := bench.StandardRegistry()
+		if err != nil {
+			integErr = err
+			return
+		}
+		cfg := core.TestConfig()
+		cfg.IntervalLength = 4000
+		cfg.SamplesPerBenchmark = 40
+		cfg.MaxIntervalsPerBenchmark = 56
+		cfg.NumClusters = 110
+		cfg.NumProminent = 60
+		cfg.Seed = 1
+		integRes, integErr = core.Run(reg, cfg, nil)
+	})
+	if integErr != nil {
+		t.Fatal(integErr)
+	}
+	return integRes
+}
+
+var (
+	specSuites   = []bench.Suite{bench.SuiteSPECint2000, bench.SuiteSPECfp2000, bench.SuiteSPECint2006, bench.SuiteSPECfp2006}
+	domainSuites = []bench.Suite{bench.SuiteBioPerf, bench.SuiteBMW, bench.SuiteMediaBench}
+)
+
+// TestHeadlineBioPerfMostUnique: the paper's third headline conclusion —
+// BioPerf exhibits by far the largest fraction of unique behaviour.
+func TestHeadlineBioPerfMostUnique(t *testing.T) {
+	res := integResult(t)
+	uf := res.UniqueFraction()
+	bio := uf[bench.SuiteBioPerf]
+	if bio < 0.4 {
+		t.Fatalf("BioPerf unique fraction %.2f, expected a large fraction", bio)
+	}
+	for s, f := range uf {
+		if s == bench.SuiteBioPerf {
+			continue
+		}
+		if f >= bio {
+			t.Fatalf("suite %s unique fraction %.2f >= BioPerf's %.2f", s, f, bio)
+		}
+	}
+}
+
+// TestHeadlineGeneralPurposeCoverage: SPEC CPU covers a much broader part
+// of the workload space than the domain-specific suites (Figure 4).
+func TestHeadlineGeneralPurposeCoverage(t *testing.T) {
+	res := integResult(t)
+	cov := res.SuiteCoverage()
+	var specSum, domSum float64
+	for _, s := range specSuites {
+		specSum += float64(cov[s])
+	}
+	for _, s := range domainSuites {
+		domSum += float64(cov[s])
+	}
+	specMean := specSum / float64(len(specSuites))
+	domMean := domSum / float64(len(domainSuites))
+	if specMean <= 1.3*domMean {
+		t.Fatalf("mean SPEC coverage %.1f not well above mean domain coverage %.1f", specMean, domMean)
+	}
+	// BMW and MediaBench individually sit below every SPEC sub-suite.
+	for _, d := range []bench.Suite{bench.SuiteBMW, bench.SuiteMediaBench} {
+		for _, s := range specSuites {
+			if cov[d] >= cov[s] {
+				t.Fatalf("domain suite %s coverage %d >= SPEC suite %s coverage %d", d, cov[d], s, cov[s])
+			}
+		}
+	}
+}
+
+// TestHeadlineCPU2006BroaderThanCPU2000: SPEC CPU2006 covers more of the
+// workload space than its predecessor (Figure 4, first conclusion).
+func TestHeadlineCPU2006BroaderThanCPU2000(t *testing.T) {
+	res := integResult(t)
+	cov := res.SuiteCoverage()
+	c2000 := cov[bench.SuiteSPECint2000] + cov[bench.SuiteSPECfp2000]
+	c2006 := cov[bench.SuiteSPECint2006] + cov[bench.SuiteSPECfp2006]
+	if c2006 <= c2000 {
+		t.Fatalf("CPU2006 coverage %d not above CPU2000's %d", c2006, c2000)
+	}
+}
+
+// TestHeadlineDomainSuitesLessDiverse: domain-specific suites need fewer
+// clusters per unit coverage (Figure 5).
+func TestHeadlineDomainSuitesLessDiverse(t *testing.T) {
+	res := integResult(t)
+	need := func(suites []bench.Suite) float64 {
+		var sum float64
+		for _, s := range suites {
+			sum += float64(res.ClustersFor(s, 0.8))
+		}
+		return sum / float64(len(suites))
+	}
+	spec := need(specSuites)
+	dom := need(domainSuites)
+	if dom >= spec {
+		t.Fatalf("domain suites need %.1f clusters for 80%%, SPEC %.1f — diversity ordering violated", dom, spec)
+	}
+}
+
+// TestProminentPhasesCoverage: the top-N prominent phases must cover a
+// large but not complete fraction of the workload, mirroring the paper's
+// 87.8% for 100 of 300 clusters.
+func TestProminentPhasesCoverage(t *testing.T) {
+	res := integResult(t)
+	cov := res.ProminentCoverage()
+	if cov < 0.5 || cov >= 1 {
+		t.Fatalf("top-%d coverage = %.3f, expected a large proper fraction", len(res.Prominent), cov)
+	}
+}
+
+// TestPhaseKindsAllPresent: the clustering must produce benchmark-specific,
+// suite-specific and mixed clusters (the three groups of Figures 2-3).
+func TestPhaseKindsAllPresent(t *testing.T) {
+	res := integResult(t)
+	kb := res.KindBreakdown()
+	for _, kind := range []core.PhaseKind{core.BenchmarkSpecific, core.SuiteSpecific, core.Mixed} {
+		if kb[kind] == 0 {
+			t.Fatalf("no %s clusters found: %v", kind, kb)
+		}
+	}
+}
+
+// TestSharedPhasesCoCluster: designed cross-suite twin phases must land in
+// the same cluster often enough to create mixed clusters between their
+// suites (e.g. the BMW speak / sphinx3 pairing of the paper).
+func TestSharedPhasesCoCluster(t *testing.T) {
+	res := integResult(t)
+	// For each (cluster, suite) pair record membership, then verify that
+	// sphinx3 shares at least one cluster with a BMW benchmark.
+	sphinxClusters := map[int]bool{}
+	for i, ref := range res.Dataset.Refs {
+		if ref.Bench.Name == "sphinx3" {
+			sphinxClusters[res.Clusters.Assignments[i]] = true
+		}
+	}
+	shared := false
+	for i, ref := range res.Dataset.Refs {
+		if ref.Bench.Suite == bench.SuiteBMW && sphinxClusters[res.Clusters.Assignments[i]] {
+			shared = true
+			_ = i
+			break
+		}
+	}
+	if !shared {
+		t.Fatal("sphinx3 shares no cluster with any BMW benchmark (speech-processing twin broken)")
+	}
+}
+
+// TestKeyCharacteristicSelection: the GA must reach a solid distance
+// correlation with a dozen characteristics, as in Figure 1.
+func TestKeyCharacteristicSelection(t *testing.T) {
+	res := integResult(t)
+	sel, err := res.SelectKeyCharacteristics(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Fitness < 0.6 {
+		t.Fatalf("12-characteristic correlation %.3f, expected >= 0.6", sel.Fitness)
+	}
+	if len(sel.Selected) != 12 {
+		t.Fatalf("selected %d characteristics", len(sel.Selected))
+	}
+}

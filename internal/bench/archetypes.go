@@ -1,0 +1,421 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Size constants for working-set specifications.
+const (
+	KB uint64 = 1024
+	MB uint64 = 1024 * 1024
+)
+
+// Pattern helpers.
+
+func stridePat(weight float64, region, stride uint64) trace.AccessPattern {
+	return trace.AccessPattern{Kind: trace.PatternStride, Weight: weight, Region: region, Stride: stride}
+}
+
+func randomPat(weight float64, region uint64) trace.AccessPattern {
+	return trace.AccessPattern{Kind: trace.PatternRandom, Weight: weight, Region: region}
+}
+
+func chasePat(weight float64, region uint64) trace.AccessPattern {
+	return trace.AccessPattern{Kind: trace.PatternChase, Weight: weight, Region: region}
+}
+
+// mod returns b after applying edits, for one-off per-benchmark tweaks to
+// an archetype.
+func mod(b trace.PhaseBehavior, edits ...func(*trace.PhaseBehavior)) trace.PhaseBehavior {
+	for _, e := range edits {
+		e(&b)
+	}
+	return b
+}
+
+// The archetype constructors below are the behavioural vocabulary the 77
+// benchmark models are written in. Each returns a complete PhaseBehavior;
+// callers tweak fields for benchmark-specific character. Parameters were
+// chosen so the archetypes occupy distinct areas of the 69-characteristic
+// space (mix, ILP, locality, predictability), with domain-specific
+// archetypes (bio*, media*, dsp*) either deliberately distant from the
+// general-purpose ones (BioPerf) or deliberately near them (BMW,
+// MediaBench II) — see DESIGN.md.
+
+// intControl models branchy general-purpose integer code (compilers,
+// interpreters, place-and-route): moderate memory traffic over mixed
+// random/strided working sets, short dependences, mediocre branch
+// prediction.
+func intControl(name string, codeSize int, ws uint64, takenBias float64, period int, noise float64) trace.PhaseBehavior {
+	mix := trace.BaseMix().
+		Set(isa.OpBranchCond, 0.16).
+		Set(isa.OpLoad, 0.22).
+		Set(isa.OpStore, 0.10)
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: codeSize,
+		Branch:   trace.BranchSpec{TakenBias: takenBias, PatternPeriod: period, NoiseLevel: noise},
+		Reg:      trace.RegDepSpec{MeanDepDist: 6, AvgSrcRegs: 1.6, WriteFraction: 0.72},
+		Loads:    []trace.AccessPattern{randomPat(0.5, ws), stridePat(0.5, ws/2+4*KB, 64)},
+		Stores:   []trace.AccessPattern{randomPat(0.5, ws/2+4*KB), stridePat(0.5, ws/4+4*KB, 64)},
+		Jitter:   0.08,
+	}
+}
+
+// intStream models byte-stream integer kernels (compression): strided
+// sequential processing with shifts and logic, well-predicted loop
+// branches.
+func intStream(name string, ws uint64, stride uint64) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.26
+	mix[isa.OpStore] = 0.13
+	mix[isa.OpBranchCond] = 0.11
+	mix[isa.OpBranchJump] = 0.01
+	mix[isa.OpIntAdd] = 0.22
+	mix[isa.OpLogic] = 0.10
+	mix[isa.OpShift] = 0.08
+	mix[isa.OpCompare] = 0.06
+	mix[isa.OpMove] = 0.03
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 4000,
+		Branch:   trace.BranchSpec{TakenBias: 0.85, PatternPeriod: 24, NoiseLevel: 0.05},
+		Reg:      trace.RegDepSpec{MeanDepDist: 5, AvgSrcRegs: 1.5, WriteFraction: 0.75},
+		Loads:    []trace.AccessPattern{stridePat(0.8, ws, stride), randomPat(0.2, ws/2+4*KB)},
+		Stores:   []trace.AccessPattern{stridePat(0.9, ws/2+4*KB, stride), randomPat(0.1, ws/4+4*KB)},
+		Jitter:   0.08,
+	}
+}
+
+// pointerChase models pointer-intensive graph/queue codes (mcf, omnetpp):
+// dependent loads over large sparse working sets, short dependence chains,
+// data-dependent branches.
+func pointerChase(name string, ws uint64, takenBias float64, period int) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.30
+	mix[isa.OpStore] = 0.06
+	mix[isa.OpBranchCond] = 0.13
+	mix[isa.OpBranchJump] = 0.01
+	mix[isa.OpCall] = 0.01
+	mix[isa.OpReturn] = 0.01
+	mix[isa.OpIntAdd] = 0.30
+	mix[isa.OpCompare] = 0.11
+	mix[isa.OpLogic] = 0.04
+	mix[isa.OpMove] = 0.03
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 6000,
+		Branch:   trace.BranchSpec{TakenBias: takenBias, PatternPeriod: period, NoiseLevel: 0.2},
+		Reg:      trace.RegDepSpec{MeanDepDist: 3, AvgSrcRegs: 1.4, WriteFraction: 0.5},
+		Loads:    []trace.AccessPattern{chasePat(0.7, ws), randomPat(0.3, ws)},
+		Stores:   []trace.AccessPattern{randomPat(1, ws/4+4*KB)},
+		Jitter:   0.08,
+	}
+}
+
+// fpStream models streaming floating-point stencil/array kernels (swim,
+// lbm, bwaves): unit-stride sweeps over very large arrays, long dependence
+// distances (high ILP), nearly perfect loop branches.
+func fpStream(name string, ws uint64, stride uint64) trace.PhaseBehavior {
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      trace.FPBaseMix(),
+		CodeSize: 1500,
+		Branch:   trace.BranchSpec{TakenBias: 0.96, PatternPeriod: 48, NoiseLevel: 0.01},
+		Reg:      trace.RegDepSpec{MeanDepDist: 24, AvgSrcRegs: 2.0, WriteFraction: 0.92},
+		Loads:    []trace.AccessPattern{stridePat(1, ws, stride)},
+		Stores:   []trace.AccessPattern{stridePat(1, ws/2+4*KB, stride)},
+		Jitter:   0.06,
+	}
+}
+
+// fpMatrix models blocked/multi-stride dense linear algebra and
+// multi-dimensional stencils (mgrid, applu): a mixture of unit and
+// row-sized strides.
+func fpMatrix(name string, ws uint64, rowStride uint64) trace.PhaseBehavior {
+	mix := trace.FPBaseMix().
+		Set(isa.OpFPMul, 0.22).
+		Set(isa.OpIntAdd, 0.12)
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 3000,
+		Branch:   trace.BranchSpec{TakenBias: 0.93, PatternPeriod: 32, NoiseLevel: 0.02},
+		Reg:      trace.RegDepSpec{MeanDepDist: 18, AvgSrcRegs: 2.1, WriteFraction: 0.85},
+		Loads:    []trace.AccessPattern{stridePat(0.6, ws, 8), stridePat(0.4, ws, rowStride)},
+		Stores:   []trace.AccessPattern{stridePat(1, ws/2+4*KB, 8)},
+		Jitter:   0.07,
+	}
+}
+
+// fpScalar models scalar floating-point codes with substantial control
+// flow (quantum chemistry, ray tracing): FP arithmetic interleaved with
+// branches and mixed-locality accesses, large code footprints.
+func fpScalar(name string, codeSize int, ws uint64) trace.PhaseBehavior {
+	mix := trace.FPBaseMix().
+		Set(isa.OpBranchCond, 0.10).
+		Set(isa.OpCall, 0.015).
+		Set(isa.OpReturn, 0.015).
+		Set(isa.OpFPDiv, 0.02).
+		Set(isa.OpFPSqrt, 0.01).
+		Set(isa.OpIntAdd, 0.12)
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: codeSize,
+		Branch:   trace.BranchSpec{TakenBias: 0.72, PatternPeriod: 12, NoiseLevel: 0.08},
+		Reg:      trace.RegDepSpec{MeanDepDist: 8, AvgSrcRegs: 1.9, WriteFraction: 0.8},
+		Loads:    []trace.AccessPattern{stridePat(0.5, ws, 8), randomPat(0.5, ws/2+4*KB)},
+		Stores:   []trace.AccessPattern{stridePat(0.6, ws/4+4*KB, 8), randomPat(0.4, ws/4+4*KB)},
+		Jitter:   0.08,
+	}
+}
+
+// sparseFP models irregular floating-point codes (sparse solvers, lattice
+// QCD): gather-dominated loads over large working sets.
+func sparseFP(name string, ws uint64) trace.PhaseBehavior {
+	mix := trace.FPBaseMix().
+		Set(isa.OpLoad, 0.30).
+		Set(isa.OpBranchCond, 0.06).
+		Set(isa.OpIntAdd, 0.14)
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 4000,
+		Branch:   trace.BranchSpec{TakenBias: 0.88, PatternPeriod: 20, NoiseLevel: 0.05},
+		Reg:      trace.RegDepSpec{MeanDepDist: 10, AvgSrcRegs: 1.9, WriteFraction: 0.8},
+		Loads:    []trace.AccessPattern{randomPat(0.6, ws), stridePat(0.4, ws/2+4*KB, 8)},
+		Stores:   []trace.AccessPattern{stridePat(0.7, ws/4+4*KB, 8), randomPat(0.3, ws/4+4*KB)},
+		Jitter:   0.08,
+	}
+}
+
+// gameTree models game-tree search and board evaluation (crafty, gobmk,
+// sjeng): heavy hard-to-predict branching, logic/shift bit-board work,
+// random accesses to mid-sized tables, deep call chains.
+func gameTree(name string, codeSize int, ws uint64, noise float64) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.24
+	mix[isa.OpStore] = 0.07
+	mix[isa.OpBranchCond] = 0.16
+	mix[isa.OpBranchJump] = 0.02
+	mix[isa.OpCall] = 0.025
+	mix[isa.OpReturn] = 0.025
+	mix[isa.OpIntAdd] = 0.20
+	mix[isa.OpLogic] = 0.11
+	mix[isa.OpShift] = 0.06
+	mix[isa.OpCompare] = 0.09
+	mix[isa.OpMove] = 0.04
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: codeSize,
+		Branch:   trace.BranchSpec{TakenBias: 0.55, PatternPeriod: 8, NoiseLevel: noise},
+		Reg:      trace.RegDepSpec{MeanDepDist: 5, AvgSrcRegs: 1.6, WriteFraction: 0.58},
+		Loads:    []trace.AccessPattern{randomPat(0.7, ws), stridePat(0.3, ws/4+4*KB, 8)},
+		Stores:   []trace.AccessPattern{randomPat(1, ws/4+4*KB)},
+		Jitter:   0.08,
+	}
+}
+
+// mediaKernel models integer multimedia kernels (DCT, motion estimation,
+// entropy coding): multiply/shift-rich integer loops over small hot
+// buffers, extremely regular branches — the MediaBench II vocabulary,
+// shared (with parameter changes) by SPEC's h264ref.
+func mediaKernel(name string, ws uint64) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.24
+	mix[isa.OpStore] = 0.10
+	mix[isa.OpBranchCond] = 0.10
+	mix[isa.OpBranchJump] = 0.01
+	mix[isa.OpIntAdd] = 0.25
+	mix[isa.OpIntMul] = 0.08
+	mix[isa.OpLogic] = 0.07
+	mix[isa.OpShift] = 0.09
+	mix[isa.OpCompare] = 0.04
+	mix[isa.OpMove] = 0.02
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 900,
+		Branch:   trace.BranchSpec{TakenBias: 0.9, PatternPeriod: 16, NoiseLevel: 0.02},
+		Reg:      trace.RegDepSpec{MeanDepDist: 6, AvgSrcRegs: 1.7, WriteFraction: 0.88},
+		Loads:    []trace.AccessPattern{stridePat(0.85, ws, 8), randomPat(0.15, ws/2+4*KB)},
+		Stores:   []trace.AccessPattern{stridePat(1, ws/2+4*KB, 8)},
+		Jitter:   0.07,
+	}
+}
+
+// dspFP models floating-point signal-processing pipelines (filters, FFTs,
+// Gabor/wavelet transforms) — the BioMetricsWorkload vocabulary,
+// deliberately adjacent to mediaKernel and fpStream.
+func dspFP(name string, ws uint64) trace.PhaseBehavior {
+	mix := trace.FPBaseMix().
+		Set(isa.OpFPMul, 0.20).
+		Set(isa.OpIntAdd, 0.12).
+		Set(isa.OpShift, 0.03)
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 1200,
+		Branch:   trace.BranchSpec{TakenBias: 0.92, PatternPeriod: 24, NoiseLevel: 0.03},
+		Reg:      trace.RegDepSpec{MeanDepDist: 14, AvgSrcRegs: 1.9, WriteFraction: 0.82},
+		Loads:    []trace.AccessPattern{stridePat(0.8, ws, 8), stridePat(0.2, ws, 512)},
+		Stores:   []trace.AccessPattern{stridePat(1, ws/2+4*KB, 8)},
+		Jitter:   0.07,
+	}
+}
+
+// bioScan models sequence-database scanning (BLAST, FASTA): an extreme
+// load-dominated compare/logic mix with almost no stores and
+// data-dependent branches — a corner of the workload space the
+// general-purpose suites do not visit.
+func bioScan(name string, ws uint64) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.34
+	mix[isa.OpStore] = 0.02
+	mix[isa.OpBranchCond] = 0.15
+	mix[isa.OpIntAdd] = 0.18
+	mix[isa.OpLogic] = 0.12
+	mix[isa.OpCompare] = 0.14
+	mix[isa.OpShift] = 0.03
+	mix[isa.OpMove] = 0.02
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 2500,
+		Branch:   trace.BranchSpec{TakenBias: 0.6, PatternPeriod: 6, NoiseLevel: 0.2},
+		Reg:      trace.RegDepSpec{MeanDepDist: 3, AvgSrcRegs: 1.3, WriteFraction: 0.85},
+		Loads:    []trace.AccessPattern{stridePat(0.7, ws, 8), randomPat(0.3, ws/2+4*KB)},
+		Stores:   []trace.AccessPattern{stridePat(1, 64*KB, 8)},
+		Jitter:   0.09,
+	}
+}
+
+// bioBitLogic models bit-vector genome-rearrangement kernels (grappa): a
+// logic/shift-saturated mix with tiny-stride accesses to a compact working
+// set and serial dependences — unique in the workload space.
+func bioBitLogic(name string) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.18
+	mix[isa.OpStore] = 0.05
+	mix[isa.OpBranchCond] = 0.12
+	mix[isa.OpIntAdd] = 0.17
+	mix[isa.OpLogic] = 0.30
+	mix[isa.OpShift] = 0.12
+	mix[isa.OpCompare] = 0.05
+	mix[isa.OpMove] = 0.01
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 1500,
+		Branch:   trace.BranchSpec{TakenBias: 0.7, PatternPeriod: 10, NoiseLevel: 0.1},
+		Reg:      trace.RegDepSpec{MeanDepDist: 2, AvgSrcRegs: 1.8, WriteFraction: 0.9},
+		Loads:    []trace.AccessPattern{stridePat(0.9, 512*KB, 8), randomPat(0.1, 256*KB)},
+		Stores:   []trace.AccessPattern{stridePat(1, 256*KB, 8)},
+		Jitter:   0.08,
+	}
+}
+
+// bioHMM models profile hidden-Markov-model scoring (hmmer): dynamic
+// programming with integer multiply-accumulate over table lookups. SPEC
+// CPU2006's hmmer is given a close variant of this archetype, reproducing
+// the paper's shared hmmer cluster.
+func bioHMM(name string, ws uint64) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.28
+	mix[isa.OpStore] = 0.12
+	mix[isa.OpBranchCond] = 0.08
+	mix[isa.OpIntAdd] = 0.30
+	mix[isa.OpIntMul] = 0.06
+	mix[isa.OpCompare] = 0.08
+	mix[isa.OpLogic] = 0.04
+	mix[isa.OpMove] = 0.04
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 1800,
+		Branch:   trace.BranchSpec{TakenBias: 0.88, PatternPeriod: 20, NoiseLevel: 0.05},
+		Reg:      trace.RegDepSpec{MeanDepDist: 4, AvgSrcRegs: 1.8, WriteFraction: 0.8},
+		Loads:    []trace.AccessPattern{stridePat(0.5, ws, 8), randomPat(0.5, 1*MB)},
+		Stores:   []trace.AccessPattern{stridePat(1, ws/2+4*KB, 8)},
+		Jitter:   0.07,
+	}
+}
+
+// bioTreeFP models phylogenetic tree evaluation (phylip, and the
+// FP-over-pointers parts of t-coffee): floating-point arithmetic fed by
+// pointer-chased traversals — an FP/irregular-memory combination rare in
+// SPEC.
+func bioTreeFP(name string, ws uint64) trace.PhaseBehavior {
+	mix := trace.FPBaseMix().
+		Set(isa.OpLoad, 0.30).
+		Set(isa.OpBranchCond, 0.11).
+		Set(isa.OpFPAdd, 0.18).
+		Set(isa.OpFPMul, 0.12).
+		Set(isa.OpIntAdd, 0.14)
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 3000,
+		Branch:   trace.BranchSpec{TakenBias: 0.65, PatternPeriod: 7, NoiseLevel: 0.15},
+		Reg:      trace.RegDepSpec{MeanDepDist: 4, AvgSrcRegs: 1.7, WriteFraction: 0.7},
+		Loads:    []trace.AccessPattern{chasePat(0.55, ws), stridePat(0.45, ws/2+4*KB, 8)},
+		Stores:   []trace.AccessPattern{randomPat(0.5, ws/4+4*KB), stridePat(0.5, ws/4+4*KB, 8)},
+		Jitter:   0.09,
+	}
+}
+
+// quantumStream models libquantum: a branch-dense but perfectly predicted
+// streaming sweep over an enormous bit-vector register file.
+func quantumStream(name string) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.25
+	mix[isa.OpStore] = 0.13
+	mix[isa.OpBranchCond] = 0.20
+	mix[isa.OpIntAdd] = 0.25
+	mix[isa.OpLogic] = 0.12
+	mix[isa.OpCompare] = 0.03
+	mix[isa.OpMove] = 0.02
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: 700,
+		Branch:   trace.BranchSpec{TakenBias: 0.75, PatternPeriod: 4, NoiseLevel: 0.005},
+		Reg:      trace.RegDepSpec{MeanDepDist: 10, AvgSrcRegs: 1.5, WriteFraction: 0.75},
+		Loads:    []trace.AccessPattern{stridePat(1, 32*MB, 8)},
+		Stores:   []trace.AccessPattern{stridePat(1, 32*MB, 8)},
+		Jitter:   0.05,
+	}
+}
+
+// objTraverse models object-oriented traversal/dispatch codes (xalancbmk,
+// eon, omnetpp's event handling): call/return-rich pointer chasing with
+// moderate predictability and big code footprints.
+func objTraverse(name string, codeSize int, ws uint64) trace.PhaseBehavior {
+	var mix trace.MixSpec
+	mix[isa.OpLoad] = 0.27
+	mix[isa.OpStore] = 0.10
+	mix[isa.OpBranchCond] = 0.12
+	mix[isa.OpBranchJump] = 0.03
+	mix[isa.OpCall] = 0.04
+	mix[isa.OpReturn] = 0.04
+	mix[isa.OpIntAdd] = 0.22
+	mix[isa.OpCompare] = 0.09
+	mix[isa.OpLogic] = 0.04
+	mix[isa.OpMove] = 0.05
+	return trace.PhaseBehavior{
+		Name:     name,
+		Mix:      mix,
+		CodeSize: codeSize,
+		Branch:   trace.BranchSpec{TakenBias: 0.62, PatternPeriod: 10, NoiseLevel: 0.12},
+		Reg:      trace.RegDepSpec{MeanDepDist: 5, AvgSrcRegs: 1.5, WriteFraction: 0.7},
+		Loads:    []trace.AccessPattern{chasePat(0.5, ws), randomPat(0.5, ws/2+4*KB)},
+		Stores:   []trace.AccessPattern{randomPat(1, ws/4+4*KB)},
+		Jitter:   0.08,
+	}
+}

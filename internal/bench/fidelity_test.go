@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TestNoPhaseTrapsThePC generates an interval for every phase of every
+// benchmark model and checks the realized instruction mix stays near its
+// specification. A large deviation historically meant the program counter
+// was trapped in a degenerate static cycle (all-jump loops, self-calling
+// functions), executing a handful of instructions forever.
+func TestNoPhaseTrapsThePC(t *testing.T) {
+	const n = 20000
+	for _, bm := range MustStandardRegistry().All() {
+		for pi := range bm.Phases {
+			beh := bm.Phases[pi].Behavior
+			beh.Jitter = 0
+			mix, err := beh.Mix.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []uint64{1234, 987654321} {
+				var counts [isa.NumOpClasses]int
+				err := trace.GenerateInterval(&beh, seed, n, func(ins *isa.Instruction) {
+					counts[ins.Op]++
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", beh.Name, err)
+				}
+				for c := 0; c < isa.NumOpClasses; c++ {
+					got := float64(counts[c]) / n
+					if d := math.Abs(got - mix[c]); d > 0.3 {
+						t.Errorf("%s seed %d: class %v realized %.3f vs spec %.3f (PC trap?)",
+							beh.Name, seed, isa.OpClass(c), got, mix[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEveryPhaseVisitsEnoughCode guards the same failure mode from the
+// footprint side: a trapped PC touches almost no static instructions.
+func TestEveryPhaseVisitsEnoughCode(t *testing.T) {
+	const n = 20000
+	for _, bm := range MustStandardRegistry().All() {
+		beh := bm.Phases[0].Behavior
+		beh.Jitter = 0
+		pcs := map[uint64]bool{}
+		if err := trace.GenerateInterval(&beh, 777, n, func(ins *isa.Instruction) {
+			pcs[ins.PC] = true
+		}); err != nil {
+			t.Fatalf("%s: %v", beh.Name, err)
+		}
+		if len(pcs) < 20 {
+			t.Errorf("%s: only %d static instructions executed in %d dynamic (PC trap?)",
+				beh.Name, len(pcs), n)
+		}
+	}
+}

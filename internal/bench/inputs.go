@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Input models one reference input of a benchmark. The paper samples
+// intervals "across all of its inputs": different inputs run the same
+// code over differently sized data with slightly shifted phase balance
+// (e.g. gcc compiling a small vs a large translation unit). An input
+// transforms the benchmark's phase behaviours without touching their
+// code-shaped parameters, so all inputs share the synthetic static code.
+type Input struct {
+	// Name identifies the input, e.g. "ref-1".
+	Name string
+	// WorkingSetScale multiplies every access-pattern region (1 = the
+	// model's base working set). Must be positive.
+	WorkingSetScale float64
+	// BranchShift is added to every phase's taken bias (clamped to
+	// [0.02, 0.98]) — different data, slightly different control flow.
+	BranchShift float64
+}
+
+// DefaultInput is the implied input of benchmarks that declare none.
+var DefaultInput = Input{Name: "ref", WorkingSetScale: 1}
+
+// Validate checks the input's parameters.
+func (in Input) Validate() error {
+	if in.Name == "" {
+		return fmt.Errorf("bench: input with empty name")
+	}
+	if in.WorkingSetScale <= 0 {
+		return fmt.Errorf("bench: input %s: non-positive working-set scale", in.Name)
+	}
+	if in.BranchShift < -0.5 || in.BranchShift > 0.5 {
+		return fmt.Errorf("bench: input %s: branch shift %v out of [-0.5,0.5]", in.Name, in.BranchShift)
+	}
+	return nil
+}
+
+// apply transforms a phase behaviour for this input.
+func (in Input) apply(b trace.PhaseBehavior) trace.PhaseBehavior {
+	out := b
+	if in.WorkingSetScale != 1 {
+		out.Loads = scalePatterns(b.Loads, in.WorkingSetScale)
+		out.Stores = scalePatterns(b.Stores, in.WorkingSetScale)
+	}
+	if in.BranchShift != 0 {
+		bias := b.Branch.TakenBias + in.BranchShift
+		if bias < 0.02 {
+			bias = 0.02
+		}
+		if bias > 0.98 {
+			bias = 0.98
+		}
+		out.Branch.TakenBias = bias
+	}
+	return out
+}
+
+func scalePatterns(ps []trace.AccessPattern, scale float64) []trace.AccessPattern {
+	out := make([]trace.AccessPattern, len(ps))
+	copy(out, ps)
+	for i := range out {
+		r := float64(out[i].Region) * scale
+		if r < 64 {
+			r = 64
+		}
+		out[i].Region = uint64(r)
+	}
+	return out
+}
+
+// Inputs returns the benchmark's inputs (the single DefaultInput when none
+// are declared).
+func (b *Benchmark) InputList() []Input {
+	if len(b.Inputs) == 0 {
+		return []Input{DefaultInput}
+	}
+	return b.Inputs
+}
+
+// InputAt returns which input interval i (of total) executes: the
+// execution is partitioned into one contiguous run per input, mirroring
+// the paper's concatenation of per-input interval streams.
+func (b *Benchmark) InputAt(i, total int) int {
+	inputs := len(b.InputList())
+	if inputs == 1 || total <= 0 {
+		return 0
+	}
+	if i < 0 {
+		return 0
+	}
+	if i >= total {
+		i = total - 1
+	}
+	idx := i * inputs / total
+	if idx >= inputs {
+		idx = inputs - 1
+	}
+	return idx
+}

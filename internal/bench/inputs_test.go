@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestInputValidate(t *testing.T) {
+	if err := (Input{Name: "x", WorkingSetScale: 1}).Validate(); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if err := (Input{Name: "", WorkingSetScale: 1}).Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := (Input{Name: "x", WorkingSetScale: 0}).Validate(); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := (Input{Name: "x", WorkingSetScale: 1, BranchShift: 0.9}).Validate(); err == nil {
+		t.Fatal("huge branch shift accepted")
+	}
+}
+
+func TestInputListDefaults(t *testing.T) {
+	b := &Benchmark{Name: "x", Suite: SuiteBMW, PaperIntervals: 10,
+		Phases: []Phase{{Weight: 1, Behavior: validPhase("p")}}}
+	inputs := b.InputList()
+	if len(inputs) != 1 || inputs[0].Name != "ref" {
+		t.Fatalf("default inputs = %+v", inputs)
+	}
+}
+
+func TestInputAtPartitions(t *testing.T) {
+	b := &Benchmark{Name: "x", Suite: SuiteBMW, PaperIntervals: 10,
+		Phases: []Phase{{Weight: 1, Behavior: validPhase("p")}},
+		Inputs: []Input{
+			{Name: "a", WorkingSetScale: 1},
+			{Name: "b", WorkingSetScale: 2},
+			{Name: "c", WorkingSetScale: 3},
+		}}
+	const total = 30
+	counts := map[int]int{}
+	prev := 0
+	for i := 0; i < total; i++ {
+		in := b.InputAt(i, total)
+		if in < prev {
+			t.Fatalf("input index went backwards at %d", i)
+		}
+		prev = in
+		counts[in]++
+	}
+	for in := 0; in < 3; in++ {
+		if counts[in] != 10 {
+			t.Fatalf("input %d got %d intervals, want 10", in, counts[in])
+		}
+	}
+	if b.InputAt(-1, total) != 0 || b.InputAt(999, total) != 2 {
+		t.Fatal("edge indices mishandled")
+	}
+}
+
+func TestBehaviorAtAppliesInputScale(t *testing.T) {
+	reg := MustStandardRegistry()
+	b, err := reg.Lookup("SPECint2000/gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Inputs) != 3 {
+		t.Fatalf("gcc has %d inputs", len(b.Inputs))
+	}
+	const total = 90                // 3 inputs x 30 intervals
+	first := b.BehaviorAt(0, total) // input "166" (scale 0.5), parse phase
+	last := b.BehaviorAt(60, total) // input "expr" (scale 1.8), parse phase
+	if first.Loads[0].Region >= last.Loads[0].Region {
+		t.Fatalf("working set did not grow across inputs: %d vs %d",
+			first.Loads[0].Region, last.Loads[0].Region)
+	}
+	// Inputs must not alter the code-shaped parameters.
+	if first.CodeSize != last.CodeSize || first.Mix != last.Mix {
+		t.Fatal("input transformation changed code-shaped parameters")
+	}
+}
+
+func TestPhaseScheduleRepeatsPerInput(t *testing.T) {
+	reg := MustStandardRegistry()
+	b, err := reg.Lookup("SPECint2000/gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 90 // 3 inputs x 30 intervals
+	// Each input segment must start over at phase 0 (gcc_2000/parse).
+	for _, start := range []int{0, 30, 60} {
+		if got := b.PhaseAt(start, total); got != 0 {
+			t.Fatalf("interval %d (input start) runs phase %d, want 0", start, got)
+		}
+	}
+	// And each segment must reach the last phase before its end.
+	for _, end := range []int{29, 59, 89} {
+		if got := b.PhaseAt(end, total); got != len(b.Phases)-1 {
+			t.Fatalf("interval %d (input end) runs phase %d, want %d", end, got, len(b.Phases)-1)
+		}
+	}
+}
+
+func TestInputsShareStaticCode(t *testing.T) {
+	// Different inputs of one benchmark run the same binary: the
+	// instruction-side behaviour (op class at each PC) must agree.
+	reg := MustStandardRegistry()
+	b, err := reg.Lookup("SPECint2000/gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 90
+	a := b.BehaviorAt(0, total)  // parse phase, input 166
+	c := b.BehaviorAt(31, total) // parse phase, input 200
+	if a.Name != c.Name {
+		t.Skipf("intervals run different phases (%s vs %s)", a.Name, c.Name)
+	}
+	opsA := map[uint64]uint8{}
+	collect := func(beh *trace.PhaseBehavior, check bool) {
+		g, err := trace.NewGenerator(beh, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ins isa.Instruction
+		for i := 0; i < 20000; i++ {
+			g.Next(&ins)
+			if !check {
+				opsA[ins.PC] = uint8(ins.Op)
+				continue
+			}
+			if op, ok := opsA[ins.PC]; ok && op != uint8(ins.Op) {
+				t.Fatalf("PC %#x decodes differently across inputs", ins.PC)
+			}
+		}
+	}
+	collect(a, false)
+	collect(c, true)
+}
+
+func TestDuplicateInputNamesRejected(t *testing.T) {
+	b := &Benchmark{Name: "x", Suite: SuiteBMW, PaperIntervals: 10,
+		Phases: []Phase{{Weight: 1, Behavior: validPhase("p")}},
+		Inputs: []Input{
+			{Name: "a", WorkingSetScale: 1},
+			{Name: "a", WorkingSetScale: 2},
+		}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("duplicate input names accepted")
+	}
+}

@@ -1,0 +1,695 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// bm assembles one benchmark model.
+func bm(name string, suite Suite, paperIntervals int, layout Layout, phases ...Phase) *Benchmark {
+	return &Benchmark{Name: name, Suite: suite, PaperIntervals: paperIntervals, Layout: layout, Phases: phases}
+}
+
+// ph assembles one weighted phase.
+func ph(weight float64, b trace.PhaseBehavior) Phase {
+	return Phase{Weight: weight, Behavior: b}
+}
+
+// StandardRegistry returns the 77-benchmark registry of the paper's five
+// suites. Interval counts approximate the paper's Table 3 (the available
+// copy of the table is partially garbled; magnitudes are preserved).
+func StandardRegistry() (*Registry, error) {
+	var all []*Benchmark
+	all = append(all, bioPerf()...)
+	all = append(all, bmw()...)
+	all = append(all, mediaBench()...)
+	all = append(all, specInt2000()...)
+	all = append(all, specFp2000()...)
+	all = append(all, specInt2006()...)
+	all = append(all, specFp2006()...)
+	return NewRegistry(all)
+}
+
+// MustStandardRegistry is StandardRegistry for static, known-good model
+// tables; it panics on a construction error.
+func MustStandardRegistry() *Registry {
+	r, err := StandardRegistry()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// --- BioPerf (bio-informatics) -----------------------------------------
+//
+// The paper's headline suite: a large fraction of unique behaviour. The
+// models live in corners of the characteristic space (extreme load/logic
+// mixes, FP-over-pointers, serial bit kernels) that the general-purpose
+// archetypes do not reach.
+
+func bioPerf() []*Benchmark {
+	s := SuiteBioPerf
+	return []*Benchmark{
+		bm("blast", s, 1903, LayoutSequential,
+			ph(0.7, bioScan("blast/scan", 16*MB)),
+			ph(0.3, mod(bioScan("blast/extend", 4*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntAdd, 0.26).Set(isa.OpCompare, 0.10)
+				b.Branch.TakenBias = 0.7
+				b.Reg.MeanDepDist = 5
+			}))),
+		bm("ce", s, 4, LayoutSequential,
+			// Structural alignment: gather-style FP over distance
+			// matrices, adjacent to SPEC's sparse FP codes.
+			ph(1, mod(sparseFP("ce/align", 8*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 9
+			}))),
+		bm("clustalw", s, 1709, LayoutSequential,
+			ph(0.6, mod(bioHMM("clustalw/pairalign", 8*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntMul, 0.02).Set(isa.OpCompare, 0.13)
+				b.Branch.TakenBias = 0.58
+				b.Branch.NoiseLevel = 0.18
+			})),
+			ph(0.4, bioScan("clustalw/progressive", 2*MB))),
+		withInputs(bm("fasta", s, 69923, LayoutSequential,
+			ph(0.55, mod(bioScan("fasta/dbscan", 32*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLoad, 0.38).Set(isa.OpStore, 0.01)
+				b.Reg.MeanDepDist = 2.5
+				b.Reg.AvgSrcRegs = 1.2
+			})),
+			// The banded Smith-Waterman pass is a strided integer
+			// stream, shared with astar's region-way phase (the paper
+			// shows fasta and astar together in mixed clusters).
+			ph(0.45, bandedScan("fasta/smithwaterman"))),
+			Input{Name: "ssearch-small", WorkingSetScale: 0.5},
+			Input{Name: "ssearch-large", WorkingSetScale: 1.5, BranchShift: 0.02}),
+		bm("glimmer", s, 8, LayoutSequential,
+			// Interpolated Markov model scoring: essentially the same
+			// dynamic-programming kernel as hmmer's viterbi.
+			ph(1, bioHMM("glimmer/icm", 4*MB))),
+		bm("grappa", s, 4012, LayoutSequential,
+			ph(0.85, bioBitLogic("grappa/bitvector")),
+			ph(0.15, mod(bioBitLogic("grappa/setup"), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLogic, 0.18).Set(isa.OpLoad, 0.26).Set(isa.OpStore, 0.12)
+				b.Reg.MeanDepDist = 4
+			}))),
+		bm("hmmer", s, 5012, LayoutSequential,
+			// The paper: 59.44% of BioPerf hmmer is benchmark-specific
+			// (different branch predictability and register operand
+			// counts), while a smaller part resembles CPU2006 hmmer.
+			ph(0.6, mod(bioHMM("hmmer/calibrate", 2*MB), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.6
+				b.Branch.PatternPeriod = 0 // Bernoulli: poorly predictable
+				b.Reg.AvgSrcRegs = 1.2
+				b.Reg.MeanDepDist = 3
+			})),
+			ph(0.4, bioHMM("hmmer/viterbi", 4*MB))),
+		bm("phylip", s, 1070, LayoutSequential,
+			ph(0.8, bioTreeFP("phylip/proml", 8*MB)),
+			ph(0.2, mod(bioTreeFP("phylip/distance", 1*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPDiv, 0.03)
+				b.Reg.MeanDepDist = 7
+			}))),
+		bm("predator", s, 7712, LayoutSequential,
+			ph(0.65, mod(bioScan("predator/profile", 8*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntMul, 0.05).Set(isa.OpLogic, 0.06)
+				b.Branch.TakenBias = 0.8
+				b.Branch.PatternPeriod = 18
+				b.Branch.NoiseLevel = 0.06
+			})),
+			ph(0.35, bioTreeFP("predator/secondary", 2*MB))),
+		bm("tcoffee", s, 1740, LayoutSequential,
+			ph(0.5, mod(bioScan("tcoffee/library", 12*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpStore, 0.08).Set(isa.OpLoad, 0.28)
+			})),
+			ph(0.5, mod(bioTreeFP("tcoffee/align", 4*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 5
+			}))),
+	}
+}
+
+// --- BioMetricsWorkload (biometrics) ------------------------------------
+//
+// Signal-processing pipelines: all five benchmarks share the dspFP
+// vocabulary with nearby parameters, giving the suite its narrow coverage
+// and low uniqueness; sphinx-like speech processing ties "speak" to SPEC
+// CPU2006's sphinx3.
+
+func bmw() []*Benchmark {
+	s := SuiteBMW
+	return []*Benchmark{
+		bm("face", s, 1254, LayoutSequential,
+			ph(0.75, dspFP("face/gabor", 2*MB)),
+			// A small unique eigenface phase (the paper shows one
+			// face-specific cluster).
+			ph(0.25, mod(fpMatrix("face/eigen", 1*MB, 2048), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPDiv, 0.03).Set(isa.OpConvert, 0.04)
+				b.Reg.MeanDepDist = 9
+			}))),
+		bm("finger", s, 7960, LayoutSequential,
+			ph(0.7, dspFP("finger/ridge", 1*MB)),
+			ph(0.3, mod(mediaKernel("finger/minutiae", 512*KB), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.8
+				b.Branch.NoiseLevel = 0.08
+			}))),
+		bm("gait", s, 1780, LayoutSequential,
+			// Silhouette extraction is integer image morphology with a
+			// store-heavy mask-writing mix — the suite's unique corner.
+			ph(0.6, mod(mediaKernel("gait/morphology", 4*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpStore, 0.24).Set(isa.OpLogic, 0.20).
+					Set(isa.OpIntMul, 0.0).Set(isa.OpCompare, 0.10).
+					Set(isa.OpBranchCond, 0.05).Set(isa.OpLoad, 0.18)
+				b.Reg.MeanDepDist = 2.5
+				b.Reg.WriteFraction = 0.6
+				b.Branch.TakenBias = 0.75
+				b.Branch.NoiseLevel = 0.1
+			})),
+			ph(0.4, dspFP("gait/tracking", 4*MB))),
+		bm("hand", s, 10789, LayoutSequential,
+			ph(0.8, dspFP("hand/geometry", 2*MB)),
+			ph(0.2, mod(dspFP("hand/segment", 8*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLoad, 0.30)
+			}))),
+		bm("speak", s, 1847, LayoutSequential,
+			// Speech front-end: shares the sphinx3 acoustic-model
+			// archetype (see SPECfp2006), per the paper's mixed cluster.
+			ph(0.6, sphinxAcoustic("speak/acoustic")),
+			ph(0.4, dspFP("speak/mfcc", 1*MB))),
+	}
+}
+
+// sphinxAcoustic is the shared speech-recognition acoustic-scoring phase
+// used by both SPECfp2006 sphinx3 and BMW speak.
+func sphinxAcoustic(name string) trace.PhaseBehavior {
+	return mod(dspFP(name, 8*MB), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpLoad, 0.30).Set(isa.OpFPMul, 0.22).Set(isa.OpFPAdd, 0.20)
+		b.CodeSize = 2000
+		b.Reg.MeanDepDist = 12
+		b.Loads = []trace.AccessPattern{stridePat(0.7, 8*MB, 8), randomPat(0.3, 4*MB)}
+	})
+}
+
+// --- MediaBench II (multimedia) -----------------------------------------
+//
+// Codec kernels: all seven benchmarks are mediaKernel variants; h264
+// shares its motion-estimation phase with SPEC CPU2006's h264ref
+// (reproducing the paper's h264ref/h263 mixed cluster).
+
+func mediaBench() []*Benchmark {
+	s := SuiteMediaBench
+	return []*Benchmark{
+		bm("h263", s, 4, LayoutSequential,
+			ph(1, h264Motion("h263/encode", 256*KB))),
+		bm("h264", s, 1505, LayoutSequential,
+			ph(0.7, h264Motion("h264/motion", 512*KB)),
+			ph(0.3, mod(mediaKernel("h264/deblock", 256*KB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLogic, 0.08).Set(isa.OpCompare, 0.07)
+			}))),
+		bm("jpeg2000", s, 4, LayoutSequential,
+			ph(1, mediaKernel("jpeg2000/dwt", 512*KB))),
+		bm("jpeg", s, 5, LayoutSequential,
+			ph(1, mediaKernel("jpeg/dct", 512*KB))),
+		bm("mpeg2", s, 77, LayoutSequential,
+			ph(1, mediaKernel("mpeg2/codec", 512*KB))),
+		bm("mpeg4", s, 12, LayoutSequential,
+			ph(1, mediaKernel("mpeg4/codec", 512*KB))),
+		bm("mpeg4mmx", s, 8, LayoutSequential,
+			ph(1, mediaKernel("mpeg4mmx/simd", 512*KB))),
+	}
+}
+
+// h264Motion is the shared H.26x motion-estimation phase (MediaBench II
+// h263/h264 and SPECint2006 h264ref).
+func h264Motion(name string, ws uint64) trace.PhaseBehavior {
+	return mod(mediaKernel(name, ws), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpIntAdd, 0.28).Set(isa.OpCompare, 0.09)
+		b.Branch.PatternPeriod = 12
+		b.Reg.MeanDepDist = 7
+	})
+}
+
+// --- SPEC CPU2000 integer ------------------------------------------------
+
+func specInt2000() []*Benchmark {
+	s := SuiteSPECint2000
+	return []*Benchmark{
+		withInputs(bm("bzip2", s, 1870, LayoutPeriodic,
+			ph(0.5, intStream("bzip2_2000/compress", 8*MB, 8)),
+			ph(0.3, mod(intStream("bzip2_2000/sort", 8*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Loads = []trace.AccessPattern{randomPat(0.6, 8*MB), stridePat(0.4, 8*MB, 8)}
+				b.Branch.TakenBias = 0.6
+				b.Branch.NoiseLevel = 0.15
+			})),
+			ph(0.2, mod(intStream("bzip2_2000/huffman", 1*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpShift, 0.12).Set(isa.OpLogic, 0.12)
+			}))),
+			Input{Name: "source", WorkingSetScale: 0.6, BranchShift: -0.03},
+			Input{Name: "graphic", WorkingSetScale: 1},
+			Input{Name: "program", WorkingSetScale: 1.4, BranchShift: 0.03}),
+		bm("crafty", s, 1850, LayoutSequential,
+			ph(1, gameTree("crafty/search", 45000, 2*MB, 0.25))),
+		bm("eon", s, 1047, LayoutSequential,
+			// A probabilistic ray tracer: scalar FP rasterization close
+			// to mesa's (the two co-cluster).
+			ph(1, rasterizer("eon/render", 2*MB))),
+		bm("gap", s, 1020, LayoutSequential,
+			ph(0.7, mod(intControl("gap/groups", 20000, 4*MB, 0.62, 9, 0.12), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntMul, 0.03)
+			})),
+			ph(0.3, pointerChase("gap/gc", 8*MB, 0.6, 10))),
+		withInputs(bm("gcc", s, 1980, LayoutSequential,
+			// gcc's phases are the same compiler phases as CPU2006's gcc
+			// — the two generations co-cluster, as in the paper.
+			ph(0.4, gccParse("gcc_2000/parse")),
+			ph(0.35, gccTree("gcc_2000/rtl")),
+			ph(0.25, gccRegalloc("gcc_2000/regalloc"))),
+			Input{Name: "166", WorkingSetScale: 0.5, BranchShift: -0.02},
+			Input{Name: "200", WorkingSetScale: 1},
+			Input{Name: "expr", WorkingSetScale: 1.8, BranchShift: 0.02}),
+		bm("gzip", s, 1500, LayoutPeriodic,
+			ph(0.6, intStream("gzip/deflate", 2*MB, 8)),
+			ph(0.4, mod(intStream("gzip/lz", 512*KB, 8), func(b *trace.PhaseBehavior) {
+				b.Loads = []trace.AccessPattern{randomPat(0.5, 512*KB), stridePat(0.5, 2*MB, 8)}
+				b.Branch.NoiseLevel = 0.12
+			}))),
+		bm("mcf", s, 590, LayoutSequential,
+			ph(1, pointerChase("mcf_2000/simplex", 24*MB, 0.55, 8))),
+		bm("parser", s, 1500, LayoutSequential,
+			// Linkage-grammar parsing walks dictionary tries much like
+			// gcc's tree passes walk their IR.
+			ph(1, gccTree("parser/link"))),
+		withInputs(bm("perlbmk", s, 1800, LayoutSequential,
+			ph(0.7, perlInterpreter("perlbmk/interp", 45000)),
+			ph(0.3, mod(intStream("perlbmk/regex", 1*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.7
+			}))),
+			Input{Name: "diffmail", WorkingSetScale: 1},
+			Input{Name: "splitmail", WorkingSetScale: 1.6, BranchShift: 0.02}),
+		bm("twolf", s, 1840, LayoutSequential,
+			ph(1, mod(intControl("twolf/anneal", 10000, 2*MB, 0.6, 0, 0), func(b *trace.PhaseBehavior) {
+				// Simulated annealing: essentially random accept/reject
+				// branches — the classic hard-to-predict benchmark.
+				b.Mix = b.Mix.Set(isa.OpIntMul, 0.03).Set(isa.OpIntDiv, 0.01)
+				b.Loads = []trace.AccessPattern{randomPat(0.8, 2*MB), stridePat(0.2, 512*KB, 8)}
+			}))),
+		bm("vortex", s, 1960, LayoutSequential,
+			// An OO database: the same event/object traversal behaviour
+			// as omnetpp.
+			ph(1, mod(objTraverse("vortex/oodb", 25000, 8*MB), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.65
+			}))),
+		bm("vpr", s, 1076, LayoutPeriodic,
+			ph(0.5, mod(intControl("vpr/place", 9000, 1*MB, 0.6, 0, 0), func(b *trace.PhaseBehavior) {
+				b.Loads = []trace.AccessPattern{randomPat(1, 1*MB)}
+			})),
+			ph(0.5, mod(pointerChase("vpr/route", 4*MB, 0.6, 9), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPAdd, 0.04).Set(isa.OpFPMul, 0.03)
+			}))),
+	}
+}
+
+// perlInterpreter is the shared Perl bytecode-dispatch phase (perlbmk in
+// CPU2000 and perlbench in CPU2006 co-cluster in the paper's Figure 3).
+func perlInterpreter(name string, codeSize int) trace.PhaseBehavior {
+	return mod(objTraverse(name, codeSize, 2*MB), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpBranchJump, 0.05).Set(isa.OpLoad, 0.26)
+		b.Branch.TakenBias = 0.6
+		b.Branch.PatternPeriod = 9
+		b.Branch.NoiseLevel = 0.14
+	})
+}
+
+// rasterizer is the shared scalar-FP rasterization phase (mesa and eon
+// co-cluster: both software renderers).
+func rasterizer(name string, ws uint64) trace.PhaseBehavior {
+	return mod(fpScalar(name, 20000, ws), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpConvert, 0.04).Set(isa.OpIntAdd, 0.16)
+		b.Branch.TakenBias = 0.8
+		b.Branch.PatternPeriod = 16
+		b.Branch.NoiseLevel = 0.04
+	})
+}
+
+// gccParse / gccTree / gccRegalloc are the shared compiler phases: both
+// gcc generations (and parser's trie walking) execute them.
+func gccParse(name string) trace.PhaseBehavior {
+	return intControl(name, 70000, 8*MB, 0.6, 8, 0.15)
+}
+
+func gccTree(name string) trace.PhaseBehavior {
+	return mod(intControl(name, 70000, 16*MB, 0.58, 8, 0.18), func(b *trace.PhaseBehavior) {
+		b.Loads = []trace.AccessPattern{chasePat(0.45, 16*MB), randomPat(0.55, 8*MB)}
+	})
+}
+
+func gccRegalloc(name string) trace.PhaseBehavior {
+	return mod(intControl(name, 50000, 4*MB, 0.66, 10, 0.12), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpStore, 0.13)
+	})
+}
+
+// bandedScan is the shared banded dynamic-programming stream (fasta's
+// Smith-Waterman band and astar's region-way phase co-cluster, as in the
+// paper's Figure 3).
+func bandedScan(name string) trace.PhaseBehavior {
+	return mod(intStream(name, 1*MB, 8), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpCompare, 0.09).Set(isa.OpShift, 0.05)
+		b.Reg.MeanDepDist = 4.5
+	})
+}
+
+// --- SPEC CPU2000 floating-point ------------------------------------------
+
+func specFp2000() []*Benchmark {
+	s := SuiteSPECfp2000
+	return []*Benchmark{
+		bm("ammp", s, 1578, LayoutSequential,
+			// The paper shows a small benchmark-specific ammp cluster
+			// (17.9%) plus a shared ammp/namd molecular-dynamics cluster.
+			ph(0.2, mod(mdForce("ammp/nonbond", 4*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPDiv, 0.04).Set(isa.OpFPSqrt, 0.02)
+				b.Reg.MeanDepDist = 5
+			})),
+			ph(0.8, mdForce("ammp/md", 8*MB))),
+		bm("applu", s, 1495, LayoutSequential,
+			ph(1, maxwellStencil("applu/ssor", 24*MB))),
+		bm("apsi", s, 4548, LayoutSequential,
+			// apsi co-clusters with wrf (both atmospheric models).
+			ph(0.5, weatherDynamics("apsi/dynamics", 8*MB)),
+			ph(0.3, weatherPhysics("apsi/physics", 4*MB)),
+			ph(0.2, fpMatrix("apsi/fft", 2*MB, 1024))),
+		bm("art", s, 1560, LayoutSequential,
+			ph(1, mod(fpStream("art/neural", 4*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPMul, 0.24).Set(isa.OpCompare, 0.04)
+				b.Reg.MeanDepDist = 8
+			}))),
+		bm("equake", s, 1550, LayoutSequential,
+			ph(1, sparseFP("equake/smvp", 16*MB))),
+		bm("facerec", s, 1660, LayoutSequential,
+			// facerec co-clusters with BMW finger in the paper's mixed
+			// clusters: share the dspFP vocabulary.
+			ph(0.7, dspFP("facerec/gabor", 2*MB)),
+			ph(0.3, fpMatrix("facerec/match", 1*MB, 2048))),
+		bm("fma3d", s, 1000, LayoutSequential,
+			ph(0.75, mod(fpScalar("fma3d/elements", 30000, 8*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 12
+			})),
+			ph(0.25, fpStream("fma3d/assembly", 24*MB, 8))),
+		bm("galgel", s, 1689, LayoutSequential,
+			ph(1, mod(fpMatrix("galgel/galerkin", 4*MB, 2048), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 22
+				b.Mix = b.Mix.Set(isa.OpFPMul, 0.26)
+			}))),
+		bm("lucas", s, 1458, LayoutSequential,
+			// The FFT butterfly is dense multi-stride FP with integer
+			// index arithmetic — the same shape as tonto's density
+			// kernels.
+			ph(1, mod(fpMatrix("lucas/fft", 4*MB, 2048), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntAdd, 0.14)
+			}))),
+		bm("mesa", s, 1880, LayoutSequential,
+			ph(1, rasterizer("mesa/rasterize", 2*MB))),
+		bm("mgrid", s, 4800, LayoutSequential,
+			// 65.84% of mgrid is benchmark-specific in the paper.
+			ph(0.66, mod(fpMatrix("mgrid/multigrid", 24*MB, 16384), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 28
+				b.Reg.AvgSrcRegs = 2.3
+			})),
+			ph(0.34, fpStream("mgrid/smooth", 24*MB, 8))),
+		bm("sixtrack", s, 7040, LayoutSequential,
+			// 98.67% one benchmark-specific cluster: a single unusual
+			// phase (tiny working set, very long dependences).
+			ph(1, mod(fpStream("sixtrack/track", 256*KB, 8), func(b *trace.PhaseBehavior) {
+				b.CodeSize = 8000
+				b.Reg.MeanDepDist = 90
+				b.Reg.AvgSrcRegs = 2.4
+				b.Mix = b.Mix.Set(isa.OpFPMul, 0.26).Set(isa.OpFPAdd, 0.28).Set(isa.OpLoad, 0.18).Set(isa.OpStore, 0.05)
+				b.Branch.TakenBias = 0.99
+			}))),
+		bm("swim", s, 1850, LayoutSequential,
+			ph(1, fpStream("swim/shallow", 24*MB, 8))),
+		bm("wupwise", s, 4860, LayoutSequential,
+			ph(1, mod(fpMatrix("wupwise/su3", 8*MB, 2048), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 20
+			}))),
+	}
+}
+
+// mdForce is the shared molecular-dynamics force-loop phase (ammp, namd,
+// gromacs variants).
+func mdForce(name string, ws uint64) trace.PhaseBehavior {
+	return mod(fpScalar(name, 5000, ws), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpFPMul, 0.20).Set(isa.OpFPAdd, 0.22).Set(isa.OpFPDiv, 0.015).
+			Set(isa.OpFPSqrt, 0.015).Set(isa.OpBranchCond, 0.06)
+		b.Branch.TakenBias = 0.85
+		b.Branch.PatternPeriod = 20
+		b.Branch.NoiseLevel = 0.05
+		b.Reg.MeanDepDist = 14
+		b.Loads = []trace.AccessPattern{randomPat(0.45, ws), stridePat(0.55, ws, 8)}
+	})
+}
+
+// weatherDynamics / weatherPhysics are the shared atmospheric-model phases
+// (apsi and wrf co-cluster repeatedly in the paper's Figure 3).
+func weatherDynamics(name string, ws uint64) trace.PhaseBehavior {
+	return mod(fpMatrix(name, ws, 8192), func(b *trace.PhaseBehavior) {
+		b.Reg.MeanDepDist = 16
+		b.Mix = b.Mix.Set(isa.OpFPDiv, 0.01)
+	})
+}
+
+func weatherPhysics(name string, ws uint64) trace.PhaseBehavior {
+	return mod(fpScalar(name, 40000, ws), func(b *trace.PhaseBehavior) {
+		b.Branch.TakenBias = 0.78
+		b.Mix = b.Mix.Set(isa.OpConvert, 0.03)
+	})
+}
+
+// --- SPEC CPU2006 integer --------------------------------------------------
+
+func specInt2006() []*Benchmark {
+	s := SuiteSPECint2006
+	return []*Benchmark{
+		bm("astar", s, 1500, LayoutPeriodic,
+			// Two prominent phases with different locality and branch
+			// predictability (paper section 4.2): the benchmark-specific
+			// pathfinding phase has the worst branch predictability
+			// overall; the mixed-cluster phase has far better locality.
+			ph(0.45, mod(pointerChase("astar/pathfind", 16*MB, 0.5, 0), func(b *trace.PhaseBehavior) {
+				b.Branch.NoiseLevel = 0 // Bernoulli(0.5): maximally unpredictable
+			})),
+			ph(0.55, bandedScan("astar/regionway"))),
+		bm("bzip2", s, 1440, LayoutPeriodic,
+			ph(0.45, intStream("bzip2_2006/compress", 16*MB, 8)),
+			ph(0.35, mod(intStream("bzip2_2006/sort", 16*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Loads = []trace.AccessPattern{randomPat(0.6, 16*MB), stridePat(0.4, 16*MB, 8)}
+				b.Branch.TakenBias = 0.6
+				b.Branch.NoiseLevel = 0.15
+			})),
+			ph(0.2, mod(intStream("bzip2_2006/decompress", 4*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpShift, 0.13).Set(isa.OpLogic, 0.13).Set(isa.OpStore, 0.16)
+				b.Reg.MeanDepDist = 3.5
+			}))),
+		withInputs(bm("gcc", s, 1790, LayoutSequential,
+			ph(0.35, gccParse("gcc_2006/parse")),
+			ph(0.3, gccTree("gcc_2006/tree")),
+			ph(0.35, gccRegalloc("gcc_2006/regalloc"))),
+			Input{Name: "166", WorkingSetScale: 0.5, BranchShift: -0.02},
+			Input{Name: "g23", WorkingSetScale: 1},
+			Input{Name: "s04", WorkingSetScale: 2, BranchShift: 0.02}),
+		bm("gobmk", s, 6970, LayoutSequential,
+			// Two benchmark-specific clusters plus mixed behaviour.
+			ph(0.3, mod(gameTree("gobmk/owl", 45000, 4*MB, 0.3), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLogic, 0.17).Set(isa.OpShift, 0.1)
+				b.Reg.WriteFraction = 0.75
+			})),
+			ph(0.3, mod(gameTree("gobmk/pattern", 45000, 1*MB, 0.22), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 3.5
+			})),
+			ph(0.4, gameTree("gobmk/search", 45000, 2*MB, 0.25))),
+		bm("h264ref", s, 6000, LayoutSequential,
+			ph(0.5, h264Motion("h264ref/motion", 512*KB)),
+			ph(0.5, mediaKernel("h264ref/rdopt", 512*KB))),
+		bm("hmmer", s, 1765, LayoutSequential,
+			// 68% of CPU2006 hmmer resembles a small part of BioPerf
+			// hmmer: reuse the bioHMM viterbi archetype.
+			ph(0.7, bioHMM("hmmer_2006/viterbi", 4*MB)),
+			ph(0.3, mod(bioHMM("hmmer_2006/forward", 2*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntMul, 0.08)
+				b.Branch.TakenBias = 0.92
+			}))),
+		bm("libquantum", s, 9490, LayoutPeriodic,
+			// Two benchmark-specific clusters (46.76% and 12.9% weights).
+			ph(0.65, quantumStream("libquantum/toffoli")),
+			ph(0.35, mod(quantumStream("libquantum/sigma"), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLogic, 0.2).Set(isa.OpStore, 0.05)
+				b.Reg.MeanDepDist = 18
+			}))),
+		bm("mcf", s, 1780, LayoutSequential,
+			ph(1, pointerChase("mcf_2006/simplex", 32*MB, 0.55, 8))),
+		bm("omnetpp", s, 7704, LayoutSequential,
+			// 95.48% in a single (mixed) cluster.
+			ph(1, mod(objTraverse("omnetpp/events", 25000, 8*MB), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.65
+			}))),
+		bm("perlbench", s, 1056, LayoutSequential,
+			ph(0.65, perlInterpreter("perlbench/interp", 45000)),
+			ph(0.35, mod(intStream("perlbench/regex", 2*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.7
+			}))),
+		bm("sjeng", s, 1500, LayoutSequential,
+			// 99.79% one benchmark-specific cluster.
+			ph(1, mod(gameTree("sjeng/search", 14000, 512*KB, 0.33), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpLogic, 0.13)
+				b.Reg.MeanDepDist = 4.2
+				b.Branch.TakenBias = 0.48
+			}))),
+		bm("xalancbmk", s, 1480, LayoutSequential,
+			// 54.57% benchmark-specific DOM traversal.
+			ph(0.55, mod(objTraverse("xalancbmk/dom", 60000, 4*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpCall, 0.05).Set(isa.OpReturn, 0.05).Set(isa.OpBranchJump, 0.04)
+				b.Reg.MeanDepDist = 4
+			})),
+			ph(0.45, perlInterpreter("xalancbmk/template", 50000))),
+	}
+}
+
+// --- SPEC CPU2006 floating-point --------------------------------------------
+
+func specFp2006() []*Benchmark {
+	s := SuiteSPECfp2006
+	return []*Benchmark{
+		bm("bwaves", s, 1860, LayoutSequential,
+			// 78.48% + 12.97% benchmark-specific clusters.
+			ph(0.78, mod(fpStream("bwaves/solver", 48*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 30
+				b.Reg.AvgSrcRegs = 2.3
+			})),
+			ph(0.22, fpMatrix("bwaves/jacobian", 16*MB, 32768))),
+		bm("cactusADM", s, 10466, LayoutSequential,
+			// 99.49% one benchmark-specific cluster.
+			ph(1, mod(fpStream("cactusADM/staggered", 32*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPMul, 0.24).Set(isa.OpFPAdd, 0.26).Set(isa.OpLoad, 0.30).Set(isa.OpBranchCond, 0.005)
+				b.Reg.MeanDepDist = 26
+				b.Reg.AvgSrcRegs = 2.4
+				b.CodeSize = 12000
+			}))),
+		bm("calculix", s, 74590, LayoutSequential,
+			// Three benchmark-specific clusters of decreasing weight.
+			ph(0.6, mod(fpMatrix("calculix/spooles", 8*MB, 4096), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntAdd, 0.16)
+				b.Reg.MeanDepDist = 12
+			})),
+			ph(0.25, fpScalar("calculix/elements", 35000, 4*MB)),
+			ph(0.15, sparseFP("calculix/assembly", 8*MB))),
+		bm("dealII", s, 1700, LayoutSequential,
+			ph(0.4, mod(sparseFP("dealII/cg", 8*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 9
+			})),
+			ph(0.35, mod(objTraverse("dealII/dofs", 40000, 4*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPAdd, 0.08).Set(isa.OpFPMul, 0.06)
+			})),
+			ph(0.25, fpScalar("dealII/quadrature", 30000, 2*MB))),
+		bm("gamess", s, 56550, LayoutSequential,
+			// Many medium-weight clusters: quantum chemistry with
+			// several integral/SCF phases.
+			ph(0.3, fpScalar("gamess/twoel", 70000, 8*MB)),
+			ph(0.25, mod(fpMatrix("gamess/scf", 8*MB, 2048), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 20
+			})),
+			ph(0.25, mod(fpScalar("gamess/gradient", 70000, 4*MB), func(b *trace.PhaseBehavior) {
+				b.Branch.TakenBias = 0.8
+				b.Mix = b.Mix.Set(isa.OpFPDiv, 0.025)
+			})),
+			ph(0.2, weatherPhysics("gamess/guess", 2*MB))),
+		bm("gemsfdtd", s, 9400, LayoutSequential,
+			ph(0.6, maxwellStencil("gemsfdtd/update", 24*MB)),
+			ph(0.4, mod(sparseFP("gemsfdtd/nearfar", 16*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPMul, 0.22)
+			}))),
+		bm("gromacs", s, 5597, LayoutSequential,
+			// 40.46% benchmark-specific inner loop + shared MD behaviour.
+			ph(0.45, mod(mdForce("gromacs/innerloop", 2*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 18
+				b.Reg.AvgSrcRegs = 2.2
+				b.Mix = b.Mix.Set(isa.OpFPSqrt, 0.025)
+			})),
+			ph(0.55, mdForce("gromacs/bonded", 4*MB))),
+		bm("lbm", s, 8455, LayoutSequential,
+			// 99.9% one benchmark-specific cluster.
+			ph(1, mod(fpStream("lbm/collide", 64*MB, 8), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpStore, 0.16).Set(isa.OpLoad, 0.28).Set(isa.OpBranchCond, 0.01)
+				b.Reg.MeanDepDist = 22
+			}))),
+		bm("leslie3d", s, 7870, LayoutSequential,
+			// 99.99% in one suite-specific cluster shared with
+			// GemsFDTD/zeusmp: the common stencil archetype.
+			ph(1, maxwellStencil("leslie3d/flux", 24*MB))),
+		bm("milc", s, 1500, LayoutSequential,
+			ph(0.75, mod(sparseFP("milc/su3mult", 24*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 14
+				b.Mix = b.Mix.Set(isa.OpFPMul, 0.24)
+			})),
+			ph(0.25, mod(sparseFP("milc/gather", 24*MB), func(b *trace.PhaseBehavior) {
+				b.Loads = []trace.AccessPattern{randomPat(0.85, 24*MB), stridePat(0.15, 8*MB, 8)}
+			}))),
+		bm("namd", s, 1700, LayoutSequential,
+			// 68.7% one benchmark-specific cluster + shared MD.
+			ph(0.69, mod(mdForce("namd/selfpair", 4*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 16
+				b.Reg.AvgSrcRegs = 2.1
+				b.Branch.TakenBias = 0.9
+			})),
+			ph(0.31, mdForce("namd/excl", 8*MB))),
+		bm("povray", s, 1400, LayoutSequential,
+			// 99.99% one suite-specific cluster.
+			ph(1, mod(fpScalar("povray/trace", 45000, 1*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpFPSqrt, 0.02).Set(isa.OpCall, 0.03).Set(isa.OpReturn, 0.03)
+				b.Branch.TakenBias = 0.68
+			}))),
+		bm("soplex", s, 8900, LayoutSequential,
+			// 48.4% + 26.57% clusters (one shared with GemsFDTD).
+			ph(0.5, mod(sparseFP("soplex/pricing", 16*MB), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpBranchCond, 0.1).Set(isa.OpCompare, 0.06)
+				b.Branch.TakenBias = 0.7
+				b.Branch.NoiseLevel = 0.1
+			})),
+			ph(0.5, sparseFP("soplex/factor", 8*MB))),
+		bm("sphinx3", s, 10460, LayoutSequential,
+			// 99.90% one cluster, shared with BMW's speech benchmarks.
+			ph(1, sphinxAcoustic("sphinx3/acoustic"))),
+		bm("tonto", s, 5060, LayoutSequential,
+			ph(0.47, mod(fpScalar("tonto/integrals", 80000, 8*MB), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 10
+			})),
+			ph(0.33, mod(fpMatrix("tonto/density", 4*MB, 2048), func(b *trace.PhaseBehavior) {
+				b.Mix = b.Mix.Set(isa.OpIntAdd, 0.14)
+			})),
+			ph(0.2, perlInterpreter("tonto/dispatch", 60000))),
+		bm("wrf", s, 1770, LayoutSequential,
+			ph(0.4, weatherDynamics("wrf/dynamics", 16*MB)),
+			ph(0.35, weatherPhysics("wrf/physics", 8*MB)),
+			ph(0.25, fpStream("wrf/advection", 24*MB, 8))),
+		bm("zeusmp", s, 1850, LayoutSequential,
+			ph(0.55, maxwellStencil("zeusmp/mhd", 24*MB)),
+			ph(0.45, mod(fpMatrix("zeusmp/transport", 16*MB, 8192), func(b *trace.PhaseBehavior) {
+				b.Reg.MeanDepDist = 20
+			}))),
+	}
+}
+
+// maxwellStencil is the shared explicit-stencil phase of the CPU2006
+// field solvers (GemsFDTD, leslie3d, zeusmp, wrf's advection).
+func maxwellStencil(name string, ws uint64) trace.PhaseBehavior {
+	return mod(fpMatrix(name, ws, 16384), func(b *trace.PhaseBehavior) {
+		b.Mix = b.Mix.Set(isa.OpFPAdd, 0.26).Set(isa.OpFPMul, 0.20).Set(isa.OpLoad, 0.28)
+		b.Reg.MeanDepDist = 24
+		b.Reg.AvgSrcRegs = 2.2
+		b.Branch.TakenBias = 0.95
+	})
+}
+
+// withInputs attaches reference inputs to a benchmark model.
+func withInputs(b *Benchmark, inputs ...Input) *Benchmark {
+	b.Inputs = inputs
+	return b
+}

@@ -1,0 +1,35 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// ExampleKMeans clusters two obvious groups of points and reads the
+// cluster weights.
+func ExampleKMeans() {
+	data, err := stats.FromRows([][]float64{
+		{0.0, 0.1}, {0.1, 0.0}, {0.1, 0.1},
+		{9.0, 9.1}, {9.1, 9.0}, {9.1, 9.1}, {8.9, 9.0},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := cluster.KMeans(data, 2, cluster.Options{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	weights := res.Weights()
+	// One cluster holds 3 of 7 points, the other 4 of 7.
+	small, big := weights[0], weights[1]
+	if small > big {
+		small, big = big, small
+	}
+	fmt.Printf("%.2f %.2f same=%v\n", small, big,
+		res.Assignments[0] == res.Assignments[1] && res.Assignments[3] == res.Assignments[4])
+	// Output: 0.43 0.57 same=true
+}

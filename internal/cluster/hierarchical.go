@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Agglomerative hierarchical clustering with average linkage — the
+// technique the paper's precursor methodology (Eeckhout, Vandierendonck &
+// De Bosschere, "Workload design", PACT 2002) uses to pick representative
+// program-input pairs. Useful here for building benchmark dendrograms over
+// the rescaled-PCA space.
+
+// Merge records one agglomeration step. Nodes 0..n-1 are the input rows
+// (leaves); node n+i is the cluster created by step i.
+type Merge struct {
+	// A and B are the node ids merged at this step.
+	A, B int
+	// Distance is the average-linkage distance between A and B.
+	Distance float64
+	// Size is the number of leaves under the new node.
+	Size int
+}
+
+// Linkage is the full merge history of a hierarchical clustering.
+type Linkage struct {
+	// Leaves is the number of input rows.
+	Leaves int
+	// Merges holds the n-1 agglomeration steps in execution order
+	// (non-decreasing distance).
+	Merges []Merge
+}
+
+// Hierarchical builds an average-linkage hierarchy over the rows of data.
+func Hierarchical(data *stats.Matrix) (*Linkage, error) {
+	n := data.Rows
+	if n < 2 {
+		return nil, fmt.Errorf("cluster: hierarchical clustering needs at least 2 rows, have %d", n)
+	}
+
+	// Pairwise distance matrix between active nodes (Lance-Williams
+	// update keeps average linkage exact).
+	type node struct {
+		id   int
+		size int
+	}
+	active := make([]node, n)
+	for i := range active {
+		active[i] = node{id: i, size: 1}
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := stats.EuclideanDistance(data.Row(i), data.Row(j))
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	link := &Linkage{Leaves: n}
+	nextID := n
+	for len(active) > 1 {
+		// Find the closest active pair.
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if dist[i][j] < best {
+					best = dist[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		merged := node{id: nextID, size: a.size + b.size}
+		nextID++
+		link.Merges = append(link.Merges, Merge{A: a.id, B: b.id, Distance: best, Size: merged.size})
+
+		// Average-linkage distance from the merged node to every other:
+		// weighted mean of the two constituents' distances.
+		wa := float64(a.size) / float64(merged.size)
+		wb := float64(b.size) / float64(merged.size)
+		for k := 0; k < len(active); k++ {
+			if k == bi || k == bj {
+				continue
+			}
+			dist[bi][k] = wa*dist[bi][k] + wb*dist[bj][k]
+			dist[k][bi] = dist[bi][k]
+		}
+		// Replace slot bi with the merged node, delete slot bj.
+		active[bi] = merged
+		last := len(active) - 1
+		active[bj] = active[last]
+		for k := 0; k < len(active); k++ {
+			dist[bj][k] = dist[last][k]
+			dist[k][bj] = dist[k][last]
+		}
+		active = active[:last]
+	}
+	return link, nil
+}
+
+// Cut slices the hierarchy at a distance threshold and returns the leaf
+// partition: cluster ids in [0, #clusters) indexed by leaf.
+func (l *Linkage) Cut(threshold float64) []int {
+	parent := make([]int, l.Leaves+len(l.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, m := range l.Merges {
+		if m.Distance > threshold {
+			continue
+		}
+		id := l.Leaves + i
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+	}
+	labels := make([]int, l.Leaves)
+	next := 0
+	seen := map[int]int{}
+	for leaf := 0; leaf < l.Leaves; leaf++ {
+		root := find(leaf)
+		id, ok := seen[root]
+		if !ok {
+			id = next
+			next++
+			seen[root] = id
+		}
+		labels[leaf] = id
+	}
+	return labels
+}
+
+// CutK cuts the hierarchy into exactly k clusters (1 <= k <= leaves) by
+// undoing the last k-1 merges.
+func (l *Linkage) CutK(k int) ([]int, error) {
+	if k < 1 || k > l.Leaves {
+		return nil, fmt.Errorf("cluster: cannot cut %d leaves into %d clusters", l.Leaves, k)
+	}
+	if k == l.Leaves {
+		out := make([]int, l.Leaves)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	// Keep all merges except the final k-1.
+	keep := len(l.Merges) - (k - 1)
+	sub := &Linkage{Leaves: l.Leaves, Merges: l.Merges[:keep]}
+	return sub.Cut(math.Inf(1)), nil
+}
+
+// LeafOrder returns the leaves in dendrogram display order (left-to-right
+// traversal of the merge tree).
+func (l *Linkage) LeafOrder() []int {
+	children := map[int][2]int{}
+	for i, m := range l.Merges {
+		children[l.Leaves+i] = [2]int{m.A, m.B}
+	}
+	var out []int
+	var walk func(int)
+	walk = func(id int) {
+		if id < l.Leaves {
+			out = append(out, id)
+			return
+		}
+		c := children[id]
+		walk(c[0])
+		walk(c[1])
+	}
+	if len(l.Merges) == 0 {
+		for i := 0; i < l.Leaves; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	walk(l.Leaves + len(l.Merges) - 1)
+	return out
+}
+
+// CopheneticDistances returns the pairwise merge heights (the distance at
+// which each leaf pair first shares a cluster), in the same upper-triangle
+// order as stats.PairwiseDistances — useful for validating the hierarchy
+// against the original distances.
+func (l *Linkage) CopheneticDistances() []float64 {
+	members := make([][]int, l.Leaves+len(l.Merges))
+	for i := 0; i < l.Leaves; i++ {
+		members[i] = []int{i}
+	}
+	coph := make([][]float64, l.Leaves)
+	for i := range coph {
+		coph[i] = make([]float64, l.Leaves)
+	}
+	for i, m := range l.Merges {
+		for _, a := range members[m.A] {
+			for _, b := range members[m.B] {
+				coph[a][b] = m.Distance
+				coph[b][a] = m.Distance
+			}
+		}
+		id := l.Leaves + i
+		members[id] = append(append([]int{}, members[m.A]...), members[m.B]...)
+		sort.Ints(members[id])
+	}
+	var out []float64
+	for i := 0; i < l.Leaves; i++ {
+		for j := i + 1; j < l.Leaves; j++ {
+			out = append(out, coph[i][j])
+		}
+	}
+	return out
+}

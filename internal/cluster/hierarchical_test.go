@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func hierData(t *testing.T) *stats.Matrix {
+	t.Helper()
+	// Three tight groups at 0, 10 and 100 on a line.
+	m, err := stats.FromRows([][]float64{
+		{0}, {0.1}, {0.2},
+		{10}, {10.1},
+		{100}, {100.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHierarchicalMergeOrder(t *testing.T) {
+	link, err := Hierarchical(hierData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Leaves != 7 || len(link.Merges) != 6 {
+		t.Fatalf("linkage shape: %d leaves, %d merges", link.Leaves, len(link.Merges))
+	}
+	// Average linkage on well-separated groups merges within groups
+	// first: distances must be non-decreasing.
+	for i := 1; i < len(link.Merges); i++ {
+		if link.Merges[i].Distance < link.Merges[i-1].Distance-1e-9 {
+			t.Fatalf("merge distances not monotone: %v", link.Merges)
+		}
+	}
+	if last := link.Merges[len(link.Merges)-1]; last.Size != 7 {
+		t.Fatalf("final merge covers %d leaves", last.Size)
+	}
+}
+
+func TestHierarchicalCutRecoversGroups(t *testing.T) {
+	link, err := Hierarchical(hierData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := link.Cut(5) // within-group distances < 1, between > 9
+	groups := map[int][]int{}
+	for leaf, c := range labels {
+		groups[c] = append(groups[c], leaf)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("cut found %d groups: %v", len(groups), labels)
+	}
+	var sizes []int
+	for _, g := range groups {
+		sizes = append(sizes, len(g))
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Fatalf("group sizes %v, want [2 2 3]", sizes)
+	}
+}
+
+func TestHierarchicalCutK(t *testing.T) {
+	link, err := Hierarchical(hierData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 7; k++ {
+		labels, err := link.CutK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := map[int]bool{}
+		for _, c := range labels {
+			distinct[c] = true
+		}
+		if len(distinct) != k {
+			t.Fatalf("CutK(%d) produced %d clusters", k, len(distinct))
+		}
+	}
+	if _, err := link.CutK(0); err == nil {
+		t.Fatal("CutK(0) accepted")
+	}
+	if _, err := link.CutK(8); err == nil {
+		t.Fatal("CutK beyond leaves accepted")
+	}
+}
+
+func TestHierarchicalLeafOrder(t *testing.T) {
+	link, err := Hierarchical(hierData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := link.LeafOrder()
+	if len(order) != 7 {
+		t.Fatalf("leaf order has %d entries", len(order))
+	}
+	seen := map[int]bool{}
+	for _, l := range order {
+		if l < 0 || l >= 7 || seen[l] {
+			t.Fatalf("leaf order invalid: %v", order)
+		}
+		seen[l] = true
+	}
+	// Dendrogram order keeps each tight group contiguous.
+	pos := map[int]int{}
+	for i, l := range order {
+		pos[l] = i
+	}
+	groups := [][]int{{0, 1, 2}, {3, 4}, {5, 6}}
+	for _, g := range groups {
+		lo, hi := 7, -1
+		for _, leaf := range g {
+			if pos[leaf] < lo {
+				lo = pos[leaf]
+			}
+			if pos[leaf] > hi {
+				hi = pos[leaf]
+			}
+		}
+		if hi-lo != len(g)-1 {
+			t.Fatalf("group %v not contiguous in order %v", g, order)
+		}
+	}
+}
+
+func TestCopheneticCorrelation(t *testing.T) {
+	data := hierData(t)
+	link, err := Hierarchical(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coph := link.CopheneticDistances()
+	orig := stats.PairwiseDistances(data)
+	if len(coph) != len(orig) {
+		t.Fatalf("cophenetic length %d vs %d", len(coph), len(orig))
+	}
+	// For clean group structure the cophenetic correlation is very high.
+	if r := stats.Pearson(coph, orig); r < 0.95 {
+		t.Fatalf("cophenetic correlation %v", r)
+	}
+}
+
+func TestHierarchicalNeedsTwoRows(t *testing.T) {
+	if _, err := Hierarchical(stats.NewMatrix(1, 2)); err == nil {
+		t.Fatal("single-row hierarchy accepted")
+	}
+}
+
+func TestHierarchicalTwoRows(t *testing.T) {
+	m, _ := stats.FromRows([][]float64{{0, 0}, {3, 4}})
+	link, err := Hierarchical(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(link.Merges) != 1 || math.Abs(link.Merges[0].Distance-5) > 1e-9 {
+		t.Fatalf("two-row linkage wrong: %+v", link.Merges)
+	}
+}

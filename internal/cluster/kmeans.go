@@ -1,0 +1,342 @@
+// Package cluster implements the phase-clustering step of the methodology:
+// k-means (with k-means++ seeding and multiple random restarts) scored by
+// the Bayesian Information Criterion, plus cluster representatives, weights
+// and coverage accounting.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Options configures a k-means run.
+type Options struct {
+	// MaxIters bounds Lloyd iterations per restart (default 100).
+	MaxIters int
+	// Restarts is how many random initializations to evaluate; the
+	// clustering with the highest BIC is kept (default 3).
+	Restarts int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxIters <= 0 {
+		out.MaxIters = 100
+	}
+	if out.Restarts <= 0 {
+		out.Restarts = 3
+	}
+	return out
+}
+
+// Result is a fitted clustering.
+type Result struct {
+	// K is the number of clusters.
+	K int
+	// Assignments maps each data row to its cluster.
+	Assignments []int
+	// Centers is the K x dims matrix of cluster centroids.
+	Centers *stats.Matrix
+	// Sizes is the number of points per cluster.
+	Sizes []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// BIC is the Bayesian Information Criterion score of the clustering
+	// under a spherical-Gaussian mixture model (higher is better).
+	BIC float64
+}
+
+// KMeans clusters the rows of data into k clusters.
+func KMeans(data *stats.Matrix, k int, opts Options) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k = %d < 1", k)
+	}
+	if data.Rows < k {
+		return nil, fmt.Errorf("cluster: %d rows cannot form %d clusters", data.Rows, k)
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	var best *Result
+	for r := 0; r < o.Restarts; r++ {
+		res := lloyd(data, k, o.MaxIters, rng)
+		res.BIC = bic(data, res)
+		if best == nil || res.BIC > best.BIC {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// lloyd runs one k-means fit with k-means++ seeding.
+func lloyd(data *stats.Matrix, k, maxIters int, rng *rand.Rand) *Result {
+	n, d := data.Rows, data.Cols
+	centers := seedPlusPlus(data, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+	sums := stats.NewMatrix(k, d)
+
+	for iter := 0; iter < maxIters; iter++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			c := nearestCenter(data.Row(i), centers)
+			if c != assign[i] {
+				assign[i] = c
+				changed++
+			}
+		}
+		if changed == 0 && iter > 0 {
+			break
+		}
+		// Recompute centers.
+		for i := range sums.Data {
+			sums.Data[i] = 0
+		}
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			sizes[c]++
+			row := data.Row(i)
+			dst := sums.Row(c)
+			for j, v := range row {
+				dst[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the point farthest
+				// from its current center.
+				far, farDist := 0, -1.0
+				for i := 0; i < n; i++ {
+					dd := stats.EuclideanDistance(data.Row(i), centers.Row(assign[i]))
+					if dd > farDist {
+						far, farDist = i, dd
+					}
+				}
+				copy(centers.Row(c), data.Row(far))
+				continue
+			}
+			src := sums.Row(c)
+			dst := centers.Row(c)
+			inv := 1 / float64(sizes[c])
+			for j := range dst {
+				dst[j] = src[j] * inv
+			}
+		}
+	}
+
+	// Final assignment pass and inertia.
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	var inertia float64
+	for i := 0; i < n; i++ {
+		c := nearestCenter(data.Row(i), centers)
+		assign[i] = c
+		sizes[c]++
+		dd := stats.EuclideanDistance(data.Row(i), centers.Row(c))
+		inertia += dd * dd
+	}
+	return &Result{K: k, Assignments: assign, Centers: centers, Sizes: sizes, Inertia: inertia}
+}
+
+// seedPlusPlus selects k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(data *stats.Matrix, k int, rng *rand.Rand) *stats.Matrix {
+	n, d := data.Rows, data.Cols
+	centers := stats.NewMatrix(k, d)
+	first := rng.Intn(n)
+	copy(centers.Row(0), data.Row(first))
+
+	dist2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dd := stats.EuclideanDistance(data.Row(i), centers.Row(0))
+		dist2[i] = dd * dd
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range dist2 {
+			total += v
+		}
+		idx := 0
+		if total > 0 {
+			x := rng.Float64() * total
+			for i, v := range dist2 {
+				if x < v {
+					idx = i
+					break
+				}
+				x -= v
+			}
+		} else {
+			idx = rng.Intn(n)
+		}
+		copy(centers.Row(c), data.Row(idx))
+		for i := 0; i < n; i++ {
+			dd := stats.EuclideanDistance(data.Row(i), centers.Row(c))
+			if d2 := dd * dd; d2 < dist2[i] {
+				dist2[i] = d2
+			}
+		}
+	}
+	return centers
+}
+
+func nearestCenter(x []float64, centers *stats.Matrix) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < centers.Rows; c++ {
+		row := centers.Row(c)
+		var s float64
+		for j := range x {
+			d := x[j] - row[j]
+			s += d * d
+			if s >= bestD {
+				break
+			}
+		}
+		if s < bestD {
+			best, bestD = c, s
+		}
+	}
+	return best
+}
+
+// bic scores a clustering with the spherical-Gaussian Bayesian Information
+// Criterion (Pelleg & Moore's X-means formulation): higher is better. The
+// score trades goodness of fit against the number of clusters, as the
+// paper's section 2.6 describes.
+func bic(data *stats.Matrix, res *Result) float64 {
+	r := float64(data.Rows)
+	m := float64(data.Cols)
+	k := float64(res.K)
+	if data.Rows <= res.K {
+		return math.Inf(-1)
+	}
+	sigma2 := res.Inertia / (m * (r - k))
+	if sigma2 < 1e-12 {
+		sigma2 = 1e-12
+	}
+	var loglik float64
+	for _, size := range res.Sizes {
+		if size > 0 {
+			rn := float64(size)
+			loglik += rn * math.Log(rn/r)
+		}
+	}
+	loglik += -(r*m/2)*math.Log(2*math.Pi*sigma2) - m*(r-k)/2
+	params := (k - 1) + m*k + 1
+	return loglik - params/2*math.Log(r)
+}
+
+// Representatives returns, for each cluster, the index of the data row
+// closest to the cluster center — the paper's per-cluster representative
+// instruction interval.
+func (r *Result) Representatives(data *stats.Matrix) []int {
+	reps := make([]int, r.K)
+	best := make([]float64, r.K)
+	for c := range reps {
+		reps[c] = -1
+		best[c] = math.Inf(1)
+	}
+	for i := 0; i < data.Rows; i++ {
+		c := r.Assignments[i]
+		d := stats.EuclideanDistance(data.Row(i), r.Centers.Row(c))
+		if d < best[c] {
+			best[c] = d
+			reps[c] = i
+		}
+	}
+	return reps
+}
+
+// Weights returns each cluster's fraction of the data set.
+func (r *Result) Weights() []float64 {
+	out := make([]float64, r.K)
+	total := float64(len(r.Assignments))
+	if total == 0 {
+		return out
+	}
+	for c, s := range r.Sizes {
+		out[c] = float64(s) / total
+	}
+	return out
+}
+
+// ByWeight returns cluster indices sorted by decreasing weight.
+func (r *Result) ByWeight() []int {
+	idx := make([]int, r.K)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.Sizes[idx[a]] > r.Sizes[idx[b]] })
+	return idx
+}
+
+// AvgWithinClusterDistance returns the mean distance of points to their
+// cluster center — the "variability within each cluster" of the paper's
+// coverage/variability trade-off.
+func (r *Result) AvgWithinClusterDistance(data *stats.Matrix) float64 {
+	if data.Rows == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < data.Rows; i++ {
+		total += stats.EuclideanDistance(data.Row(i), r.Centers.Row(r.Assignments[i]))
+	}
+	return total / float64(data.Rows)
+}
+
+// SelectK runs k-means for every k in [kmin, kmax] and picks the result
+// with the SimPoint heuristic (Sherwood et al.): the smallest k whose BIC
+// score reaches at least frac (typically 0.9) of the way from the worst to
+// the best BIC observed. Raw BIC maximization is too conservative on small
+// samples; the heuristic trades a little fit for far fewer clusters.
+func SelectK(data *stats.Matrix, kmin, kmax int, frac float64, opts Options) (*Result, error) {
+	if kmin < 1 || kmax < kmin {
+		return nil, fmt.Errorf("cluster: invalid k range [%d,%d]", kmin, kmax)
+	}
+	if kmax >= data.Rows {
+		kmax = data.Rows - 1
+	}
+	if kmax < kmin {
+		kmax = kmin
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("cluster: BIC fraction %v out of [0,1]", frac)
+	}
+	results := make([]*Result, 0, kmax-kmin+1)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := kmin; k <= kmax; k++ {
+		res, err := KMeans(data, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		if res.BIC < lo {
+			lo = res.BIC
+		}
+		if res.BIC > hi {
+			hi = res.BIC
+		}
+	}
+	if hi <= lo {
+		return results[0], nil // all scores equal: smallest k
+	}
+	threshold := lo + frac*(hi-lo)
+	for _, res := range results {
+		if res.BIC >= threshold {
+			return res, nil
+		}
+	}
+	return results[len(results)-1], nil
+}

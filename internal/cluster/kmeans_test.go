@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(centers [][]float64, n int, spread float64, seed int64) (*stats.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(centers[0])
+	m := stats.NewMatrix(n*len(centers), dim)
+	truth := make([]int, m.Rows)
+	for c, center := range centers {
+		for i := 0; i < n; i++ {
+			row := m.Row(c*n + i)
+			for j := 0; j < dim; j++ {
+				row[j] = center[j] + spread*rng.NormFloat64()
+			}
+			truth[c*n+i] = c
+		}
+	}
+	return m, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	data, truth := blobs(centers, 50, 0.5, 1)
+	res, err := KMeans(data, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true blob must map to exactly one cluster.
+	mapping := map[int]map[int]int{}
+	for i, c := range res.Assignments {
+		if mapping[truth[i]] == nil {
+			mapping[truth[i]] = map[int]int{}
+		}
+		mapping[truth[i]][c]++
+	}
+	used := map[int]bool{}
+	for blob, counts := range mapping {
+		best, bestN := -1, 0
+		total := 0
+		for c, n := range counts {
+			total += n
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		if float64(bestN)/float64(total) < 0.98 {
+			t.Fatalf("blob %d split across clusters: %v", blob, counts)
+		}
+		if used[best] {
+			t.Fatalf("two blobs mapped to cluster %d", best)
+		}
+		used[best] = true
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	data := stats.NewMatrix(5, 2)
+	if _, err := KMeans(data, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(data, 6, Options{}); err == nil {
+		t.Fatal("k > rows accepted")
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	data, _ := blobs([][]float64{{0, 0}, {5, 5}}, 40, 1, 2)
+	a, err := KMeans(data, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(data, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+	if a.BIC != b.BIC || a.Inertia != b.Inertia {
+		t.Fatal("same seed produced different scores")
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	data, _ := blobs([][]float64{{0}, {4}, {9}}, 30, 0.3, 3)
+	res, err := KMeans(data, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range res.Weights() {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	var sizes int
+	for _, s := range res.Sizes {
+		sizes += s
+	}
+	if sizes != data.Rows {
+		t.Fatalf("sizes sum to %d, want %d", sizes, data.Rows)
+	}
+}
+
+func TestRepresentativesAreClosest(t *testing.T) {
+	data, _ := blobs([][]float64{{0, 0}, {8, 8}}, 25, 0.7, 4)
+	res, err := KMeans(data, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.Representatives(data)
+	for c, rep := range reps {
+		if rep < 0 || rep >= data.Rows {
+			t.Fatalf("representative %d out of range", rep)
+		}
+		if res.Assignments[rep] != c {
+			t.Fatalf("representative of cluster %d belongs to cluster %d", c, res.Assignments[rep])
+		}
+		repDist := stats.EuclideanDistance(data.Row(rep), res.Centers.Row(c))
+		for i := 0; i < data.Rows; i++ {
+			if res.Assignments[i] != c {
+				continue
+			}
+			if d := stats.EuclideanDistance(data.Row(i), res.Centers.Row(c)); d < repDist-1e-9 {
+				t.Fatalf("row %d closer to center %d than representative", i, c)
+			}
+		}
+	}
+}
+
+func TestByWeightSorted(t *testing.T) {
+	data, _ := blobs([][]float64{{0}, {5}}, 20, 0.2, 5)
+	// Unbalanced: add extra points to blob 0.
+	extra, _ := blobs([][]float64{{0}}, 30, 0.2, 6)
+	all := stats.NewMatrix(data.Rows+extra.Rows, 1)
+	copy(all.Data, data.Data)
+	copy(all.Data[data.Rows:], extra.Data)
+	res, err := KMeans(all, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := res.ByWeight()
+	if res.Sizes[order[0]] < res.Sizes[order[1]] {
+		t.Fatal("ByWeight not sorted descending")
+	}
+}
+
+func TestBICPrefersTrueK(t *testing.T) {
+	data, _ := blobs([][]float64{{0, 0}, {12, 0}, {0, 12}, {12, 12}}, 40, 0.4, 7)
+	bic := func(k int) float64 {
+		res, err := KMeans(data, k, Options{Seed: 1, Restarts: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BIC
+	}
+	b1, b4, b12 := bic(1), bic(4), bic(12)
+	if b4 <= b1 {
+		t.Fatalf("BIC(k=4)=%v not better than BIC(k=1)=%v on 4 blobs", b4, b1)
+	}
+	if b4 <= b12 {
+		t.Fatalf("BIC(k=4)=%v not better than BIC(k=12)=%v on 4 blobs", b4, b12)
+	}
+}
+
+func TestAvgWithinClusterDistanceShrinksWithK(t *testing.T) {
+	data, _ := blobs([][]float64{{0, 0}, {6, 6}}, 60, 1.5, 8)
+	r2, err := KMeans(data, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := KMeans(data, 12, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r12.AvgWithinClusterDistance(data) >= r2.AvgWithinClusterDistance(data) {
+		t.Fatal("within-cluster distance did not shrink with larger k")
+	}
+}
+
+func TestKMeansHandlesDuplicatePoints(t *testing.T) {
+	// Many identical rows (the sampling-with-replacement case) must not
+	// break clustering or produce NaNs.
+	m := stats.NewMatrix(40, 2)
+	for i := 0; i < 40; i++ {
+		if i >= 20 {
+			m.Set(i, 0, 5)
+			m.Set(i, 1, 5)
+		}
+	}
+	res, err := KMeans(m, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.BIC) || math.IsInf(res.Inertia, 0) {
+		t.Fatalf("degenerate scores: BIC=%v inertia=%v", res.BIC, res.Inertia)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("two point-masses should cluster exactly; inertia=%v", res.Inertia)
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	data, _ := blobs([][]float64{{3, 3}}, 30, 0.5, 9)
+	res, err := KMeans(data, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes[0] != 30 {
+		t.Fatalf("k=1 cluster size %d", res.Sizes[0])
+	}
+	center := res.Centers.Row(0)
+	if math.Abs(center[0]-3) > 0.3 || math.Abs(center[1]-3) > 0.3 {
+		t.Fatalf("k=1 center = %v", center)
+	}
+}
+
+func TestSelectKPrefersCompactModels(t *testing.T) {
+	// Two crisp blobs: the SimPoint heuristic must pick k=2, not the
+	// maximum k (raw BIC maximization often overfits small samples).
+	data, _ := blobs([][]float64{{0, 0}, {20, 20}}, 30, 0.4, 11)
+	res, err := SelectK(data, 1, 8, 0.9, Options{Seed: 1, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 2 || res.K > 3 {
+		t.Fatalf("SelectK picked k=%d on two blobs", res.K)
+	}
+}
+
+func TestSelectKSingleBlob(t *testing.T) {
+	data, _ := blobs([][]float64{{5, 5}}, 40, 0.5, 12)
+	res, err := SelectK(data, 1, 6, 0.9, Options{Seed: 1, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Fatalf("SelectK split a homogeneous blob into %d clusters", res.K)
+	}
+}
+
+func TestSelectKValidation(t *testing.T) {
+	data, _ := blobs([][]float64{{0}}, 10, 0.1, 13)
+	if _, err := SelectK(data, 0, 3, 0.9, Options{}); err == nil {
+		t.Fatal("kmin=0 accepted")
+	}
+	if _, err := SelectK(data, 3, 2, 0.9, Options{}); err == nil {
+		t.Fatal("kmax<kmin accepted")
+	}
+	if _, err := SelectK(data, 1, 3, 1.5, Options{}); err == nil {
+		t.Fatal("fraction out of range accepted")
+	}
+	// kmax beyond rows-1 must be clamped, not rejected.
+	res, err := SelectK(data, 1, 50, 0.9, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K >= data.Rows {
+		t.Fatalf("SelectK returned k=%d for %d rows", res.K, data.Rows)
+	}
+}

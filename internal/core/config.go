@@ -1,0 +1,127 @@
+// Package core wires the paper's six-step phase-level characterization
+// methodology end to end: microarchitecture-independent characterization of
+// instruction intervals, per-benchmark interval sampling, PCA, k-means
+// clustering with BIC, prominent-phase extraction, genetic-algorithm key
+// characteristic selection, and the suite-level coverage / diversity /
+// uniqueness analyses of section 5.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/ga"
+)
+
+// Config holds every knob of the pipeline. DefaultConfig returns the
+// scaled-down equivalents of the paper's settings (see DESIGN.md for the
+// mapping); zero-valued fields of a hand-built Config are filled with the
+// defaults by Validate.
+type Config struct {
+	// IntervalLength is the number of synthetic instructions per
+	// interval (the paper's 100M-instruction granularity, scaled down).
+	IntervalLength int
+	// SamplesPerBenchmark is how many intervals are sampled (with
+	// replacement) per benchmark — the paper's 1,000.
+	SamplesPerBenchmark int
+	// MaxIntervalsPerBenchmark caps each benchmark's scaled interval
+	// count.
+	MaxIntervalsPerBenchmark int
+	// SampleByBenchmark selects the paper's equal-weight-per-benchmark
+	// sampling (true). False disables sampling and uses every interval
+	// once — the ablation of section 2.4.
+	SampleByBenchmark bool
+	// NumClusters is k for the k-means step (the paper's 300).
+	NumClusters int
+	// NumProminent is how many top-weight clusters become "prominent
+	// phases" (the paper's 100).
+	NumProminent int
+	// MinPCStd is the principal-component retention threshold (the
+	// paper keeps components with standard deviation > 1).
+	MinPCStd float64
+	// KeyCharacteristics is the GA target cardinality (the paper's 12).
+	KeyCharacteristics int
+	// Workers bounds characterization parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Seed makes the whole pipeline deterministic.
+	Seed int64
+	// KMeans configures the clustering step.
+	KMeans cluster.Options
+	// GA configures the key-characteristic search.
+	GA ga.Config
+}
+
+// DefaultConfig returns the default, laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		IntervalLength:           20000,
+		SamplesPerBenchmark:      150,
+		MaxIntervalsPerBenchmark: 160,
+		SampleByBenchmark:        true,
+		NumClusters:              300,
+		NumProminent:             100,
+		MinPCStd:                 1.0,
+		KeyCharacteristics:       12,
+		Seed:                     1,
+		KMeans:                   cluster.Options{Restarts: 3, MaxIters: 60},
+		GA:                       ga.Config{},
+	}
+}
+
+// TestConfig returns a tiny configuration for fast tests: a few seconds of
+// work end to end.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IntervalLength = 2000
+	cfg.SamplesPerBenchmark = 8
+	cfg.MaxIntervalsPerBenchmark = 16
+	cfg.NumClusters = 40
+	cfg.NumProminent = 20
+	cfg.KMeans = cluster.Options{Restarts: 2, MaxIters: 25}
+	cfg.GA = ga.Config{Populations: 2, PopulationSize: 10, MaxGenerations: 12, Patience: 5}
+	return cfg
+}
+
+// Validate fills zero fields with defaults and rejects inconsistent
+// settings.
+func (c *Config) Validate() error {
+	def := DefaultConfig()
+	if c.IntervalLength == 0 {
+		c.IntervalLength = def.IntervalLength
+	}
+	if c.SamplesPerBenchmark == 0 {
+		c.SamplesPerBenchmark = def.SamplesPerBenchmark
+	}
+	if c.MaxIntervalsPerBenchmark == 0 {
+		c.MaxIntervalsPerBenchmark = def.MaxIntervalsPerBenchmark
+	}
+	if c.NumClusters == 0 {
+		c.NumClusters = def.NumClusters
+	}
+	if c.NumProminent == 0 {
+		c.NumProminent = def.NumProminent
+	}
+	if c.MinPCStd == 0 {
+		c.MinPCStd = def.MinPCStd
+	}
+	if c.KeyCharacteristics == 0 {
+		c.KeyCharacteristics = def.KeyCharacteristics
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.IntervalLength < 100 {
+		return fmt.Errorf("core: interval length %d too small (min 100)", c.IntervalLength)
+	}
+	if c.SamplesPerBenchmark < 1 {
+		return fmt.Errorf("core: samples per benchmark %d < 1", c.SamplesPerBenchmark)
+	}
+	if c.NumProminent > c.NumClusters {
+		return fmt.Errorf("core: %d prominent phases exceed %d clusters", c.NumProminent, c.NumClusters)
+	}
+	if c.MinPCStd < 0 {
+		return fmt.Errorf("core: negative PC retention threshold")
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mica"
+	"repro/internal/trace"
+)
+
+// miniRegistry builds a small registry with two clearly distinct suites,
+// fast enough for unit tests.
+func miniRegistry(t *testing.T) *bench.Registry {
+	t.Helper()
+	mk := func(name string, suite bench.Suite, intervals int, phases ...bench.Phase) *bench.Benchmark {
+		return &bench.Benchmark{Name: name, Suite: suite, PaperIntervals: intervals, Phases: phases}
+	}
+	serial := func(name string) trace.PhaseBehavior {
+		return trace.PhaseBehavior{
+			Name: name, Mix: trace.BaseMix(), CodeSize: 800,
+			Branch: trace.BranchSpec{TakenBias: 0.5, PatternPeriod: 0},
+			Reg:    trace.RegDepSpec{MeanDepDist: 2, AvgSrcRegs: 1.4, WriteFraction: 0.7},
+			Loads:  []trace.AccessPattern{{Kind: trace.PatternRandom, Weight: 1, Region: 1 << 22}},
+			Stores: []trace.AccessPattern{{Kind: trace.PatternRandom, Weight: 1, Region: 1 << 20}},
+			Jitter: 0.05,
+		}
+	}
+	stream := func(name string) trace.PhaseBehavior {
+		return trace.PhaseBehavior{
+			Name: name, Mix: trace.FPBaseMix(), CodeSize: 800,
+			Branch: trace.BranchSpec{TakenBias: 0.95, PatternPeriod: 32, NoiseLevel: 0.01},
+			Reg:    trace.RegDepSpec{MeanDepDist: 20, AvgSrcRegs: 2, WriteFraction: 0.9},
+			Loads:  []trace.AccessPattern{{Kind: trace.PatternStride, Weight: 1, Region: 1 << 22, Stride: 8}},
+			Stores: []trace.AccessPattern{{Kind: trace.PatternStride, Weight: 1, Region: 1 << 20, Stride: 8}},
+			Jitter: 0.05,
+		}
+	}
+	reg, err := bench.NewRegistry([]*bench.Benchmark{
+		mk("s1", "SuiteA", 100, bench.Phase{Weight: 1, Behavior: serial("s1/p")}),
+		mk("s2", "SuiteA", 200, bench.Phase{Weight: 0.5, Behavior: serial("s2/a")},
+			bench.Phase{Weight: 0.5, Behavior: stream("s2/b")}),
+		mk("f1", "SuiteB", 100, bench.Phase{Weight: 1, Behavior: stream("f1/p")}),
+		mk("f2", "SuiteB", 300, bench.Phase{Weight: 1, Behavior: stream("f2/p")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func miniConfig() Config {
+	cfg := TestConfig()
+	cfg.IntervalLength = 1500
+	cfg.SamplesPerBenchmark = 10
+	cfg.MaxIntervalsPerBenchmark = 12
+	cfg.NumClusters = 6
+	cfg.NumProminent = 6
+	return cfg
+}
+
+func TestConfigValidateFillsDefaults(t *testing.T) {
+	var cfg Config
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.IntervalLength != def.IntervalLength || cfg.NumClusters != def.NumClusters {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Workers < 1 {
+		t.Fatal("workers not defaulted")
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	tests := []struct {
+		mut  func(*Config)
+		want string
+	}{
+		{func(c *Config) { c.IntervalLength = 10 }, "interval length"},
+		{func(c *Config) { c.SamplesPerBenchmark = -1 }, "samples"},
+		{func(c *Config) { c.NumProminent = 500; c.NumClusters = 100 }, "prominent"},
+		{func(c *Config) { c.MinPCStd = -1 }, "threshold"},
+	}
+	for _, tt := range tests {
+		cfg := DefaultConfig()
+		tt.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Fatalf("expected error mentioning %q, got %v", tt.want, err)
+		}
+	}
+}
+
+func TestSampleRefsEqualWeight(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	refs := SampleRefs(reg, cfg)
+	if len(refs) != reg.Len()*cfg.SamplesPerBenchmark {
+		t.Fatalf("sampled %d refs, want %d", len(refs), reg.Len()*cfg.SamplesPerBenchmark)
+	}
+	perBench := map[string]int{}
+	for _, r := range refs {
+		perBench[r.Bench.ID()]++
+		if r.Index < 0 || r.Index >= r.Total {
+			t.Fatalf("ref index %d out of [0,%d)", r.Index, r.Total)
+		}
+	}
+	for id, n := range perBench {
+		if n != cfg.SamplesPerBenchmark {
+			t.Fatalf("benchmark %s sampled %d times", id, n)
+		}
+	}
+}
+
+func TestSampleRefsRaw(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.SampleByBenchmark = false
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	refs := SampleRefs(reg, cfg)
+	seen := map[string]bool{}
+	for _, r := range refs {
+		key := r.String()
+		if seen[key] {
+			t.Fatalf("raw sampling duplicated %s", key)
+		}
+		seen[key] = true
+	}
+	var want int
+	for _, b := range reg.All() {
+		want += b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
+	}
+	if len(refs) != want {
+		t.Fatalf("raw sampling yielded %d refs, want %d", len(refs), want)
+	}
+}
+
+func TestSampleRefsDeterministic(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := SampleRefs(reg, cfg)
+	b := SampleRefs(reg, cfg)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestCharacterizeDedupsWork(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	refs := SampleRefs(reg, cfg)
+	ds, err := Characterize(refs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Raw.Rows != len(refs) {
+		t.Fatalf("dataset has %d rows for %d refs", ds.Raw.Rows, len(refs))
+	}
+	if ds.Raw.Cols != mica.NumMetrics {
+		t.Fatalf("dataset has %d columns", ds.Raw.Cols)
+	}
+	if ds.UniqueIntervals >= len(refs) {
+		t.Fatalf("no dedup: %d unique of %d refs (sampling with replacement must repeat)", ds.UniqueIntervals, len(refs))
+	}
+	wantInstr := uint64(ds.UniqueIntervals) * uint64(cfg.IntervalLength)
+	if ds.Instructions != wantInstr {
+		t.Fatalf("instructions = %d, want %d", ds.Instructions, wantInstr)
+	}
+	// Duplicate refs must carry identical vectors.
+	byKey := map[string][]float64{}
+	for i, r := range refs {
+		key := r.String()
+		if prev, ok := byKey[key]; ok {
+			row := ds.Raw.Row(i)
+			for j := range row {
+				if row[j] != prev[j] {
+					t.Fatalf("duplicate ref %s has differing vectors", key)
+				}
+			}
+		} else {
+			byKey[key] = ds.Raw.Row(i)
+		}
+	}
+}
+
+func TestCharacterizeEmptyFails(t *testing.T) {
+	cfg := miniConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Characterize(nil, cfg); err == nil {
+		t.Fatal("empty ref list accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.NumPCs < 1 || res.NumPCs > mica.NumMetrics {
+		t.Fatalf("retained %d PCs", res.NumPCs)
+	}
+	if res.Scores.Rows != len(res.Dataset.Refs) || res.Scores.Cols != res.NumPCs {
+		t.Fatalf("scores shape %dx%d", res.Scores.Rows, res.Scores.Cols)
+	}
+	if res.Clusters.K != 6 {
+		t.Fatalf("clusters = %d", res.Clusters.K)
+	}
+
+	// Prominent phases sorted by weight, weights in (0,1], coverage sane.
+	if len(res.Prominent) != 6 {
+		t.Fatalf("prominent = %d", len(res.Prominent))
+	}
+	for i, p := range res.Prominent {
+		if p.Weight <= 0 || p.Weight > 1 {
+			t.Fatalf("phase %d weight %v", i, p.Weight)
+		}
+		if i > 0 && p.Weight > res.Prominent[i-1].Weight+1e-12 {
+			t.Fatal("prominent phases not sorted by weight")
+		}
+		if len(p.RepVector) != mica.NumMetrics {
+			t.Fatalf("representative vector length %d", len(p.RepVector))
+		}
+		var shares float64
+		for _, c := range p.Composition {
+			shares += c.ClusterShare
+		}
+		if math.Abs(shares-1) > 1e-9 {
+			t.Fatalf("phase %d composition sums to %v", i, shares)
+		}
+	}
+	if cov := res.ProminentCoverage(); math.Abs(cov-1) > 1e-9 {
+		// All 6 clusters are prominent here, so coverage must be 100%.
+		t.Fatalf("full prominent coverage = %v", cov)
+	}
+}
+
+func TestRunSuiteAnalyses(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cov := res.SuiteCoverage()
+	for s, n := range cov {
+		if n < 1 || n > res.Clusters.K {
+			t.Fatalf("suite %s coverage %d", s, n)
+		}
+	}
+
+	for _, s := range []bench.Suite{"SuiteA", "SuiteB"} {
+		curve := res.CumulativeCoverage(s)
+		if len(curve) == 0 {
+			t.Fatalf("no coverage curve for %s", s)
+		}
+		prev := 0.0
+		for _, c := range curve {
+			if c < prev-1e-12 {
+				t.Fatalf("coverage curve not monotone for %s: %v", s, curve)
+			}
+			prev = c
+		}
+		if math.Abs(curve[len(curve)-1]-1) > 1e-9 {
+			t.Fatalf("coverage curve for %s ends at %v", s, curve[len(curve)-1])
+		}
+		if res.ClustersFor(s, 0.8) < 1 || res.ClustersFor(s, 0.8) > len(curve) {
+			t.Fatalf("ClustersFor out of range")
+		}
+	}
+
+	uf := res.UniqueFraction()
+	for s, f := range uf {
+		if f < 0 || f > 1 {
+			t.Fatalf("unique fraction for %s = %v", s, f)
+		}
+	}
+
+	kb := res.KindBreakdown()
+	total := kb[BenchmarkSpecific] + kb[SuiteSpecific] + kb[Mixed]
+	nonEmpty := 0
+	for _, s := range res.Clusters.Sizes {
+		if s > 0 {
+			nonEmpty++
+		}
+	}
+	if total != nonEmpty {
+		t.Fatalf("kind breakdown covers %d clusters, want %d non-empty", total, nonEmpty)
+	}
+}
+
+func TestPhaseKindClassification(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Prominent {
+		benches := map[string]bool{}
+		suites := map[bench.Suite]bool{}
+		for _, c := range p.Composition {
+			benches[c.BenchID] = true
+			suites[c.Suite] = true
+		}
+		want := Mixed
+		switch {
+		case len(benches) == 1:
+			want = BenchmarkSpecific
+		case len(suites) == 1:
+			want = SuiteSpecific
+		}
+		if p.Kind != want {
+			t.Fatalf("cluster %d kind %v, want %v (benches=%d suites=%d)",
+				p.Cluster, p.Kind, want, len(benches), len(suites))
+		}
+	}
+}
+
+func TestPhaseKindString(t *testing.T) {
+	if BenchmarkSpecific.String() != "benchmark-specific" ||
+		SuiteSpecific.String() != "suite-specific" || Mixed.String() != "mixed" {
+		t.Fatal("phase kind names wrong")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	reg := miniRegistry(t)
+	a, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Clusters.Assignments {
+		if a.Clusters.Assignments[i] != b.Clusters.Assignments[i] {
+			t.Fatal("pipeline not deterministic")
+		}
+	}
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg1 := miniConfig()
+	cfg1.Workers = 1
+	cfg4 := miniConfig()
+	cfg4.Workers = 4
+	a, err := Run(reg, cfg1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(reg, cfg4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Dataset.Raw.Data {
+		if a.Dataset.Raw.Data[i] != b.Dataset.Raw.Data[i] {
+			t.Fatal("worker count changed the characterization")
+		}
+	}
+}
+
+func TestRunRejectsTooManyClusters(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.NumClusters = 10000
+	cfg.NumProminent = 10
+	if _, err := Run(reg, cfg, nil); err == nil {
+		t.Fatal("k > intervals accepted")
+	}
+}
+
+func TestSelectKeyCharacteristics(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.NumClusters = 12
+	cfg.NumProminent = 12
+	cfg.SamplesPerBenchmark = 15
+	res, err := Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := res.SelectKeyCharacteristics(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 5 {
+		t.Fatalf("selected %d characteristics", len(sel.Selected))
+	}
+	if sel.Fitness <= 0 {
+		t.Fatalf("selection fitness %v", sel.Fitness)
+	}
+	sweep, err := res.SweepKeyCharacteristics([]int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 2 || sweep[0].Count != 2 || sweep[1].Count != 5 {
+		t.Fatalf("sweep malformed: %+v", sweep)
+	}
+}
+
+func TestBenchmarkFractionInCluster(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for c := 0; c < res.Clusters.K; c++ {
+		total += res.BenchmarkFractionInCluster("SuiteA/s1", c)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("benchmark fractions sum to %v", total)
+	}
+	if res.BenchmarkFractionInCluster("nope/x", 0) != 0 {
+		t.Fatal("unknown benchmark fraction nonzero")
+	}
+}
+
+func TestIntervalRefString(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteA/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := IntervalRef{Bench: b, Index: 3, Total: 10}
+	if r.String() != "SuiteA/s1#3" {
+		t.Fatalf("ref string = %q", r.String())
+	}
+	if r.PhaseName() != "s1/p" {
+		t.Fatalf("phase name = %q", r.PhaseName())
+	}
+}

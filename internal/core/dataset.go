@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mica"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// IntervalRef identifies one instruction interval of one benchmark.
+type IntervalRef struct {
+	// Bench is the benchmark the interval belongs to.
+	Bench *bench.Benchmark
+	// Index is the interval's position in the benchmark's execution.
+	Index int
+	// Total is the benchmark's total (scaled) interval count.
+	Total int
+}
+
+// PhaseName returns the name of the scheduled phase the interval executes.
+func (r IntervalRef) PhaseName() string {
+	return r.Bench.BehaviorAt(r.Index, r.Total).Name
+}
+
+// String renders "suite/bench#index".
+func (r IntervalRef) String() string {
+	return fmt.Sprintf("%s#%d", r.Bench.ID(), r.Index)
+}
+
+// Dataset is the sampled, characterized interval population: one row of 69
+// MICA characteristics per sampled interval (rows may repeat an interval —
+// sampling is with replacement, exactly as in the paper).
+type Dataset struct {
+	// Refs identifies each row's interval.
+	Refs []IntervalRef
+	// Raw is the len(Refs) x 69 characteristic matrix.
+	Raw *stats.Matrix
+	// UniqueIntervals is how many distinct intervals were characterized.
+	UniqueIntervals int
+	// Instructions is the total number of synthetic instructions
+	// generated and characterized.
+	Instructions uint64
+}
+
+// SampleRefs draws the per-benchmark interval sample. With
+// cfg.SampleByBenchmark (the paper's design) every benchmark contributes
+// exactly cfg.SamplesPerBenchmark rows, drawn with replacement from its
+// intervals; otherwise every interval of every benchmark appears exactly
+// once (the section 2.4 ablation).
+func SampleRefs(reg *bench.Registry, cfg Config) []IntervalRef {
+	var refs []IntervalRef
+	for _, b := range reg.All() {
+		total := b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
+		if cfg.SampleByBenchmark {
+			rng := trace.NewRNG(uint64(cfg.Seed)*0x9e37 + trace.HashString(b.ID()))
+			for s := 0; s < cfg.SamplesPerBenchmark; s++ {
+				refs = append(refs, IntervalRef{Bench: b, Index: rng.Intn(total), Total: total})
+			}
+		} else {
+			for i := 0; i < total; i++ {
+				refs = append(refs, IntervalRef{Bench: b, Index: i, Total: total})
+			}
+		}
+	}
+	return refs
+}
+
+// Characterize generates and characterizes the sampled intervals, sharing
+// work between duplicate samples. It is the pipeline's step 1+2 (paper
+// sections 2.3–2.4) and by far its most expensive stage; work is spread
+// over cfg.Workers goroutines.
+func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("core: no intervals to characterize")
+	}
+
+	type key struct {
+		id    string
+		index int
+	}
+	unique := make(map[key]int) // -> slot in vectors
+	var work []IntervalRef
+	for _, r := range refs {
+		k := key{r.Bench.ID(), r.Index}
+		if _, ok := unique[k]; !ok {
+			unique[k] = len(work)
+			work = append(work, r)
+		}
+	}
+
+	vectors := make([][]float64, len(work))
+	errs := make([]error, len(work))
+	var instructions uint64
+	var mu sync.Mutex
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			analyzer := mica.NewAnalyzer()
+			var local uint64
+			for i := range next {
+				r := work[i]
+				analyzer.Reset()
+				beh := r.Bench.BehaviorAt(r.Index, r.Total)
+				err := trace.GenerateInterval(beh, r.Bench.IntervalSeed(r.Index), cfg.IntervalLength,
+					func(ins *isa.Instruction) { analyzer.Record(ins) })
+				if err != nil {
+					errs[i] = fmt.Errorf("core: interval %s: %w", r, err)
+					continue
+				}
+				vectors[i] = analyzer.Vector()
+				local += analyzer.Total()
+			}
+			mu.Lock()
+			instructions += local
+			mu.Unlock()
+		}()
+	}
+	for i := range work {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	raw := stats.NewMatrix(len(refs), mica.NumMetrics)
+	for i, r := range refs {
+		copy(raw.Row(i), vectors[unique[key{r.Bench.ID(), r.Index}]])
+	}
+	return &Dataset{
+		Refs:            append([]IntervalRef(nil), refs...),
+		Raw:             raw,
+		UniqueIntervals: len(work),
+		Instructions:    instructions,
+	}, nil
+}

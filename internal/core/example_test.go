@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// Example runs the full phase-level characterization pipeline at a tiny
+// scale and reads the headline suite analyses.
+func Example() {
+	reg := bench.MustStandardRegistry()
+	cfg := core.TestConfig()
+	cfg.SamplesPerBenchmark = 6
+	cfg.IntervalLength = 1000
+	cfg.NumClusters = 30
+	cfg.NumProminent = 10
+
+	res, err := core.Run(reg, cfg, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	cov := res.SuiteCoverage()
+	uf := res.UniqueFraction()
+	fmt.Println(len(res.Prominent) == 10,
+		cov[bench.SuiteSPECfp2006] > cov[bench.SuiteMediaBench],
+		uf[bench.SuiteBioPerf] > uf[bench.SuiteMediaBench])
+	// Output: true true true
+}

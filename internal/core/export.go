@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/mica"
+)
+
+// Export is the JSON-serializable summary of a pipeline run: everything a
+// downstream consumer (plotting scripts, CI trend tracking) needs without
+// the raw per-interval matrices.
+type Export struct {
+	// Parameters echoes the run configuration.
+	Parameters ExportParams `json:"parameters"`
+	// MetricNames lists the 69 characteristic names in vector order.
+	MetricNames []string `json:"metric_names"`
+	// NumPCs is how many principal components were retained.
+	NumPCs int `json:"num_pcs"`
+	// ExplainedVariance is the variance fraction the retained PCs carry.
+	ExplainedVariance float64 `json:"explained_variance"`
+	// Suites holds the per-suite analyses (Figures 4-6).
+	Suites []ExportSuite `json:"suites"`
+	// Prominent holds the prominent phases (Figures 2-3).
+	Prominent []ExportPhase `json:"prominent_phases"`
+	// ProminentCoverage is the summed weight of the prominent phases.
+	ProminentCoverage float64 `json:"prominent_coverage"`
+}
+
+// ExportParams echoes the key configuration values.
+type ExportParams struct {
+	IntervalLength      int   `json:"interval_length"`
+	SamplesPerBenchmark int   `json:"samples_per_benchmark"`
+	NumClusters         int   `json:"num_clusters"`
+	NumProminent        int   `json:"num_prominent"`
+	Seed                int64 `json:"seed"`
+}
+
+// ExportSuite is one suite's coverage/diversity/uniqueness summary.
+type ExportSuite struct {
+	Suite              string    `json:"suite"`
+	Benchmarks         int       `json:"benchmarks"`
+	Coverage           int       `json:"coverage_clusters"`
+	ClustersFor80      int       `json:"clusters_for_80pct"`
+	UniqueFraction     float64   `json:"unique_fraction"`
+	CumulativeCoverage []float64 `json:"cumulative_coverage"`
+}
+
+// ExportPhase is one prominent phase.
+type ExportPhase struct {
+	Cluster        int                `json:"cluster"`
+	Weight         float64            `json:"weight"`
+	Kind           string             `json:"kind"`
+	Representative string             `json:"representative"`
+	PhaseName      string             `json:"phase_name"`
+	Composition    map[string]float64 `json:"composition"` // benchmark -> cluster share
+}
+
+// BuildExport assembles the exportable summary.
+func (r *Result) BuildExport() Export {
+	out := Export{
+		Parameters: ExportParams{
+			IntervalLength:      r.Config.IntervalLength,
+			SamplesPerBenchmark: r.Config.SamplesPerBenchmark,
+			NumClusters:         r.Config.NumClusters,
+			NumProminent:        r.Config.NumProminent,
+			Seed:                r.Config.Seed,
+		},
+		MetricNames:       mica.MetricNames(),
+		NumPCs:            r.NumPCs,
+		ExplainedVariance: r.PCA.ExplainedVariance(r.NumPCs),
+		ProminentCoverage: r.ProminentCoverage(),
+	}
+	cov := r.SuiteCoverage()
+	uf := r.UniqueFraction()
+	for _, s := range r.Registry.SuiteNames() {
+		out.Suites = append(out.Suites, ExportSuite{
+			Suite:              string(s),
+			Benchmarks:         len(r.Registry.BySuite(s)),
+			Coverage:           cov[s],
+			ClustersFor80:      r.ClustersFor(s, 0.8),
+			UniqueFraction:     uf[s],
+			CumulativeCoverage: r.CumulativeCoverage(s),
+		})
+	}
+	for _, p := range r.Prominent {
+		comp := map[string]float64{}
+		for _, c := range p.Composition {
+			comp[c.BenchID] = c.ClusterShare
+		}
+		out.Prominent = append(out.Prominent, ExportPhase{
+			Cluster:        p.Cluster,
+			Weight:         p.Weight,
+			Kind:           p.Kind.String(),
+			Representative: p.Representative.String(),
+			PhaseName:      p.Representative.PhaseName(),
+			Composition:    comp,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the export as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.BuildExport())
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/ga"
+	"repro/internal/stats"
+)
+
+// PhaseKind classifies a cluster by the provenance of its member
+// intervals, following section 4.2 of the paper.
+type PhaseKind uint8
+
+const (
+	// BenchmarkSpecific clusters hold intervals of a single benchmark:
+	// unique behaviour not observed elsewhere.
+	BenchmarkSpecific PhaseKind = iota
+	// SuiteSpecific clusters hold intervals of multiple benchmarks, all
+	// from one suite.
+	SuiteSpecific
+	// Mixed clusters hold intervals from multiple suites.
+	Mixed
+)
+
+// String names the kind as in the paper's figure groups.
+func (k PhaseKind) String() string {
+	switch k {
+	case BenchmarkSpecific:
+		return "benchmark-specific"
+	case SuiteSpecific:
+		return "suite-specific"
+	default:
+		return "mixed"
+	}
+}
+
+// BenchShare is one benchmark's participation in a cluster.
+type BenchShare struct {
+	// BenchID is the "suite/name" benchmark identifier.
+	BenchID string
+	// Suite is the benchmark's suite.
+	Suite bench.Suite
+	// ClusterShare is the fraction of the cluster made of this
+	// benchmark's intervals (the pie-chart slice).
+	ClusterShare float64
+	// BenchmarkFraction is the fraction of this benchmark's sampled
+	// execution that the cluster represents (the percentage in the
+	// paper's benchmark lists).
+	BenchmarkFraction float64
+}
+
+// PhaseSummary describes one prominent phase (cluster).
+type PhaseSummary struct {
+	// Cluster is the cluster's index in Result.Clusters.
+	Cluster int
+	// Weight is the cluster's fraction of the entire sampled workload.
+	Weight float64
+	// Kind classifies the cluster's provenance.
+	Kind PhaseKind
+	// Representative is the interval closest to the cluster center.
+	Representative IntervalRef
+	// RepVector is the representative's raw 69-characteristic vector.
+	RepVector []float64
+	// Composition lists the represented benchmarks, largest share first.
+	Composition []BenchShare
+}
+
+// Result is a completed pipeline run.
+type Result struct {
+	Config   Config
+	Registry *bench.Registry
+	Dataset  *Dataset
+
+	// PCA holds the principal components analysis of the raw data.
+	PCA *stats.PCA
+	// NumPCs is how many components were retained (std > MinPCStd).
+	NumPCs int
+	// Scores is the dataset in rescaled-PCA space (rows parallel to
+	// Dataset.Refs).
+	Scores *stats.Matrix
+
+	// Clusters is the k-means clustering of Scores.
+	Clusters *cluster.Result
+	// Prominent are the top-weight clusters, heaviest first.
+	Prominent []PhaseSummary
+
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Run executes the full methodology over the registry's benchmarks.
+// logf, if non-nil, receives progress lines.
+func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any)) (*Result, error) {
+	start := time.Now()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg.Len() == 0 {
+		return nil, fmt.Errorf("core: empty benchmark registry")
+	}
+
+	refs := SampleRefs(reg, cfg)
+	logf("characterizing %d sampled intervals (%d benchmarks, %d instructions each)...",
+		len(refs), reg.Len(), cfg.IntervalLength)
+	ds, err := Characterize(refs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	logf("characterized %d unique intervals (%d instructions total)", ds.UniqueIntervals, ds.Instructions)
+
+	pca, err := stats.ComputePCA(ds.Raw, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: PCA: %w", err)
+	}
+	numPCs := pca.NumRetained(cfg.MinPCStd)
+	logf("PCA: retaining %d components (%.1f%% of variance)", numPCs, 100*pca.ExplainedVariance(numPCs))
+	scores, err := pca.RescaledScores(ds.Raw, numPCs)
+	if err != nil {
+		return nil, fmt.Errorf("core: rescaled scores: %w", err)
+	}
+
+	k := cfg.NumClusters
+	if k >= scores.Rows {
+		return nil, fmt.Errorf("core: %d clusters need more than %d intervals", k, scores.Rows)
+	}
+	kopts := cfg.KMeans
+	if kopts.Seed == 0 {
+		kopts.Seed = cfg.Seed
+	}
+	logf("k-means: k=%d over %d intervals in %d dimensions (%d restarts)...",
+		k, scores.Rows, scores.Cols, max(1, kopts.Restarts))
+	cl, err := cluster.KMeans(scores, k, kopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	logf("clustering BIC %.1f, avg within-cluster distance %.3f", cl.BIC, cl.AvgWithinClusterDistance(scores))
+
+	res := &Result{
+		Config:   cfg,
+		Registry: reg,
+		Dataset:  ds,
+		PCA:      pca,
+		NumPCs:   numPCs,
+		Scores:   scores,
+		Clusters: cl,
+	}
+	res.Prominent = res.summarizeProminent(cfg.NumProminent)
+	res.Elapsed = time.Since(start)
+	logf("top-%d prominent phases cover %.1f%% of the workload (%.1fs)",
+		len(res.Prominent), 100*res.ProminentCoverage(), res.Elapsed.Seconds())
+	return res, nil
+}
+
+// summarizeProminent builds PhaseSummary values for the n heaviest
+// clusters.
+func (r *Result) summarizeProminent(n int) []PhaseSummary {
+	order := r.Clusters.ByWeight()
+	if n > len(order) {
+		n = len(order)
+	}
+	reps := r.Clusters.Representatives(r.Scores)
+	weights := r.Clusters.Weights()
+
+	// Per-benchmark sampled row counts, for BenchmarkFraction.
+	benchRows := map[string]int{}
+	for _, ref := range r.Dataset.Refs {
+		benchRows[ref.Bench.ID()]++
+	}
+
+	out := make([]PhaseSummary, 0, n)
+	for _, c := range order[:n] {
+		out = append(out, r.summarizeCluster(c, weights[c], reps[c], benchRows))
+	}
+	return out
+}
+
+func (r *Result) summarizeCluster(c int, weight float64, rep int, benchRows map[string]int) PhaseSummary {
+	counts := map[string]int{}
+	suites := map[bench.Suite]bool{}
+	suiteOf := map[string]bench.Suite{}
+	total := 0
+	for i, ref := range r.Dataset.Refs {
+		if r.Clusters.Assignments[i] != c {
+			continue
+		}
+		id := ref.Bench.ID()
+		counts[id]++
+		suites[ref.Bench.Suite] = true
+		suiteOf[id] = ref.Bench.Suite
+		total++
+	}
+	kind := Mixed
+	switch {
+	case len(counts) == 1:
+		kind = BenchmarkSpecific
+	case len(suites) == 1:
+		kind = SuiteSpecific
+	}
+	var comp []BenchShare
+	for id, cnt := range counts {
+		comp = append(comp, BenchShare{
+			BenchID:           id,
+			Suite:             suiteOf[id],
+			ClusterShare:      float64(cnt) / float64(max(total, 1)),
+			BenchmarkFraction: float64(cnt) / float64(max(benchRows[id], 1)),
+		})
+	}
+	sort.Slice(comp, func(a, b int) bool {
+		if comp[a].ClusterShare != comp[b].ClusterShare {
+			return comp[a].ClusterShare > comp[b].ClusterShare
+		}
+		return comp[a].BenchID < comp[b].BenchID
+	})
+	ps := PhaseSummary{
+		Cluster:     c,
+		Weight:      weight,
+		Kind:        kind,
+		Composition: comp,
+	}
+	if rep >= 0 {
+		ps.Representative = r.Dataset.Refs[rep]
+		ps.RepVector = append([]float64(nil), r.Dataset.Raw.Row(rep)...)
+	}
+	return ps
+}
+
+// ProminentCoverage returns the summed weight of the prominent phases (the
+// paper reports 87.8% for its top 100 of 300).
+func (r *Result) ProminentCoverage() float64 {
+	var s float64
+	for _, p := range r.Prominent {
+		s += p.Weight
+	}
+	return s
+}
+
+// ProminentRawMatrix returns the prominent phases' representative raw
+// characteristic vectors as a matrix (one row per prominent phase), the
+// input to the genetic algorithm and the kiviat plots.
+func (r *Result) ProminentRawMatrix() *stats.Matrix {
+	m := stats.NewMatrix(len(r.Prominent), r.Dataset.Raw.Cols)
+	for i, p := range r.Prominent {
+		copy(m.Row(i), p.RepVector)
+	}
+	return m
+}
+
+// SelectKeyCharacteristics runs the genetic algorithm over the prominent
+// phases to select `count` key characteristics (section 2.7, Table 2).
+func (r *Result) SelectKeyCharacteristics(count int) (ga.Selection, error) {
+	fitness, err := ga.DistanceFitness(r.ProminentRawMatrix(), r.Config.MinPCStd)
+	if err != nil {
+		return ga.Selection{}, err
+	}
+	cfg := r.Config.GA
+	cfg.TargetCount = count
+	if cfg.Seed == 0 {
+		cfg.Seed = r.Config.Seed
+	}
+	return ga.Run(r.Dataset.Raw.Cols, fitness, cfg)
+}
+
+// SweepKeyCharacteristics reproduces Figure 1: the best distance
+// correlation at each retained-characteristic count.
+func (r *Result) SweepKeyCharacteristics(counts []int) ([]ga.SweepResult, error) {
+	fitness, err := ga.DistanceFitness(r.ProminentRawMatrix(), r.Config.MinPCStd)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.Config.GA
+	if cfg.Seed == 0 {
+		cfg.Seed = r.Config.Seed
+	}
+	return ga.Sweep(r.Dataset.Raw.Cols, fitness, counts, cfg)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

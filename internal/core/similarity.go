@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+// Suite-to-suite similarity and benchmark-drift analyses. These extend the
+// paper's section 5 analyses along the lines of its related work: Joshi,
+// Phansalkar, Eeckhout & John measure benchmark similarity from inherent
+// characteristics; Yi, Vandierendonck, Eeckhout & Lilja study benchmark
+// drift between suite generations. Both drop out of the phase clustering
+// almost for free.
+
+// SharedCoverage returns the fraction of suite a's sampled execution that
+// lives in clusters also containing intervals of suite b. It is
+// directional: a niche suite can be fully covered by a broad one while
+// covering little of it in return.
+func (r *Result) SharedCoverage(a, b bench.Suite) float64 {
+	hasB := map[int]bool{}
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.Suite == b {
+			hasB[r.Clusters.Assignments[i]] = true
+		}
+	}
+	shared, total := 0, 0
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.Suite != a {
+			continue
+		}
+		total++
+		if hasB[r.Clusters.Assignments[i]] {
+			shared++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(shared) / float64(total)
+}
+
+// SimilarityMatrix returns the directional shared-coverage matrix over the
+// given suites: element (i, j) is SharedCoverage(suites[i], suites[j]).
+// Diagonal entries are 1 by construction.
+func (r *Result) SimilarityMatrix(suites []bench.Suite) *stats.Matrix {
+	m := stats.NewMatrix(len(suites), len(suites))
+	for i, a := range suites {
+		for j, b := range suites {
+			if i == j {
+				m.Set(i, j, 1)
+				continue
+			}
+			m.Set(i, j, r.SharedCoverage(a, b))
+		}
+	}
+	return m
+}
+
+// SuiteCentroidDistance returns the Euclidean distance between two suites'
+// centroids in the rescaled-PCA space — a coarse single-number dissimilarity.
+func (r *Result) SuiteCentroidDistance(a, b bench.Suite) float64 {
+	ca, na := r.suiteCentroid(a)
+	cb, nb := r.suiteCentroid(b)
+	if na == 0 || nb == 0 {
+		return math.NaN()
+	}
+	return stats.EuclideanDistance(ca, cb)
+}
+
+func (r *Result) suiteCentroid(s bench.Suite) ([]float64, int) {
+	c := make([]float64, r.Scores.Cols)
+	n := 0
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.Suite != s {
+			continue
+		}
+		row := r.Scores.Row(i)
+		for j := range c {
+			c[j] += row[j]
+		}
+		n++
+	}
+	if n > 0 {
+		for j := range c {
+			c[j] /= float64(n)
+		}
+	}
+	return c, n
+}
+
+// Drift quantifies behaviour change between two suite generations (e.g.
+// SPECint2000 → SPECint2006), following the "benchmark drift" notion of
+// the paper's reference [27]:
+//
+//   - Retained: fraction of the old suite's behaviour still exercised by
+//     the new suite (old intervals in clusters shared with the new suite);
+//   - New: fraction of the new suite's behaviour absent from the old one.
+type Drift struct {
+	Old, New bench.Suite
+	// Retained is SharedCoverage(Old, New).
+	Retained float64
+	// NewBehavior is 1 - SharedCoverage(New, Old).
+	NewBehavior float64
+	// CentroidShift is the distance between the suites' centroids in the
+	// rescaled-PCA space.
+	CentroidShift float64
+}
+
+// DriftBetween computes the drift from an old to a new suite generation.
+func (r *Result) DriftBetween(old, niu bench.Suite) (Drift, error) {
+	for _, s := range []bench.Suite{old, niu} {
+		if _, n := r.suiteCentroid(s); n == 0 {
+			return Drift{}, fmt.Errorf("core: suite %q not in the dataset", s)
+		}
+	}
+	return Drift{
+		Old:           old,
+		New:           niu,
+		Retained:      r.SharedCoverage(old, niu),
+		NewBehavior:   1 - r.SharedCoverage(niu, old),
+		CentroidShift: r.SuiteCentroidDistance(old, niu),
+	}, nil
+}

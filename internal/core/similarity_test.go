@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func similarityResult(t *testing.T) *Result {
+	t.Helper()
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.SamplesPerBenchmark = 16
+	res, err := Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSharedCoverageBounds(t *testing.T) {
+	res := similarityResult(t)
+	for _, a := range []bench.Suite{"SuiteA", "SuiteB"} {
+		for _, b := range []bench.Suite{"SuiteA", "SuiteB"} {
+			v := res.SharedCoverage(a, b)
+			if v < 0 || v > 1 {
+				t.Fatalf("SharedCoverage(%s,%s) = %v", a, b, v)
+			}
+		}
+	}
+	// Self-coverage is 1 by definition.
+	if got := res.SharedCoverage("SuiteA", "SuiteA"); got != 1 {
+		t.Fatalf("self shared coverage = %v", got)
+	}
+	// Unknown suites share nothing.
+	if got := res.SharedCoverage("nope", "SuiteA"); got != 0 {
+		t.Fatalf("unknown suite coverage = %v", got)
+	}
+}
+
+func TestSharedCoverageAsymmetry(t *testing.T) {
+	// SuiteB (pure streaming) is largely covered by SuiteA (which has a
+	// streaming phase in s2), while SuiteA's serial phases are foreign to
+	// SuiteB: coverage must be directional.
+	res := similarityResult(t)
+	ab := res.SharedCoverage("SuiteA", "SuiteB")
+	ba := res.SharedCoverage("SuiteB", "SuiteA")
+	if ba < ab {
+		t.Fatalf("expected SuiteB more covered by SuiteA than vice versa: a->b %v, b->a %v", ab, ba)
+	}
+	if ba < 0.2 {
+		t.Fatalf("streaming suite barely covered (%v) despite shared streaming phase", ba)
+	}
+}
+
+func TestSimilarityMatrix(t *testing.T) {
+	res := similarityResult(t)
+	suites := []bench.Suite{"SuiteA", "SuiteB"}
+	m := res.SimilarityMatrix(suites)
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Fatal("diagonal not 1")
+	}
+	if m.At(0, 1) != res.SharedCoverage("SuiteA", "SuiteB") {
+		t.Fatal("off-diagonal mismatch")
+	}
+}
+
+func TestSuiteCentroidDistance(t *testing.T) {
+	res := similarityResult(t)
+	d := res.SuiteCentroidDistance("SuiteA", "SuiteB")
+	if math.IsNaN(d) || d <= 0 {
+		t.Fatalf("centroid distance = %v", d)
+	}
+	if res.SuiteCentroidDistance("SuiteA", "SuiteA") != 0 {
+		t.Fatal("self centroid distance nonzero")
+	}
+	if !math.IsNaN(res.SuiteCentroidDistance("SuiteA", "nope")) {
+		t.Fatal("unknown suite centroid distance not NaN")
+	}
+}
+
+func TestDriftBetween(t *testing.T) {
+	res := similarityResult(t)
+	d, err := res.DriftBetween("SuiteA", "SuiteB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Retained < 0 || d.Retained > 1 || d.NewBehavior < 0 || d.NewBehavior > 1 {
+		t.Fatalf("drift out of range: %+v", d)
+	}
+	if d.CentroidShift <= 0 {
+		t.Fatalf("centroid shift %v", d.CentroidShift)
+	}
+	if _, err := res.DriftBetween("SuiteA", "nope"); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	res := similarityResult(t)
+	export := res.BuildExport()
+	if len(export.MetricNames) != 69 {
+		t.Fatalf("export has %d metric names", len(export.MetricNames))
+	}
+	if len(export.Suites) != 2 {
+		t.Fatalf("export has %d suites", len(export.Suites))
+	}
+	if len(export.Prominent) != len(res.Prominent) {
+		t.Fatalf("export has %d prominent phases, result %d", len(export.Prominent), len(res.Prominent))
+	}
+	for _, s := range export.Suites {
+		if s.Coverage < 1 || s.UniqueFraction < 0 || s.UniqueFraction > 1 {
+			t.Fatalf("export suite malformed: %+v", s)
+		}
+	}
+	var buf testWriter
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) < 200 {
+		t.Fatalf("JSON suspiciously short: %d bytes", len(buf))
+	}
+}
+
+type testWriter []byte
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

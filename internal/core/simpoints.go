@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The paper's practical implication (section 5.3): because phases recur
+// within and across benchmarks, simulating one representative interval per
+// phase-cluster — weighted by the cluster's share of the benchmark —
+// approximates the benchmark's full behaviour at a fraction of the cost
+// (the SimPoint idea of Sherwood et al., and the cross-benchmark variant of
+// Eeckhout et al., both discussed in section 6).
+
+// SimPoint is one selected simulation point for a benchmark.
+type SimPoint struct {
+	// Ref is the selected representative interval.
+	Ref IntervalRef
+	// Cluster is the global phase cluster the point represents.
+	Cluster int
+	// Weight is the fraction of the benchmark's sampled execution the
+	// point stands for.
+	Weight float64
+}
+
+// SimulationPoints selects up to maxPoints representative intervals for a
+// benchmark from the global clustering: the benchmark's most-populated
+// clusters, each represented by the benchmark's own interval closest to
+// the cluster center, weighted by the cluster's share of the benchmark.
+// Weights are renormalized over the selected points.
+func (r *Result) SimulationPoints(benchID string, maxPoints int) ([]SimPoint, error) {
+	if maxPoints < 1 {
+		return nil, fmt.Errorf("core: maxPoints %d < 1", maxPoints)
+	}
+	// Collect the benchmark's rows per cluster.
+	rows := map[int][]int{}
+	total := 0
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.ID() != benchID {
+			continue
+		}
+		c := r.Clusters.Assignments[i]
+		rows[c] = append(rows[c], i)
+		total++
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: benchmark %q not in the dataset", benchID)
+	}
+
+	clusters := make([]int, 0, len(rows))
+	for c := range rows {
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		if len(rows[clusters[a]]) != len(rows[clusters[b]]) {
+			return len(rows[clusters[a]]) > len(rows[clusters[b]])
+		}
+		return clusters[a] < clusters[b]
+	})
+	if len(clusters) > maxPoints {
+		clusters = clusters[:maxPoints]
+	}
+
+	var points []SimPoint
+	var covered float64
+	for _, c := range clusters {
+		// The benchmark's own row closest to the cluster center.
+		best, bestD := -1, math.Inf(1)
+		center := r.Clusters.Centers.Row(c)
+		for _, i := range rows[c] {
+			d := euclid(r.Scores.Row(i), center)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		w := float64(len(rows[c])) / float64(total)
+		covered += w
+		points = append(points, SimPoint{Ref: r.Dataset.Refs[best], Cluster: c, Weight: w})
+	}
+	// Renormalize over the selected points so weights sum to 1.
+	if covered > 0 {
+		for i := range points {
+			points[i].Weight /= covered
+		}
+	}
+	return points, nil
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SimPointAccuracy compares the weighted characteristic estimate from the
+// simulation points against the benchmark's true average over all sampled
+// intervals. It returns the mean relative error across characteristics
+// (characteristics whose true average is ~0 are compared absolutely).
+func (r *Result) SimPointAccuracy(benchID string, points []SimPoint) (float64, error) {
+	cols := r.Dataset.Raw.Cols
+	truth := make([]float64, cols)
+	n := 0
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.ID() != benchID {
+			continue
+		}
+		row := r.Dataset.Raw.Row(i)
+		for j := range truth {
+			truth[j] += row[j]
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: benchmark %q not in the dataset", benchID)
+	}
+	for j := range truth {
+		truth[j] /= float64(n)
+	}
+
+	est := make([]float64, cols)
+	for _, p := range points {
+		// Locate the row index of the representative.
+		found := false
+		for i, ref := range r.Dataset.Refs {
+			if ref.Bench.ID() == p.Ref.Bench.ID() && ref.Index == p.Ref.Index {
+				row := r.Dataset.Raw.Row(i)
+				for j := range est {
+					est[j] += p.Weight * row[j]
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("core: simulation point %s not in the dataset", p.Ref)
+		}
+	}
+
+	var errSum float64
+	for j := range truth {
+		diff := math.Abs(est[j] - truth[j])
+		if math.Abs(truth[j]) > 1e-6 {
+			errSum += diff / math.Abs(truth[j])
+		} else {
+			errSum += diff
+		}
+	}
+	return errSum / float64(cols), nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulationPoints(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s2 has two distinct phases; its simulation points should cover both.
+	points, err := res.SimulationPoints("SuiteA/s2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no simulation points selected")
+	}
+	var total float64
+	phases := map[string]bool{}
+	for _, p := range points {
+		if p.Ref.Bench.ID() != "SuiteA/s2" {
+			t.Fatalf("simulation point from foreign benchmark %s", p.Ref.Bench.ID())
+		}
+		if p.Weight <= 0 || p.Weight > 1 {
+			t.Fatalf("point weight %v", p.Weight)
+		}
+		total += p.Weight
+		phases[p.Ref.PhaseName()] = true
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", total)
+	}
+	if len(phases) < 2 {
+		t.Fatalf("simulation points cover only phases %v; s2 has two distinct ones", phases)
+	}
+}
+
+func TestSimulationPointsMaxPointsRespected(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := res.SimulationPoints("SuiteA/s2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("maxPoints=1 returned %d points", len(points))
+	}
+	if math.Abs(points[0].Weight-1) > 1e-9 {
+		t.Fatalf("single point weight %v, want 1 after renormalization", points[0].Weight)
+	}
+}
+
+func TestSimulationPointsValidation(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.SimulationPoints("nope/x", 3); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := res.SimulationPoints("SuiteA/s1", 0); err == nil {
+		t.Fatal("zero maxPoints accepted")
+	}
+}
+
+func TestSimPointAccuracyImprovesWithPoints(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.SamplesPerBenchmark = 20
+	cfg.NumClusters = 10
+	cfg.NumProminent = 10
+	res, err := Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := res.SimulationPoints("SuiteA/s2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := res.SimulationPoints("SuiteA/s2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOne, err := res.SimPointAccuracy("SuiteA/s2", one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errMany, err := res.SimPointAccuracy("SuiteA/s2", many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s2 alternates between two very different phases: a single point
+	// cannot represent both, several points can.
+	if errMany > errOne {
+		t.Fatalf("more simulation points worsened accuracy: %v -> %v", errOne, errMany)
+	}
+	if errMany > 0.5 {
+		t.Fatalf("multi-point estimate error %v suspiciously high", errMany)
+	}
+}
+
+func TestSimPointAccuracyValidation(t *testing.T) {
+	reg := miniRegistry(t)
+	res, err := Run(reg, miniConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.SimPointAccuracy("nope/x", nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	points, err := res.SimulationPoints("SuiteA/s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point referencing an interval outside the dataset must error.
+	bad := points
+	bad[0].Ref.Index = 99999
+	if _, err := res.SimPointAccuracy("SuiteA/s1", bad); err == nil {
+		t.Fatal("foreign simulation point accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bench"
+)
+
+// The suite-level analyses of section 5 operate on all clusters (not just
+// the prominent ones), exactly as the paper does.
+
+// SuiteCoverage returns, per suite, how many of the clusters contain at
+// least one of the suite's sampled intervals — the workload-space coverage
+// of Figure 4.
+func (r *Result) SuiteCoverage() map[bench.Suite]int {
+	seen := map[bench.Suite]map[int]bool{}
+	for i, ref := range r.Dataset.Refs {
+		s := ref.Bench.Suite
+		if seen[s] == nil {
+			seen[s] = map[int]bool{}
+		}
+		seen[s][r.Clusters.Assignments[i]] = true
+	}
+	out := map[bench.Suite]int{}
+	for s, m := range seen {
+		out[s] = len(m)
+	}
+	return out
+}
+
+// CumulativeCoverage returns, for one suite, the cumulative fraction of the
+// suite's sampled intervals represented by its 1, 2, 3, ... most-populated
+// clusters — one curve of Figure 5. A lower curve means more clusters are
+// needed for a given coverage, i.e. higher diversity.
+func (r *Result) CumulativeCoverage(s bench.Suite) []float64 {
+	counts := map[int]int{}
+	total := 0
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.Suite != s {
+			continue
+		}
+		counts[r.Clusters.Assignments[i]]++
+		total++
+	}
+	if total == 0 {
+		return nil
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	out := make([]float64, len(sizes))
+	cum := 0
+	for i, c := range sizes {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// ClustersFor returns how many clusters are needed to reach the given
+// cumulative coverage of the suite (e.g. 0.8 -> "about 20 clusters cover
+// 80% of SPECfp2006").
+func (r *Result) ClustersFor(s bench.Suite, coverage float64) int {
+	curve := r.CumulativeCoverage(s)
+	for i, c := range curve {
+		if c >= coverage {
+			return i + 1
+		}
+	}
+	return len(curve)
+}
+
+// UniqueFraction returns, per suite, the fraction of the suite's sampled
+// execution that lives in clusters containing data from that suite only
+// (benchmark-specific or suite-specific clusters) — Figure 6.
+func (r *Result) UniqueFraction() map[bench.Suite]float64 {
+	clusterSuites := map[int]map[bench.Suite]bool{}
+	for i, ref := range r.Dataset.Refs {
+		c := r.Clusters.Assignments[i]
+		if clusterSuites[c] == nil {
+			clusterSuites[c] = map[bench.Suite]bool{}
+		}
+		clusterSuites[c][ref.Bench.Suite] = true
+	}
+	uniqueRows := map[bench.Suite]int{}
+	totalRows := map[bench.Suite]int{}
+	for i, ref := range r.Dataset.Refs {
+		s := ref.Bench.Suite
+		totalRows[s]++
+		if len(clusterSuites[r.Clusters.Assignments[i]]) == 1 {
+			uniqueRows[s]++
+		}
+	}
+	out := map[bench.Suite]float64{}
+	for s, total := range totalRows {
+		out[s] = float64(uniqueRows[s]) / float64(total)
+	}
+	return out
+}
+
+// BenchmarkFractionInCluster returns the fraction of a benchmark's sampled
+// execution represented by cluster c.
+func (r *Result) BenchmarkFractionInCluster(benchID string, c int) float64 {
+	in, total := 0, 0
+	for i, ref := range r.Dataset.Refs {
+		if ref.Bench.ID() != benchID {
+			continue
+		}
+		total++
+		if r.Clusters.Assignments[i] == c {
+			in++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// KindBreakdown counts all clusters (not only prominent ones) by kind.
+func (r *Result) KindBreakdown() map[PhaseKind]int {
+	clusterBenches := map[int]map[string]bool{}
+	clusterSuites := map[int]map[bench.Suite]bool{}
+	for i, ref := range r.Dataset.Refs {
+		c := r.Clusters.Assignments[i]
+		if clusterBenches[c] == nil {
+			clusterBenches[c] = map[string]bool{}
+			clusterSuites[c] = map[bench.Suite]bool{}
+		}
+		clusterBenches[c][ref.Bench.ID()] = true
+		clusterSuites[c][ref.Bench.Suite] = true
+	}
+	out := map[PhaseKind]int{}
+	for c, benches := range clusterBenches {
+		switch {
+		case len(benches) == 1:
+			out[BenchmarkSpecific]++
+		case len(clusterSuites[c]) == 1:
+			out[SuiteSpecific]++
+		default:
+			out[Mixed]++
+		}
+	}
+	return out
+}

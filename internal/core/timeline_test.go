@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func timelineConfig() Config {
+	cfg := miniConfig()
+	cfg.IntervalLength = 2500
+	cfg.MaxIntervalsPerBenchmark = 24
+	return cfg
+}
+
+func TestTimelineDetectsTwoPhases(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteA/s2") // half serial, half streaming
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := AnalyzeTimeline(b, timelineConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.NumPhases < 2 {
+		t.Fatalf("detected %d phases in a two-phase benchmark (strip %s)", tl.NumPhases, tl.Strip())
+	}
+	// Sequential layout: whatever sub-phases BIC carves out, the halves
+	// must not share them — the serial and streaming behaviours are far
+	// apart. Check that no detected phase spans both halves much.
+	half := len(tl.Phases) / 2
+	first := map[int]int{}
+	second := map[int]int{}
+	for i, p := range tl.Phases {
+		if i < half {
+			first[p]++
+		} else {
+			second[p]++
+		}
+	}
+	for p, n1 := range first {
+		n2 := second[p]
+		if n1 >= 3 && n2 >= 3 {
+			t.Fatalf("phase %d spans both halves (%d/%d): %s", p, n1, n2, tl.Strip())
+		}
+	}
+}
+
+func TestTimelineSinglePhaseBenchmark(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteB/f1") // one homogeneous phase
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := AnalyzeTimeline(b, timelineConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BIC should not shatter a homogeneous benchmark into many phases.
+	if tl.NumPhases > 3 {
+		t.Fatalf("homogeneous benchmark split into %d phases: %s", tl.NumPhases, tl.Strip())
+	}
+}
+
+func TestTimelineStripAndShares(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteA/s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := AnalyzeTimeline(b, timelineConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := tl.Strip()
+	if len(strip) != len(tl.Phases) {
+		t.Fatalf("strip length %d for %d intervals", len(strip), len(tl.Phases))
+	}
+	if !strings.HasPrefix(strip, "A") {
+		t.Fatalf("strip must start with phase A: %s", strip)
+	}
+	shares := tl.PhaseShares()
+	var sum float64
+	for _, s := range shares {
+		if s <= 0 {
+			t.Fatalf("empty phase in shares %v", shares)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestTimelinePhaseMeansDiffer(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteA/s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := AnalyzeTimeline(b, timelineConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.NumPhases < 2 {
+		t.Skip("needs at least two detected phases")
+	}
+	means := tl.PhaseMeans()
+	// The serial and streaming phases differ hugely; their mean vectors
+	// must be far apart in at least some metric.
+	var maxDiff float64
+	for j := 0; j < means.Cols; j++ {
+		d := math.Abs(means.At(0, j) - means.At(1, j))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.05 {
+		t.Fatalf("phase means indistinguishable (max diff %v)", maxDiff)
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteA/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeTimeline(b, timelineConfig(), 0); err == nil {
+		t.Fatal("zero maxPhases accepted")
+	}
+	bad := timelineConfig()
+	bad.IntervalLength = 1
+	if _, err := AnalyzeTimeline(b, bad, 4); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

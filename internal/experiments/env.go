@@ -1,0 +1,151 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Tables 1–3, Figures 1–6) plus the ablations implied
+// by the methodology discussion (aggregate-vs-phase characterization,
+// coverage/variability k trade-off, interval sampling). Each runner
+// produces a textual report and, when an output directory is configured,
+// SVG/CSV artifacts.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ga"
+)
+
+// Env carries shared state across experiment runners: the benchmark
+// registry, the pipeline configuration, and lazily computed results that
+// several experiments reuse (the pipeline run, the GA selection).
+type Env struct {
+	Registry *bench.Registry
+	Config   core.Config
+	// OutDir receives SVG/CSV artifacts; empty disables file output.
+	OutDir string
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	result    *core.Result
+	selection *ga.Selection
+}
+
+// NewEnv builds an experiment environment.
+func NewEnv(reg *bench.Registry, cfg core.Config, outDir string, logf func(string, ...any)) *Env {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Env{Registry: reg, Config: cfg, OutDir: outDir, Logf: logf}
+}
+
+// Result runs the pipeline once and caches it.
+func (e *Env) Result() (*core.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.result != nil {
+		return e.result, nil
+	}
+	res, err := core.Run(e.Registry, e.Config, e.Logf)
+	if err != nil {
+		return nil, err
+	}
+	e.result = res
+	return res, nil
+}
+
+// KeySelection runs the GA once at the configured cardinality and caches
+// the selection.
+func (e *Env) KeySelection() (ga.Selection, error) {
+	if _, err := e.Result(); err != nil {
+		return ga.Selection{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.selection != nil {
+		return *e.selection, nil
+	}
+	count := e.Config.KeyCharacteristics
+	e.Logf("GA: selecting %d key characteristics...", count)
+	sel, err := e.result.SelectKeyCharacteristics(count)
+	if err != nil {
+		return ga.Selection{}, err
+	}
+	e.selection = &sel
+	return sel, nil
+}
+
+// WriteArtifact stores content under OutDir (no-op when OutDir is empty)
+// and returns the written path ("" if disabled).
+func (e *Env) WriteArtifact(name, content string) (string, error) {
+	if e.OutDir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(e.OutDir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: creating %s: %w", e.OutDir, err)
+	}
+	path := filepath.Join(e.OutDir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: writing %s: %w", path, err)
+	}
+	e.Logf("wrote %s", path)
+	return path, nil
+}
+
+// Experiment is one registered runner.
+type Experiment struct {
+	// ID is the CLI subcommand, e.g. "fig4".
+	ID string
+	// Title describes the paper artifact it regenerates.
+	Title string
+	// Run produces the textual report.
+	Run func(*Env) (string, error)
+}
+
+// All returns the registered experiments in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: the 69 microarchitecture-independent characteristics", Table1},
+		{"table2", "Table 2: key characteristics retained by the genetic algorithm", Table2},
+		{"table3", "Table 3: benchmarks and interval counts", Table3},
+		{"fig1", "Figure 1: distance correlation vs number of retained characteristics", Fig1},
+		{"fig23", "Figures 2-3: kiviat plots of the prominent phase behaviors", Fig23},
+		{"fig4", "Figure 4: workload space coverage per benchmark suite", Fig4},
+		{"fig5", "Figure 5: cumulative coverage per benchmark suite (diversity)", Fig5},
+		{"fig6", "Figure 6: fraction of unique behavior per benchmark suite", Fig6},
+		{"casestudies", "Section 4.2: the astar / hmmer / grappa case studies", CaseStudies},
+		{"ablation-aggregate", "Section 2.1: aggregate vs phase-level characterization", AblationAggregate},
+		{"ablation-k", "Section 2.6: coverage vs within-cluster variability trade-off", AblationK},
+		{"ablation-sampling", "Section 2.4: effect of per-benchmark interval sampling", AblationSampling},
+		{"ablation-granularity", "Section 2.9: stability across interval granularities", AblationGranularity},
+		{"ablation-uarch", "Sections 2.3/6.2: dependent metrics change with the machine", AblationUarch},
+		{"similarity", "Extension: suite-to-suite shared-coverage matrix", Similarity},
+		{"drift", "Extension: benchmark drift between SPEC CPU generations", DriftExperiment},
+		{"dendrogram", "Extension: benchmark-similarity dendrogram (average linkage)", Dendrogram},
+		{"validation-phases", "Validation: detected phases vs modelled ground truth", ValidationPhases},
+		{"validation-generator", "Validation: generator fidelity against the behaviour models", ValidationGenerator},
+		{"validation-convergence", "Validation: characteristic convergence vs interval length", ValidationConvergence},
+	}
+}
+
+// ByID finds an experiment runner.
+func ByID(id string) (Experiment, bool) {
+	for _, x := range All() {
+		if x.ID == id {
+			return x, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// csvJoin renders one CSV line.
+func csvJoin(fields ...string) string { return strings.Join(fields, ",") + "\n" }
+
+// sortedSuites returns the canonical suite order restricted to the
+// registry.
+func (e *Env) sortedSuites() []bench.Suite {
+	return e.Registry.SuiteNames()
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// testEnv builds one shared Env over the full standard registry at a tiny
+// scale; the pipeline result is computed once and reused by every subtest.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.TestConfig()
+	cfg.IntervalLength = 1200
+	cfg.SamplesPerBenchmark = 6
+	cfg.MaxIntervalsPerBenchmark = 10
+	cfg.NumClusters = 60
+	cfg.NumProminent = 24
+	cfg.KeyCharacteristics = 6
+	return NewEnv(reg, cfg, t.TempDir(), nil)
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	env := testEnv(t)
+	wantArtifacts := map[string][]string{
+		"table1":     {"table1.csv"},
+		"table2":     {"table2.csv"},
+		"table3":     {"table3.csv"},
+		"fig1":       {"fig1.svg", "fig1.csv"},
+		"fig23":      {"fig23.svg"},
+		"fig4":       {"fig4.svg", "fig4.csv"},
+		"fig5":       {"fig5.svg", "fig5.csv"},
+		"fig6":       {"fig6.svg", "fig6.csv"},
+		"similarity": {"similarity.svg", "similarity.csv"},
+		"drift":      {"drift.csv"},
+		"dendrogram": {"dendrogram.svg"},
+	}
+	for _, x := range All() {
+		x := x
+		t.Run(x.ID, func(t *testing.T) {
+			report, err := x.Run(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(report) < 40 {
+				t.Fatalf("report suspiciously short:\n%s", report)
+			}
+			for _, f := range wantArtifacts[x.ID] {
+				path := filepath.Join(env.OutDir, f)
+				info, err := os.Stat(path)
+				if err != nil {
+					t.Fatalf("artifact %s missing: %v", f, err)
+				}
+				if info.Size() == 0 {
+					t.Fatalf("artifact %s empty", f)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("registered %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, x := range all {
+		if seen[x.ID] {
+			t.Fatalf("duplicate experiment id %q", x.ID)
+		}
+		seen[x.ID] = true
+		if x.Title == "" || x.Run == nil {
+			t.Fatalf("experiment %q incomplete", x.ID)
+		}
+	}
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("ByID(fig4) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	env := testEnv(t)
+	report, err := Table1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"instruction mix", "ILP", "branch predictability", "69"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	env := testEnv(t)
+	report, err := Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BioPerf", "grappa", "SPECfp2006", "77 benchmarks"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("table3 missing %q", want)
+		}
+	}
+}
+
+func TestAblationAggregateShowsDivergence(t *testing.T) {
+	env := testEnv(t)
+	report, err := AblationAggregate(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "aggregate memory-read fraction") {
+		t.Fatalf("ablation report malformed:\n%s", report)
+	}
+}
+
+func TestWriteArtifactDisabled(t *testing.T) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(reg, core.TestConfig(), "", nil)
+	path, err := env.WriteArtifact("x.txt", "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "" {
+		t.Fatal("artifact written with empty OutDir")
+	}
+}
+
+func TestEnvCachesResult(t *testing.T) {
+	env := testEnv(t)
+	a, err := env.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Result not cached")
+	}
+}
+
+func TestWriteGallery(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig4.svg"), []byte("<svg xmlns='x'>f4</svg>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fig4.csv"), []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGallery(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{"fig4.svg", "fig4.csv", "<svg"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("gallery missing %q", want)
+		}
+	}
+	if err := WriteGallery(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

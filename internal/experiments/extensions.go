@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mica"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+// Similarity computes the directional suite-similarity matrix (an
+// extension following the paper's related work on measuring benchmark
+// similarity from inherent characteristics): cell (a, b) is the fraction
+// of suite a's execution found in clusters shared with suite b.
+func Similarity(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	suites := e.sortedSuites()
+	m := res.SimilarityMatrix(suites)
+
+	labels := make([]string, len(suites))
+	values := make([][]float64, len(suites))
+	var csv strings.Builder
+	csv.WriteString(csvJoin("suite_a", "suite_b", "shared_coverage"))
+	for i, s := range suites {
+		labels[i] = string(s)
+		values[i] = make([]float64, len(suites))
+		for j := range suites {
+			values[i][j] = m.At(i, j)
+			csv.WriteString(csvJoin(string(suites[i]), string(suites[j]), fmt.Sprintf("%.4f", m.At(i, j))))
+		}
+	}
+	hm := viz.Heatmap{
+		Title:     "Suite similarity: fraction of row suite covered by column suite",
+		RowLabels: labels,
+		ColLabels: labels,
+		Values:    values,
+	}
+	svg, err := hm.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("similarity.svg", svg); err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("similarity.csv", csv.String()); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("Extension: suite-to-suite shared coverage\n")
+	b.WriteString("(cell = fraction of the row suite's execution in clusters shared with the column suite)\n\n")
+	b.WriteString(hm.ASCII())
+	b.WriteString("\nHigh row values against SPEC columns mean the row suite adds little new\n")
+	b.WriteString("behaviour; BioPerf's row stays low — the paper's uniqueness result from a\n")
+	b.WriteString("different angle.\n")
+	return b.String(), nil
+}
+
+// DriftExperiment quantifies behaviour drift from SPEC CPU2000 to CPU2006
+// (an extension following the paper's reference on benchmark drift).
+func DriftExperiment(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	pairs := [][2]bench.Suite{
+		{bench.SuiteSPECint2000, bench.SuiteSPECint2006},
+		{bench.SuiteSPECfp2000, bench.SuiteSPECfp2006},
+	}
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("old", "new", "retained", "new_behavior", "centroid_shift"))
+	b.WriteString("Extension: benchmark drift between SPEC CPU generations\n\n")
+	fmt.Fprintf(&b, "  %-13s %-13s %10s %14s %15s\n", "old", "new", "retained", "new behavior", "centroid shift")
+	for _, p := range pairs {
+		d, err := res.DriftBetween(p[0], p[1])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-13s %-13s %9.1f%% %13.1f%% %15.3f\n",
+			d.Old, d.New, 100*d.Retained, 100*d.NewBehavior, d.CentroidShift)
+		csv.WriteString(csvJoin(string(d.Old), string(d.New),
+			fmt.Sprintf("%.4f", d.Retained), fmt.Sprintf("%.4f", d.NewBehavior),
+			fmt.Sprintf("%.4f", d.CentroidShift)))
+	}
+	if _, err := e.WriteArtifact("drift.csv", csv.String()); err != nil {
+		return "", err
+	}
+	b.WriteString("\n'retained' = old-suite behaviour still exercised by the new generation;\n")
+	b.WriteString("'new behavior' = new-generation behaviour absent from the old one. Designing\n")
+	b.WriteString("for yesterday's suite forfeits exactly that new fraction — the drift argument.\n")
+	return b.String(), nil
+}
+
+// Dendrogram builds the benchmark-similarity tree: each benchmark is
+// placed at its centroid in the rescaled-PCA space and clustered
+// hierarchically with average linkage — the workload-design methodology of
+// the paper's precursor work (reference [9]).
+func Dendrogram(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	// Per-benchmark centroids over the sampled rows.
+	benches := res.Registry.All()
+	idx := map[string]int{}
+	labels := make([]string, len(benches))
+	for i, b := range benches {
+		idx[b.ID()] = i
+		labels[i] = b.ID()
+	}
+	centroids := stats.NewMatrix(len(benches), res.Scores.Cols)
+	counts := make([]int, len(benches))
+	for i, ref := range res.Dataset.Refs {
+		bi := idx[ref.Bench.ID()]
+		row := res.Scores.Row(i)
+		dst := centroids.Row(bi)
+		for j := range row {
+			dst[j] += row[j]
+		}
+		counts[bi]++
+	}
+	for bi := range benches {
+		if counts[bi] == 0 {
+			continue
+		}
+		dst := centroids.Row(bi)
+		for j := range dst {
+			dst[j] /= float64(counts[bi])
+		}
+	}
+
+	link, err := cluster.Hierarchical(centroids)
+	if err != nil {
+		return "", err
+	}
+
+	merges := make([]viz.DendroMerge, len(link.Merges))
+	for i, m := range link.Merges {
+		merges[i] = viz.DendroMerge{A: m.A, B: m.B, Distance: m.Distance}
+	}
+	dg := viz.Dendrogram{
+		Title:     "Benchmark similarity dendrogram (average linkage, rescaled-PCA space)",
+		Labels:    labels,
+		Merges:    merges,
+		LeafOrder: link.LeafOrder(),
+	}
+	svg, err := dg.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("dendrogram.svg", svg); err != nil {
+		return "", err
+	}
+
+	// Report: cut into 12 groups and list them.
+	k := 12
+	if k > len(benches) {
+		k = len(benches)
+	}
+	cutLabels, err := link.CutK(k)
+	if err != nil {
+		return "", err
+	}
+	groups := map[int][]string{}
+	for bi, c := range cutLabels {
+		groups[c] = append(groups[c], labels[bi])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: benchmark dendrogram, cut into %d groups\n\n", k)
+	for c := 0; c < k; c++ {
+		members := groups[c]
+		sort.Strings(members)
+		fmt.Fprintf(&b, "  group %2d (%2d): %s\n", c+1, len(members), strings.Join(members, " "))
+	}
+	// Cophenetic fidelity of the tree.
+	coph := link.CopheneticDistances()
+	orig := stats.PairwiseDistances(centroids)
+	fmt.Fprintf(&b, "\ncophenetic correlation: %.3f\n", stats.Pearson(coph, orig))
+	b.WriteString("Programs sharing kernels (the cross-suite twins) land in the same branch;\n")
+	b.WriteString("cutting the tree is the paper's precursor method for picking representative\n")
+	b.WriteString("benchmarks.\n")
+	return b.String(), nil
+}
+
+// ValidationPhases exploits what the paper could not have: ground truth.
+// Every synthetic benchmark has a known number of modelled phases, so
+// SimPoint-style phase detection (core.AnalyzeTimeline) can be scored
+// against it — a validation that the methodology recovers real phase
+// structure rather than artefacts.
+func ValidationPhases(e *Env) (string, error) {
+	cfg := e.Config
+	// Phase detection needs low measurement noise per interval: keep the
+	// configured interval length but few intervals per benchmark.
+	cfg.IntervalLength = max(8000, cfg.IntervalLength)
+	cfg.MaxIntervalsPerBenchmark = 24
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("benchmark", "modeled_phases", "detected_phases", "transitions"))
+	b.WriteString("Validation: detected phases vs modelled ground truth\n\n")
+
+	type row struct {
+		id       string
+		modeled  int
+		detected int
+		trans    int
+	}
+	var rows []row
+	for _, bm := range e.Registry.All() {
+		tl, err := core.AnalyzeTimeline(bm, cfg, 6)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, row{bm.ID(), len(bm.Phases), tl.NumPhases, tl.Transitions})
+		csv.WriteString(csvJoin(bm.ID(), fmt.Sprint(len(bm.Phases)), fmt.Sprint(tl.NumPhases), fmt.Sprint(tl.Transitions)))
+	}
+
+	// Score: multi-phase benchmarks should be detected as multi-phase;
+	// single-phase ones should not shatter badly.
+	multiOK, multiTotal := 0, 0
+	singleOK, singleTotal := 0, 0
+	for _, r := range rows {
+		if r.modeled > 1 {
+			multiTotal++
+			if r.detected > 1 {
+				multiOK++
+			}
+		} else {
+			singleTotal++
+			if r.detected <= 3 {
+				singleOK++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  multi-phase benchmarks detected as multi-phase: %d/%d\n", multiOK, multiTotal)
+	fmt.Fprintf(&b, "  single-phase benchmarks kept compact (<=3):     %d/%d\n", singleOK, singleTotal)
+	b.WriteString("\n  benchmark                      modeled detected transitions\n")
+	for _, r := range rows {
+		marker := " "
+		if (r.modeled > 1) != (r.detected > 1) {
+			marker = "!"
+		}
+		fmt.Fprintf(&b, "  %s %-28s %7d %8d %11d\n", marker, r.id, r.modeled, r.detected, r.trans)
+	}
+	if _, err := e.WriteArtifact("validation_phases.csv", csv.String()); err != nil {
+		return "", err
+	}
+	b.WriteString("\nRows marked '!' disagree with the ground truth. Detection runs at a\n")
+	b.WriteString("reduced interval length; BIC may legitimately split jittered single-phase\n")
+	b.WriteString("benchmarks into a few sub-phases or merge near-identical modelled phases.\n")
+	return b.String(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ValidationGenerator checks the measurement substrate itself: for every
+// phase of every benchmark model, it generates one interval and compares
+// the realized instruction mix and branch taken rate against the phase's
+// specification. Large deviations would mean the synthetic workloads do
+// not implement their own models.
+func ValidationGenerator(e *Env) (string, error) {
+	cfg := e.Config
+	length := max(20000, cfg.IntervalLength)
+
+	type worst struct {
+		phase string
+		value float64
+	}
+	var (
+		phases       int
+		mixDevSum    float64
+		worstMix     worst
+		takenDevSum  float64
+		worstTaken   worst
+		takenSamples int
+	)
+	analyzer := mica.NewAnalyzer()
+	for _, bm := range e.Registry.All() {
+		for pi := range bm.Phases {
+			beh := bm.Phases[pi].Behavior
+			beh.Jitter = 0 // validate the spec itself, not the jitter
+			analyzer.Reset()
+			err := trace.GenerateInterval(&beh, 1234, length, func(ins *isa.Instruction) {
+				analyzer.Record(ins)
+			})
+			if err != nil {
+				return "", err
+			}
+			v := analyzer.Vector()
+			phases++
+
+			mix, err := beh.Mix.Normalize()
+			if err != nil {
+				return "", err
+			}
+			var dev float64
+			for c := 0; c < isa.NumOpClasses; c++ {
+				d := v[mica.IdxMix+c] - mix[c]
+				if d < 0 {
+					d = -d
+				}
+				if d > dev {
+					dev = d
+				}
+			}
+			mixDevSum += dev
+			if dev > worstMix.value {
+				worstMix = worst{beh.Name, dev}
+			}
+
+			if v[mica.IdxMix+int(isa.OpBranchCond)] > 0.005 {
+				d := v[mica.IdxTakenRate] - beh.Branch.TakenBias
+				if d < 0 {
+					d = -d
+				}
+				takenDevSum += d
+				takenSamples++
+				if d > worstTaken.value {
+					worstTaken = worst{beh.Name, d}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Validation: generator fidelity (realized interval vs phase specification)\n\n")
+	fmt.Fprintf(&b, "  phases checked:                      %d\n", phases)
+	fmt.Fprintf(&b, "  mean worst-class mix deviation:      %.3f (worst %.3f in %s)\n",
+		mixDevSum/float64(phases), worstMix.value, worstMix.phase)
+	fmt.Fprintf(&b, "  mean branch taken-rate deviation:    %.3f (worst %.3f in %s)\n",
+		takenDevSum/float64(max(takenSamples, 1)), worstTaken.value, worstTaken.phase)
+	b.WriteString("\nDeviations stem from loop-frequency weighting of the static code and from\n")
+	b.WriteString("per-branch period rounding; both are small, so measured characteristics\n")
+	b.WriteString("track the behaviour models they were generated from.\n")
+	return b.String(), nil
+}
+
+// ValidationConvergence measures how quickly the 69-characteristic vector
+// stabilizes as the interval length grows, justifying the configured
+// granularity (the paper's section 2.9 discussion chooses 100M-instruction
+// intervals for simulation practicality; here the same analysis picks the
+// synthetic default).
+func ValidationConvergence(e *Env) (string, error) {
+	bm, err := e.Registry.Lookup("SPECint2006/astar")
+	if err != nil {
+		return "", err
+	}
+	lengths := []int{1000, 2000, 5000, 10000, 20000, 50000, 100000}
+	ref := lengths[len(lengths)-1]
+
+	measure := func(length int) ([]float64, error) {
+		analyzer := mica.NewAnalyzer()
+		total := bm.ScaledIntervals(e.Config.MaxIntervalsPerBenchmark)
+		err := trace.GenerateInterval(bm.BehaviorAt(0, total), bm.IntervalSeed(0), length,
+			func(ins *isa.Instruction) { analyzer.Record(ins) })
+		if err != nil {
+			return nil, err
+		}
+		return analyzer.Vector(), nil
+	}
+	refVec, err := measure(ref)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("interval_length", "mean_abs_deviation"))
+	b.WriteString("Validation: characteristic convergence vs interval length\n")
+	fmt.Fprintf(&b, "(deviation of bounded metrics from the %d-instruction reference, %s)\n\n", ref, bm.ID())
+	for _, n := range lengths[:len(lengths)-1] {
+		v, err := measure(n)
+		if err != nil {
+			return "", err
+		}
+		// Compare only bounded metrics (fractions/rates); footprints and
+		// ILP grow with interval length by definition.
+		var dev float64
+		var cnt int
+		for _, m := range mica.Metrics() {
+			if m.Category == mica.CatMemoryFootprint || m.Category == mica.CatILP {
+				continue
+			}
+			d := v[m.Index] - refVec[m.Index]
+			if d < 0 {
+				d = -d
+			}
+			dev += d
+			cnt++
+		}
+		dev /= float64(cnt)
+		fmt.Fprintf(&b, "  %7d instructions: mean abs deviation %.4f\n", n, dev)
+		csv.WriteString(csvJoin(fmt.Sprint(n), fmt.Sprintf("%.5f", dev)))
+	}
+	if _, err := e.WriteArtifact("validation_convergence.csv", csv.String()); err != nil {
+		return "", err
+	}
+	b.WriteString("\nDistributional characteristics converge within a few thousand instructions;\n")
+	b.WriteString("the default interval length sits well past the knee. Footprint and ILP\n")
+	b.WriteString("metrics scale with interval length by definition and are excluded here.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mica"
+	"repro/internal/viz"
+)
+
+// Fig1 sweeps the genetic algorithm over retained-characteristic counts
+// and reports the distance correlation at each — the paper's Figure 1.
+func Fig1(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	counts := []int{1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24}
+	e.Logf("GA sweep over %d cardinalities...", len(counts))
+	sweep, err := res.SweepKeyCharacteristics(counts)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("retained", "correlation"))
+	b.WriteString("Figure 1: Pearson correlation of reduced-space vs full-space distances\n")
+	b.WriteString("          as a function of the number of GA-retained characteristics\n\n")
+	xs := make([]float64, len(sweep))
+	ys := make([]float64, len(sweep))
+	for i, r := range sweep {
+		fmt.Fprintf(&b, "  %3d characteristics: correlation %.3f\n", r.Count, r.Selection.Fitness)
+		csv.WriteString(csvJoin(fmt.Sprint(r.Count), fmt.Sprintf("%.4f", r.Selection.Fitness)))
+		xs[i] = float64(r.Count)
+		ys[i] = r.Selection.Fitness
+	}
+	chart := viz.LineChart{
+		Title:  "Figure 1: distance correlation vs retained characteristics",
+		XLabel: "number of retained characteristics",
+		YLabel: "Pearson correlation coefficient",
+		YMax:   1,
+		Series: []viz.Series{{Name: "GA best", X: xs, Y: ys}},
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig1.svg", svg); err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig1.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Fig23 renders the prominent phases as kiviat plots with composition pies,
+// grouped benchmark-specific / suite-specific / mixed — the paper's
+// Figures 2 and 3.
+func Fig23(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	sel, err := e.KeySelection()
+	if err != nil {
+		return "", err
+	}
+	metrics := mica.Metrics()
+	names := make([]string, len(sel.Selected))
+	for i, idx := range sel.Selected {
+		names[i] = metrics[idx].Name
+	}
+
+	// Population statistics over the prominent phases' key values.
+	rows := make([][]float64, len(res.Prominent))
+	for i, p := range res.Prominent {
+		row := make([]float64, len(sel.Selected))
+		for j, idx := range sel.Selected {
+			row[j] = p.RepVector[idx]
+		}
+		rows[i] = row
+	}
+	axes, err := viz.AxesFromPopulation(names, rows)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 2-3: %d prominent phases (%.1f%% coverage), kiviat axes: %s\n",
+		len(res.Prominent), 100*res.ProminentCoverage(), strings.Join(names, " "))
+
+	order := []core.PhaseKind{core.BenchmarkSpecific, core.SuiteSpecific, core.Mixed}
+	var cells []viz.Cell
+	for _, kind := range order {
+		count := 0
+		for pi, p := range res.Prominent {
+			if p.Kind != kind {
+				continue
+			}
+			count++
+			cell := viz.Cell{
+				Kiviat: viz.Kiviat{
+					Title:  fmt.Sprintf("weight: %.2f%%", 100*p.Weight),
+					Axes:   axes,
+					Values: rows[pi],
+				},
+				Pie: viz.Pie{Title: p.Representative.PhaseName()},
+			}
+			var small float64
+			smallCount := 0
+			for _, c := range p.Composition {
+				if c.ClusterShare < 0.02 && len(p.Composition) > 6 {
+					small += c.ClusterShare
+					smallCount++
+					continue
+				}
+				cell.Pie.Slices = append(cell.Pie.Slices, viz.Slice{Label: c.BenchID, Fraction: c.ClusterShare})
+				cell.Note = append(cell.Note, fmt.Sprintf("%s: %.2f%% of benchmark", c.BenchID, 100*c.BenchmarkFraction))
+			}
+			if smallCount > 0 {
+				cell.Pie.Slices = append(cell.Pie.Slices, viz.Slice{
+					Label: fmt.Sprintf("other (%d)", smallCount), Fraction: small})
+			}
+			cells = append(cells, cell)
+		}
+		fmt.Fprintf(&b, "  %-19s %3d prominent phases\n", kind.String()+":", count)
+	}
+
+	grid := viz.Grid{
+		Title:   "Prominent phase behaviors (benchmark-specific, suite-specific, mixed)",
+		Columns: 3,
+		Cells:   cells,
+	}
+	svg, err := grid.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig23.svg", svg); err != nil {
+		return "", err
+	}
+
+	// Also render the heaviest phase as ASCII for terminal users.
+	if len(cells) > 0 {
+		heavy := 0
+		for i := 1; i < len(res.Prominent); i++ {
+			if res.Prominent[i].Weight > res.Prominent[heavy].Weight {
+				heavy = i
+			}
+		}
+		k := viz.Kiviat{
+			Title:  fmt.Sprintf("heaviest phase (%s, weight %.2f%%):", res.Prominent[heavy].Representative.PhaseName(), 100*res.Prominent[heavy].Weight),
+			Axes:   axes,
+			Values: rows[heavy],
+		}
+		ascii, err := k.ASCII(44)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("\n" + ascii)
+	}
+	return b.String(), nil
+}
+
+// Fig4 reports the workload-space coverage (clusters touched) per suite.
+func Fig4(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	cov := res.SuiteCoverage()
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("suite", "clusters"))
+	fmt.Fprintf(&b, "Figure 4: workload space coverage per benchmark suite (of %d clusters)\n\n", res.Clusters.K)
+	var labels []string
+	var values []float64
+	for _, s := range e.sortedSuites() {
+		fmt.Fprintf(&b, "  %-14s %4d clusters\n", s, cov[s])
+		csv.WriteString(csvJoin(string(s), fmt.Sprint(cov[s])))
+		labels = append(labels, string(s))
+		values = append(values, float64(cov[s]))
+	}
+	chart := viz.BarChart{
+		Title:  "Figure 4: workload space coverage per suite",
+		YLabel: "number of clusters",
+		Labels: labels,
+		Values: values,
+	}
+	if ascii, err := chart.ASCII(40); err == nil {
+		b.WriteString("\n" + ascii)
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig4.svg", svg); err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig4.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Fig5 reports the cumulative-coverage (diversity) curves per suite.
+func Fig5(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("suite", "clusters", "cumulative_coverage"))
+	b.WriteString("Figure 5: cumulative coverage per suite as a function of the number of clusters\n")
+	b.WriteString("(lower curves = more clusters needed = higher diversity)\n\n")
+	var series []viz.Series
+	for _, s := range e.sortedSuites() {
+		curve := res.CumulativeCoverage(s)
+		xs := make([]float64, len(curve))
+		for i := range curve {
+			xs[i] = float64(i + 1)
+			csv.WriteString(csvJoin(string(s), fmt.Sprint(i+1), fmt.Sprintf("%.4f", curve[i])))
+		}
+		series = append(series, viz.Series{Name: string(s), X: xs, Y: curve})
+		fmt.Fprintf(&b, "  %-14s %3d clusters for 80%%, %3d for 90%%, %3d total\n",
+			s, res.ClustersFor(s, 0.8), res.ClustersFor(s, 0.9), len(curve))
+	}
+	chart := viz.LineChart{
+		Title:  "Figure 5: cumulative coverage per suite",
+		XLabel: "number of clusters",
+		YLabel: "cumulative coverage",
+		YMax:   1,
+		Series: series,
+	}
+	if ascii, err := chart.ASCII(48); err == nil {
+		b.WriteString("\n" + ascii)
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig5.svg", svg); err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig5.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Fig6 reports the fraction of unique behaviour per suite.
+func Fig6(e *Env) (string, error) {
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	uf := res.UniqueFraction()
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("suite", "unique_fraction"))
+	b.WriteString("Figure 6: fraction of each suite representing unique program behavior\n")
+	b.WriteString("(behaviour in clusters containing data from that suite only)\n\n")
+	var labels []string
+	var values []float64
+	for _, s := range e.sortedSuites() {
+		fmt.Fprintf(&b, "  %-14s %5.1f%%\n", s, 100*uf[s])
+		csv.WriteString(csvJoin(string(s), fmt.Sprintf("%.4f", uf[s])))
+		labels = append(labels, string(s))
+		values = append(values, 100*uf[s])
+	}
+	chart := viz.BarChart{
+		Title:  "Figure 6: fraction unique behavior per suite",
+		YLabel: "% unique behavior",
+		Labels: labels,
+		Values: values,
+		YMax:   100,
+	}
+	if ascii, err := chart.ASCII(40); err == nil {
+		b.WriteString("\n" + ascii)
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig6.svg", svg); err != nil {
+		return "", err
+	}
+	if _, err := e.WriteArtifact("fig6.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

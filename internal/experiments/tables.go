@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mica"
+)
+
+// Table1 prints the 69 microarchitecture-independent characteristics by
+// category, reproducing the paper's Table 1 inventory.
+func Table1(e *Env) (string, error) {
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("index", "name", "category", "description"))
+
+	b.WriteString("Table 1: microarchitecture-independent characteristics\n")
+	fmt.Fprintf(&b, "%-22s %4s  %s\n", "category", "#", "characteristics")
+	for c := 0; c < mica.NumCategories; c++ {
+		cat := mica.Category(c)
+		ms := mica.ByCategory(cat)
+		names := make([]string, len(ms))
+		for i, m := range ms {
+			names[i] = m.Name
+			csv.WriteString(csvJoin(fmt.Sprint(m.Index), m.Name, cat.String(), m.Description))
+		}
+		fmt.Fprintf(&b, "%-22s %4d  %s\n", cat, len(ms), strings.Join(names, " "))
+	}
+	fmt.Fprintf(&b, "%-22s %4d\n", "total", mica.NumMetrics)
+	if _, err := e.WriteArtifact("table1.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Table2 runs the genetic algorithm at the configured cardinality
+// (default 12) and prints the retained key characteristics, reproducing
+// the paper's Table 2.
+func Table2(e *Env) (string, error) {
+	sel, err := e.KeySelection()
+	if err != nil {
+		return "", err
+	}
+	metrics := mica.Metrics()
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("rank", "name", "category", "description"))
+	fmt.Fprintf(&b, "Table 2: %d key characteristics retained by the genetic algorithm\n", len(sel.Selected))
+	fmt.Fprintf(&b, "(distance correlation vs full 69-characteristic space: %.3f; %d generations, %d evaluations)\n\n",
+		sel.Fitness, sel.Generations, sel.Evaluations)
+	for i, idx := range sel.Selected {
+		m := metrics[idx]
+		fmt.Fprintf(&b, "%3d  %-22s %-22s %s\n", i+1, m.Name, m.Category.String(), m.Description)
+		csv.WriteString(csvJoin(fmt.Sprint(i+1), m.Name, m.Category.String(), m.Description))
+	}
+	if _, err := e.WriteArtifact("table2.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Table3 prints the benchmark inventory: the paper's Table 3 interval
+// counts alongside this reproduction's scaled interval counts.
+func Table3(e *Env) (string, error) {
+	var b strings.Builder
+	var csv strings.Builder
+	csv.WriteString(csvJoin("suite", "benchmark", "paper_intervals", "scaled_intervals", "phases", "inputs"))
+
+	b.WriteString("Table 3: benchmarks, paper 100M-instruction interval counts, and scaled counts\n")
+	totalPaper, totalScaled, totalBench := 0, 0, 0
+	for _, s := range e.sortedSuites() {
+		fmt.Fprintf(&b, "\n%s\n", s)
+		for _, bm := range e.Registry.BySuite(s) {
+			scaled := bm.ScaledIntervals(e.Config.MaxIntervalsPerBenchmark)
+			fmt.Fprintf(&b, "  %-12s paper=%7d scaled=%4d phases=%d inputs=%d\n",
+				bm.Name, bm.PaperIntervals, scaled, len(bm.Phases), len(bm.InputList()))
+			csv.WriteString(csvJoin(string(s), bm.Name,
+				fmt.Sprint(bm.PaperIntervals), fmt.Sprint(scaled),
+				fmt.Sprint(len(bm.Phases)), fmt.Sprint(len(bm.InputList()))))
+			totalPaper += bm.PaperIntervals
+			totalScaled += scaled
+			totalBench++
+		}
+	}
+	fmt.Fprintf(&b, "\ntotal: %d benchmarks, %d paper intervals, %d scaled intervals\n",
+		totalBench, totalPaper, totalScaled)
+	if _, err := e.WriteArtifact("table3.csv", csv.String()); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,82 @@
+package ga
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// DistanceFitness builds the paper's fitness function: for a candidate
+// subset of characteristics, it computes the pairwise Euclidean distances
+// between the rows of data (the prominent phases) in the rescaled-PCA
+// space of the reduced data set, and scores the subset by the Pearson
+// correlation of those distances against the distances in the
+// rescaled-PCA space of the full data set. The extra PCA step inside the
+// fitness discounts correlation among the raw characteristics, exactly as
+// section 2.7 describes.
+//
+// minPCStd is the retention threshold for principal components (the paper
+// keeps components with standard deviation > 1).
+func DistanceFitness(data *stats.Matrix, minPCStd float64) (Fitness, error) {
+	if data.Rows < 3 {
+		return nil, fmt.Errorf("ga: distance fitness needs at least 3 rows, have %d", data.Rows)
+	}
+	ref, err := rescaledDistances(data, minPCStd)
+	if err != nil {
+		return nil, fmt.Errorf("ga: reference distances: %w", err)
+	}
+	return func(selected []int) float64 {
+		reduced, err := data.SelectColumns(selected)
+		if err != nil {
+			return -1
+		}
+		dist, err := rescaledDistances(reduced, minPCStd)
+		if err != nil {
+			return -1
+		}
+		return stats.Pearson(ref, dist)
+	}, nil
+}
+
+// rescaledDistances normalizes the data, runs PCA, retains components with
+// standard deviation above minPCStd, rescales the retained scores to unit
+// variance, and returns the pairwise distances between the rows.
+func rescaledDistances(data *stats.Matrix, minPCStd float64) ([]float64, error) {
+	pca, err := stats.ComputePCA(data, true)
+	if err != nil {
+		return nil, err
+	}
+	k := pca.NumRetained(minPCStd)
+	scores, err := pca.RescaledScores(data, k)
+	if err != nil {
+		return nil, err
+	}
+	return stats.PairwiseDistances(scores), nil
+}
+
+// SweepResult is one point of the correlation-vs-cardinality curve
+// (Figure 1 of the paper).
+type SweepResult struct {
+	// Count is the number of retained characteristics.
+	Count int
+	// Selection is the best subset found at that cardinality.
+	Selection Selection
+}
+
+// Sweep runs the genetic algorithm once per target cardinality and returns
+// the best correlation found at each, reproducing Figure 1. cfg.TargetCount
+// is overridden per run; cfg.Seed is varied deterministically.
+func Sweep(numFeatures int, fitness Fitness, counts []int, cfg Config) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(counts))
+	for i, c := range counts {
+		runCfg := cfg
+		runCfg.TargetCount = c
+		runCfg.Seed = cfg.Seed + int64(i)*7919
+		sel, err := Run(numFeatures, fitness, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("ga: sweep at count %d: %w", c, err)
+		}
+		out = append(out, SweepResult{Count: c, Selection: sel})
+	}
+	return out, nil
+}

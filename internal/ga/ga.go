@@ -1,0 +1,293 @@
+// Package ga implements the genetic algorithm the paper uses to select a
+// small set of key microarchitecture-independent characteristics: genomes
+// are fixed-cardinality subsets of the 69 characteristics, evolved with
+// mutation, crossover and migration across multiple populations; the
+// fitness of a subset is the Pearson correlation between inter-phase
+// distances in the reduced space and in the full space (both measured in
+// rescaled-PCA coordinates).
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fitness scores a candidate subset of feature indices; higher is better.
+type Fitness func(selected []int) float64
+
+// Config tunes the evolutionary search.
+type Config struct {
+	// TargetCount is the exact number of features every genome selects.
+	TargetCount int
+	// Populations is the number of independent populations (default 4).
+	Populations int
+	// PopulationSize is individuals per population (default 24).
+	PopulationSize int
+	// MaxGenerations bounds the search (default 60).
+	MaxGenerations int
+	// Patience stops the search after this many generations without
+	// global improvement (default 12).
+	Patience int
+	// MutationRate is the per-offspring probability of a swap mutation
+	// (default 0.3).
+	MutationRate float64
+	// MigrationInterval is how often (in generations) the populations
+	// exchange their best individuals (default 5).
+	MigrationInterval int
+	// Elite is how many top individuals survive unchanged per
+	// population (default 2).
+	Elite int
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+func (c *Config) withDefaults(numFeatures int) (Config, error) {
+	out := *c
+	if out.TargetCount < 1 || out.TargetCount > numFeatures {
+		return out, fmt.Errorf("ga: target count %d out of [1,%d]", out.TargetCount, numFeatures)
+	}
+	if out.Populations <= 0 {
+		out.Populations = 4
+	}
+	if out.PopulationSize <= 0 {
+		out.PopulationSize = 24
+	}
+	if out.MaxGenerations <= 0 {
+		out.MaxGenerations = 60
+	}
+	if out.Patience <= 0 {
+		out.Patience = 12
+	}
+	if out.MutationRate <= 0 {
+		out.MutationRate = 0.3
+	}
+	if out.MigrationInterval <= 0 {
+		out.MigrationInterval = 5
+	}
+	if out.Elite <= 0 {
+		out.Elite = 2
+	}
+	if out.Elite > out.PopulationSize/2 {
+		out.Elite = out.PopulationSize / 2
+	}
+	return out, nil
+}
+
+// Selection is the result of a search.
+type Selection struct {
+	// Selected are the chosen feature indices, sorted ascending.
+	Selected []int
+	// Fitness is the score of the selection.
+	Fitness float64
+	// Generations is how many generations were evolved.
+	Generations int
+	// Evaluations counts distinct fitness evaluations performed.
+	Evaluations int
+}
+
+type individual struct {
+	genes   []int // sorted feature indices, exactly TargetCount of them
+	fitness float64
+}
+
+func genomeKey(genes []int) string {
+	b := make([]byte, 0, len(genes)*2)
+	for _, g := range genes {
+		b = append(b, byte(g), byte(g>>8))
+	}
+	return string(b)
+}
+
+// Run evolves feature subsets of size cfg.TargetCount drawn from
+// [0, numFeatures) to maximize fitness.
+func Run(numFeatures int, fitness Fitness, cfg Config) (Selection, error) {
+	if numFeatures < 1 {
+		return Selection{}, fmt.Errorf("ga: no features to select from")
+	}
+	if fitness == nil {
+		return Selection{}, fmt.Errorf("ga: nil fitness function")
+	}
+	c, err := cfg.withDefaults(numFeatures)
+	if err != nil {
+		return Selection{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	cache := map[string]float64{}
+	evals := 0
+	eval := func(genes []int) float64 {
+		key := genomeKey(genes)
+		if f, ok := cache[key]; ok {
+			return f
+		}
+		f := fitness(genes)
+		cache[key] = f
+		evals++
+		return f
+	}
+
+	// Initialize populations with random subsets.
+	pops := make([][]individual, c.Populations)
+	for p := range pops {
+		pops[p] = make([]individual, c.PopulationSize)
+		for i := range pops[p] {
+			genes := randomSubset(numFeatures, c.TargetCount, rng)
+			pops[p][i] = individual{genes: genes, fitness: eval(genes)}
+		}
+		sortPop(pops[p])
+	}
+
+	best := pops[0][0]
+	for _, pop := range pops {
+		if pop[0].fitness > best.fitness {
+			best = pop[0]
+		}
+	}
+
+	stale := 0
+	gen := 0
+	for ; gen < c.MaxGenerations && stale < c.Patience; gen++ {
+		improved := false
+		for p := range pops {
+			pops[p] = evolve(pops[p], numFeatures, c, rng, eval)
+			if pops[p][0].fitness > best.fitness {
+				best = pops[p][0]
+				improved = true
+			}
+		}
+		// Migration: ring-exchange of the best individuals.
+		if (gen+1)%c.MigrationInterval == 0 && len(pops) > 1 {
+			for p := range pops {
+				src := pops[p][0]
+				dst := pops[(p+1)%len(pops)]
+				dst[len(dst)-1] = individual{genes: append([]int(nil), src.genes...), fitness: src.fitness}
+				sortPop(dst)
+			}
+		}
+		if improved {
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+
+	sel := Selection{
+		Selected:    append([]int(nil), best.genes...),
+		Fitness:     best.fitness,
+		Generations: gen,
+		Evaluations: evals,
+	}
+	sort.Ints(sel.Selected)
+	return sel, nil
+}
+
+func sortPop(pop []individual) {
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].fitness > pop[b].fitness })
+}
+
+func evolve(pop []individual, numFeatures int, c Config, rng *rand.Rand, eval func([]int) float64) []individual {
+	next := make([]individual, 0, len(pop))
+	// Elitism.
+	for i := 0; i < c.Elite; i++ {
+		next = append(next, pop[i])
+	}
+	for len(next) < len(pop) {
+		a := tournament(pop, rng)
+		b := tournament(pop, rng)
+		genes := crossover(a.genes, b.genes, c.TargetCount, numFeatures, rng)
+		if rng.Float64() < c.MutationRate {
+			mutate(genes, numFeatures, rng)
+		}
+		sort.Ints(genes)
+		next = append(next, individual{genes: genes, fitness: eval(genes)})
+	}
+	sortPop(next)
+	return next
+}
+
+func tournament(pop []individual, rng *rand.Rand) individual {
+	const size = 3
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < size; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fitness > best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover unions the parents' genes and samples target genes from the
+// union, favouring genes present in both parents.
+func crossover(a, b []int, target, numFeatures int, rng *rand.Rand) []int {
+	inBoth := make([]int, 0, target)
+	inOne := make([]int, 0, 2*target)
+	seenA := make(map[int]bool, len(a))
+	for _, g := range a {
+		seenA[g] = true
+	}
+	seenB := make(map[int]bool, len(b))
+	for _, g := range b {
+		seenB[g] = true
+		if seenA[g] {
+			inBoth = append(inBoth, g)
+		} else {
+			inOne = append(inOne, g)
+		}
+	}
+	for _, g := range a {
+		if !seenB[g] {
+			inOne = append(inOne, g)
+		}
+	}
+	genes := make([]int, 0, target)
+	genes = append(genes, inBoth...)
+	rng.Shuffle(len(inOne), func(i, j int) { inOne[i], inOne[j] = inOne[j], inOne[i] })
+	for _, g := range inOne {
+		if len(genes) >= target {
+			break
+		}
+		genes = append(genes, g)
+	}
+	// Pad with random unused features if the union was too small.
+	used := make(map[int]bool, len(genes))
+	for _, g := range genes {
+		used[g] = true
+	}
+	for len(genes) < target {
+		g := rng.Intn(numFeatures)
+		if !used[g] {
+			used[g] = true
+			genes = append(genes, g)
+		}
+	}
+	return genes[:target]
+}
+
+// mutate swaps one selected gene for an unselected one, preserving
+// cardinality.
+func mutate(genes []int, numFeatures int, rng *rand.Rand) {
+	used := make(map[int]bool, len(genes))
+	for _, g := range genes {
+		used[g] = true
+	}
+	if len(genes) == numFeatures {
+		return // nothing outside the genome to swap in
+	}
+	var candidate int
+	for {
+		candidate = rng.Intn(numFeatures)
+		if !used[candidate] {
+			break
+		}
+	}
+	genes[rng.Intn(len(genes))] = candidate
+}
+
+func randomSubset(n, k int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	genes := append([]int(nil), perm[:k]...)
+	sort.Ints(genes)
+	return genes
+}

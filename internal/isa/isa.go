@@ -1,0 +1,162 @@
+// Package isa defines the abstract instruction-set model that the synthetic
+// workload generator emits and the MICA analyzer consumes.
+//
+// The model is deliberately semantics-free: an instruction carries only the
+// information the 69 microarchitecture-independent characteristics of
+// Hoste & Eeckhout (ISPASS 2008) depend on — its operation class, its
+// register operands, its memory address (for loads/stores), its program
+// counter, and its branch outcome (for control instructions).
+package isa
+
+import "fmt"
+
+// OpClass identifies the operation class of an instruction. The 20 classes
+// back the 20 instruction-mix characteristics of the paper's Table 1
+// ("percentage memory reads, memory writes, branches, arithmetic
+// operations, multiplies, etc.").
+type OpClass uint8
+
+const (
+	OpLoad       OpClass = iota // memory read
+	OpStore                     // memory write
+	OpBranchCond                // conditional branch
+	OpBranchJump                // unconditional direct jump
+	OpCall                      // function call
+	OpReturn                    // function return
+	OpIntAdd                    // integer add/subtract
+	OpIntMul                    // integer multiply
+	OpIntDiv                    // integer divide / modulo
+	OpFPAdd                     // floating-point add/subtract
+	OpFPMul                     // floating-point multiply
+	OpFPDiv                     // floating-point divide
+	OpFPSqrt                    // floating-point square root
+	OpLogic                     // bitwise logical operation
+	OpShift                     // shift / rotate
+	OpCompare                   // compare / test
+	OpMove                      // register move / load-immediate
+	OpConvert                   // int<->fp conversion
+	OpNop                       // no-operation
+	OpOther                     // anything else (string ops, system, ...)
+
+	// NumOpClasses is the number of distinct operation classes.
+	NumOpClasses = int(OpOther) + 1
+)
+
+var opClassNames = [NumOpClasses]string{
+	"load", "store", "branch", "jump", "call", "return",
+	"int_add", "int_mul", "int_div",
+	"fp_add", "fp_mul", "fp_div", "fp_sqrt",
+	"logic", "shift", "compare", "move", "convert", "nop", "other",
+}
+
+// String returns the canonical lower-case name of the operation class.
+func (c OpClass) String() string {
+	if int(c) < NumOpClasses {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("opclass(%d)", uint8(c))
+}
+
+// IsMemRead reports whether the class reads memory.
+func (c OpClass) IsMemRead() bool { return c == OpLoad }
+
+// IsMemWrite reports whether the class writes memory.
+func (c OpClass) IsMemWrite() bool { return c == OpStore }
+
+// IsControl reports whether the class transfers control.
+func (c OpClass) IsControl() bool {
+	return c == OpBranchCond || c == OpBranchJump || c == OpCall || c == OpReturn
+}
+
+// IsConditional reports whether the class is a conditional branch, the only
+// kind the branch-predictability characteristics are measured on.
+func (c OpClass) IsConditional() bool { return c == OpBranchCond }
+
+// IsFloat reports whether the class performs floating-point arithmetic.
+func (c OpClass) IsFloat() bool {
+	return c == OpFPAdd || c == OpFPMul || c == OpFPDiv || c == OpFPSqrt
+}
+
+// Latency returns the execution latency, in cycles, used by the idealized
+// dataflow ILP model. MICA's inherent-ILP characteristic assumes an ideal
+// processor — perfect caches, perfect branch prediction, unit execution
+// latency — so that the measured IPC reflects only the dependence
+// structure and the window size.
+func (c OpClass) Latency() int { return 1 }
+
+// Architectural constants of the abstract machine.
+const (
+	// NumRegs is the number of architectural registers. Register 0 is a
+	// hard-wired zero register that never creates dependences.
+	NumRegs = 64
+
+	// ZeroReg is the hard-wired zero register.
+	ZeroReg = 0
+
+	// BlockSize is the cache-block granularity (bytes) of the memory
+	// footprint characteristics.
+	BlockSize = 64
+
+	// PageSize is the page granularity (bytes) of the memory footprint
+	// characteristics.
+	PageSize = 4096
+
+	// InstrBytes is the fixed encoded size of one instruction, used to
+	// derive instruction-stream addresses from program counters.
+	InstrBytes = 4
+
+	// MaxSrcRegs is the maximum number of register input operands.
+	MaxSrcRegs = 3
+)
+
+// Instruction is one dynamically executed instruction.
+//
+// The zero value is a harmless nop at PC 0.
+type Instruction struct {
+	// PC is the program counter (byte address of the instruction).
+	PC uint64
+
+	// Op is the operation class.
+	Op OpClass
+
+	// Dst is the destination register, or ZeroReg if the instruction
+	// produces no register value.
+	Dst uint8
+
+	// Src holds the register input operands; only Src[:NSrc] are valid.
+	Src [MaxSrcRegs]uint8
+
+	// NSrc is the number of valid register input operands.
+	NSrc uint8
+
+	// Addr is the effective memory address for loads and stores.
+	Addr uint64
+
+	// Taken reports the outcome of a conditional branch (and is true for
+	// unconditional control transfers).
+	Taken bool
+
+	// Target is the control-transfer target address, if IsControl.
+	Target uint64
+}
+
+// Sources returns the valid register input operands.
+func (ins *Instruction) Sources() []uint8 { return ins.Src[:ins.NSrc] }
+
+// WritesReg reports whether the instruction produces a register value.
+func (ins *Instruction) WritesReg() bool { return ins.Dst != ZeroReg }
+
+// String renders a compact human-readable form, e.g. for trace dumps.
+func (ins *Instruction) String() string {
+	s := fmt.Sprintf("%#010x %-8s r%d <-", ins.PC, ins.Op, ins.Dst)
+	for _, r := range ins.Sources() {
+		s += fmt.Sprintf(" r%d", r)
+	}
+	switch {
+	case ins.Op.IsMemRead() || ins.Op.IsMemWrite():
+		s += fmt.Sprintf(" [%#x]", ins.Addr)
+	case ins.Op.IsControl():
+		s += fmt.Sprintf(" ->%#x taken=%v", ins.Target, ins.Taken)
+	}
+	return s
+}

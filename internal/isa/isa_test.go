@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := 0; c < NumOpClasses; c++ {
+		name := OpClass(c).String()
+		if name == "" {
+			t.Fatalf("op class %d has empty name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate op class name %q", name)
+		}
+		seen[name] = true
+		if strings.Contains(name, "opclass") {
+			t.Fatalf("op class %d fell through to default name %q", c, name)
+		}
+	}
+}
+
+func TestOpClassUnknownString(t *testing.T) {
+	if got := OpClass(200).String(); got != "opclass(200)" {
+		t.Fatalf("unknown op class string = %q", got)
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	tests := []struct {
+		op                          OpClass
+		read, write, ctrl, cond, fp bool
+	}{
+		{OpLoad, true, false, false, false, false},
+		{OpStore, false, true, false, false, false},
+		{OpBranchCond, false, false, true, true, false},
+		{OpBranchJump, false, false, true, false, false},
+		{OpCall, false, false, true, false, false},
+		{OpReturn, false, false, true, false, false},
+		{OpIntAdd, false, false, false, false, false},
+		{OpFPAdd, false, false, false, false, true},
+		{OpFPMul, false, false, false, false, true},
+		{OpFPDiv, false, false, false, false, true},
+		{OpFPSqrt, false, false, false, false, true},
+		{OpNop, false, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsMemRead(); got != tt.read {
+			t.Errorf("%v.IsMemRead() = %v, want %v", tt.op, got, tt.read)
+		}
+		if got := tt.op.IsMemWrite(); got != tt.write {
+			t.Errorf("%v.IsMemWrite() = %v, want %v", tt.op, got, tt.write)
+		}
+		if got := tt.op.IsControl(); got != tt.ctrl {
+			t.Errorf("%v.IsControl() = %v, want %v", tt.op, got, tt.ctrl)
+		}
+		if got := tt.op.IsConditional(); got != tt.cond {
+			t.Errorf("%v.IsConditional() = %v, want %v", tt.op, got, tt.cond)
+		}
+		if got := tt.op.IsFloat(); got != tt.fp {
+			t.Errorf("%v.IsFloat() = %v, want %v", tt.op, got, tt.fp)
+		}
+	}
+}
+
+func TestUnitLatency(t *testing.T) {
+	// The idealized ILP model assumes unit latency for every class.
+	for c := 0; c < NumOpClasses; c++ {
+		if got := OpClass(c).Latency(); got != 1 {
+			t.Fatalf("%v.Latency() = %d, want 1", OpClass(c), got)
+		}
+	}
+}
+
+func TestInstructionSources(t *testing.T) {
+	ins := Instruction{Src: [MaxSrcRegs]uint8{3, 7, 9}, NSrc: 2}
+	got := ins.Sources()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Sources() = %v, want [3 7]", got)
+	}
+}
+
+func TestInstructionWritesReg(t *testing.T) {
+	if (&Instruction{Dst: ZeroReg}).WritesReg() {
+		t.Fatal("zero-register destination should not count as a write")
+	}
+	if !(&Instruction{Dst: 5}).WritesReg() {
+		t.Fatal("non-zero destination should count as a write")
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	load := Instruction{PC: 0x400000, Op: OpLoad, Dst: 3, Src: [MaxSrcRegs]uint8{1}, NSrc: 1, Addr: 0xbeef}
+	s := load.String()
+	for _, want := range []string{"load", "r3", "r1", "0xbeef"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("load string %q missing %q", s, want)
+		}
+	}
+	br := Instruction{PC: 0x400004, Op: OpBranchCond, Taken: true, Target: 0x400010}
+	s = br.String()
+	for _, want := range []string{"branch", "taken=true", "0x400010"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("branch string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestZeroValueInstructionIsHarmless(t *testing.T) {
+	var ins Instruction
+	if ins.Op != OpLoad && ins.Op.String() == "" {
+		t.Fatal("zero instruction has invalid op")
+	}
+	if ins.WritesReg() {
+		t.Fatal("zero instruction should not write a register")
+	}
+	if len(ins.Sources()) != 0 {
+		t.Fatal("zero instruction should have no sources")
+	}
+}
+
+func TestArchConstants(t *testing.T) {
+	if BlockSize != 64 || PageSize != 4096 {
+		t.Fatalf("footprint granularities = %d/%d, want 64/4096", BlockSize, PageSize)
+	}
+	if PageSize%BlockSize != 0 {
+		t.Fatal("page size must be a multiple of block size")
+	}
+	if ZeroReg != 0 || NumRegs <= 1 {
+		t.Fatalf("register file constants inconsistent: zero=%d num=%d", ZeroReg, NumRegs)
+	}
+}

@@ -1,0 +1,312 @@
+package mica
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mica/ilp"
+	"repro/internal/mica/ppm"
+)
+
+// Analyzer consumes an instruction stream and produces the 69-element MICA
+// characteristic vector for it. Feed it one interval (or a whole program,
+// for an aggregate characterization), read Vector, then Reset to reuse.
+type Analyzer struct {
+	total    uint64
+	opCounts [isa.NumOpClasses]uint64
+
+	ilp *ilp.Analyzer
+
+	// Register traffic.
+	srcOperands uint64
+	regWrites   uint64
+	depBins     [8]uint64 // 7 bounded bins + overflow
+	depTotal    uint64
+	lastWriter  [isa.NumRegs]uint64
+	writerValid [isa.NumRegs]bool
+
+	// Memory footprint.
+	instrBlocks map[uint64]struct{}
+	instrPages  map[uint64]struct{}
+	dataBlocks  map[uint64]struct{}
+	dataPages   map[uint64]struct{}
+
+	// Strides.
+	lastLoadAddr   uint64
+	haveLoad       bool
+	lastStoreAddr  uint64
+	haveStore      bool
+	lastLoadByPC   map[uint64]uint64
+	lastStoreByPC  map[uint64]uint64
+	localLoadBins  []uint64 // len(LocalStrideBounds)+1, last = beyond
+	localStoreBins []uint64
+	globalLoadBins []uint64 // len(GlobalStrideBounds)+1
+	globalStoreBin []uint64
+	localLoadCnt   uint64
+	localStoreCnt  uint64
+	globalLoadCnt  uint64
+	globalStoreCnt uint64
+
+	// Branch behaviour.
+	condBranches uint64
+	condTaken    uint64
+	transitions  uint64
+	transPairs   uint64
+	lastOutcome  map[uint64]bool
+	predictors   []*ppm.Group
+
+	// Fast paths: last-seen instruction block/page (instruction fetch is
+	// highly sequential, so most map probes can be skipped).
+	lastInstrBlock uint64
+	lastInstrPage  uint64
+	haveInstr      bool
+}
+
+// NewAnalyzer returns a ready-to-use analyzer.
+func NewAnalyzer() *Analyzer {
+	a := &Analyzer{}
+	var err error
+	a.ilp, err = ilp.NewAnalyzer(ilp.StandardWindows)
+	if err != nil {
+		panic("mica: standard ILP windows invalid: " + err.Error())
+	}
+	a.predictors = ppm.StandardGroups()
+	a.localLoadBins = make([]uint64, len(LocalStrideBounds)+1)
+	a.localStoreBins = make([]uint64, len(LocalStrideBounds)+1)
+	a.globalLoadBins = make([]uint64, len(GlobalStrideBounds)+1)
+	a.globalStoreBin = make([]uint64, len(GlobalStrideBounds)+1)
+	a.resetMaps()
+	return a
+}
+
+func (a *Analyzer) resetMaps() {
+	a.instrBlocks = make(map[uint64]struct{}, 1024)
+	a.instrPages = make(map[uint64]struct{}, 64)
+	a.dataBlocks = make(map[uint64]struct{}, 4096)
+	a.dataPages = make(map[uint64]struct{}, 256)
+	a.lastLoadByPC = make(map[uint64]uint64, 1024)
+	a.lastStoreByPC = make(map[uint64]uint64, 1024)
+	a.lastOutcome = make(map[uint64]bool, 1024)
+}
+
+// Reset clears all measurement state so the analyzer can characterize a
+// fresh interval.
+func (a *Analyzer) Reset() {
+	a.total = 0
+	a.opCounts = [isa.NumOpClasses]uint64{}
+	a.ilp.Reset()
+	a.srcOperands = 0
+	a.regWrites = 0
+	a.depBins = [8]uint64{}
+	a.depTotal = 0
+	a.lastWriter = [isa.NumRegs]uint64{}
+	a.writerValid = [isa.NumRegs]bool{}
+	a.resetMaps()
+	a.haveLoad = false
+	a.haveStore = false
+	zero(a.localLoadBins)
+	zero(a.localStoreBins)
+	zero(a.globalLoadBins)
+	zero(a.globalStoreBin)
+	a.localLoadCnt = 0
+	a.localStoreCnt = 0
+	a.globalLoadCnt = 0
+	a.globalStoreCnt = 0
+	a.condBranches = 0
+	a.condTaken = 0
+	a.transitions = 0
+	a.transPairs = 0
+	for _, p := range a.predictors {
+		p.Reset()
+	}
+	a.haveInstr = false
+}
+
+func zero(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Record accounts one dynamically executed instruction.
+func (a *Analyzer) Record(ins *isa.Instruction) {
+	a.opCounts[ins.Op]++
+
+	// Instruction-stream footprint (fast path: consecutive PCs share a
+	// block most of the time).
+	if blk := ins.PC / isa.BlockSize; !a.haveInstr || blk != a.lastInstrBlock {
+		a.instrBlocks[blk] = struct{}{}
+		a.lastInstrBlock = blk
+		if pg := ins.PC / isa.PageSize; !a.haveInstr || pg != a.lastInstrPage {
+			a.instrPages[pg] = struct{}{}
+			a.lastInstrPage = pg
+		}
+		a.haveInstr = true
+	}
+
+	// Register traffic: operand counts and dependency distances.
+	for _, r := range ins.Sources() {
+		if r == isa.ZeroReg {
+			continue
+		}
+		a.srcOperands++
+		if a.writerValid[r] {
+			d := a.total - a.lastWriter[r]
+			a.depTotal++
+			a.depBins[depBin(d)]++
+		}
+	}
+	if ins.WritesReg() {
+		a.regWrites++
+		a.lastWriter[ins.Dst] = a.total
+		a.writerValid[ins.Dst] = true
+	}
+
+	// Data stream.
+	switch {
+	case ins.Op.IsMemRead():
+		a.recordData(ins.Addr)
+		if a.haveLoad {
+			a.globalLoadBins[strideBin(ins.Addr, a.lastLoadAddr, GlobalStrideBounds)]++
+			a.globalLoadCnt++
+		}
+		a.lastLoadAddr, a.haveLoad = ins.Addr, true
+		if prev, ok := a.lastLoadByPC[ins.PC]; ok {
+			a.localLoadBins[strideBin(ins.Addr, prev, LocalStrideBounds)]++
+			a.localLoadCnt++
+		}
+		a.lastLoadByPC[ins.PC] = ins.Addr
+	case ins.Op.IsMemWrite():
+		a.recordData(ins.Addr)
+		if a.haveStore {
+			a.globalStoreBin[strideBin(ins.Addr, a.lastStoreAddr, GlobalStrideBounds)]++
+			a.globalStoreCnt++
+		}
+		a.lastStoreAddr, a.haveStore = ins.Addr, true
+		if prev, ok := a.lastStoreByPC[ins.PC]; ok {
+			a.localStoreBins[strideBin(ins.Addr, prev, LocalStrideBounds)]++
+			a.localStoreCnt++
+		}
+		a.lastStoreByPC[ins.PC] = ins.Addr
+	}
+
+	// Branch behaviour (conditional branches only).
+	if ins.Op.IsConditional() {
+		a.condBranches++
+		if ins.Taken {
+			a.condTaken++
+		}
+		if prev, ok := a.lastOutcome[ins.PC]; ok {
+			a.transPairs++
+			if prev != ins.Taken {
+				a.transitions++
+			}
+		}
+		a.lastOutcome[ins.PC] = ins.Taken
+		for _, p := range a.predictors {
+			p.Record(ins.PC, ins.Taken)
+		}
+	}
+
+	a.ilp.Record(ins)
+	a.total++
+}
+
+func (a *Analyzer) recordData(addr uint64) {
+	a.dataBlocks[addr/isa.BlockSize] = struct{}{}
+	a.dataPages[addr/isa.PageSize] = struct{}{}
+}
+
+// depBin maps a dependency distance to its bin: 7 bounded bins plus an
+// overflow bin (the overflow bin is not itself a metric; it completes the
+// distribution's denominator).
+func depBin(d uint64) int {
+	for i, b := range DepDistBounds {
+		if d <= uint64(b) {
+			return i
+		}
+	}
+	return len(DepDistBounds)
+}
+
+// strideBin maps an absolute address delta to its cumulative-threshold bin.
+func strideBin(a, b uint64, bounds []uint64) int {
+	var d uint64
+	if a >= b {
+		d = a - b
+	} else {
+		d = b - a
+	}
+	for i, bound := range bounds {
+		if d <= bound {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// Total returns the number of instructions recorded.
+func (a *Analyzer) Total() uint64 { return a.total }
+
+// Vector returns the 69-element MICA characteristic vector measured so far.
+// Stride-bucket metrics are cumulative probabilities P(|stride| <= bound).
+func (a *Analyzer) Vector() []float64 {
+	v := make([]float64, NumMetrics)
+	if a.total == 0 {
+		return v
+	}
+	ftotal := float64(a.total)
+
+	for c := 0; c < isa.NumOpClasses; c++ {
+		v[IdxMix+c] = float64(a.opCounts[c]) / ftotal
+	}
+	copy(v[IdxILP:IdxILP+4], a.ilp.IPC())
+
+	v[IdxRegAvgSrc] = float64(a.srcOperands) / ftotal
+	if a.regWrites > 0 {
+		v[IdxRegUse] = float64(a.srcOperands) / float64(a.regWrites)
+	}
+	if a.depTotal > 0 {
+		for i := 0; i < len(DepDistBounds); i++ {
+			v[IdxRegDep+i] = float64(a.depBins[i]) / float64(a.depTotal)
+		}
+	}
+
+	v[IdxFootprint+0] = float64(len(a.instrBlocks))
+	v[IdxFootprint+1] = float64(len(a.instrPages))
+	v[IdxFootprint+2] = float64(len(a.dataBlocks))
+	v[IdxFootprint+3] = float64(len(a.dataPages))
+
+	idx := IdxStrides
+	idx = fillCumulative(v, idx, a.localLoadBins, a.localLoadCnt, len(LocalStrideBounds))
+	idx = fillCumulative(v, idx, a.localStoreBins, a.localStoreCnt, len(LocalStrideBounds))
+	idx = fillCumulative(v, idx, a.globalLoadBins, a.globalLoadCnt, len(GlobalStrideBounds))
+	fillCumulative(v, idx, a.globalStoreBin, a.globalStoreCnt, len(GlobalStrideBounds))
+
+	if a.condBranches > 0 {
+		v[IdxTakenRate] = float64(a.condTaken) / float64(a.condBranches)
+	}
+	if a.transPairs > 0 {
+		v[IdxTransRate] = float64(a.transitions) / float64(a.transPairs)
+	}
+	idx = IdxPPM
+	for _, p := range a.predictors {
+		for _, rate := range p.MissRates() {
+			v[idx] = rate
+			idx++
+		}
+	}
+	return v
+}
+
+// fillCumulative writes the cumulative probabilities of the first n bins of
+// a bin-count histogram into v starting at idx, returning the next index.
+func fillCumulative(v []float64, idx int, bins []uint64, total uint64, n int) int {
+	if total == 0 {
+		return idx + n
+	}
+	var cum uint64
+	for i := 0; i < n; i++ {
+		cum += bins[i]
+		v[idx+i] = float64(cum) / float64(total)
+	}
+	return idx + n
+}

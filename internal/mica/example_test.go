@@ -1,0 +1,37 @@
+package mica_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/mica"
+	"repro/internal/trace"
+)
+
+// Example characterizes one interval of a benchmark with the 69 MICA
+// characteristics and reads a few of them by name.
+func Example() {
+	reg := bench.MustStandardRegistry()
+	b, err := reg.Lookup("BioPerf/grappa")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	analyzer := mica.NewAnalyzer()
+	total := b.ScaledIntervals(48)
+	err = trace.GenerateInterval(b.BehaviorAt(0, total), b.IntervalSeed(0), 20000,
+		func(ins *isa.Instruction) { analyzer.Record(ins) })
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	v := analyzer.Vector()
+	logic, _ := mica.MetricByName("mix_logic")
+	ilp, _ := mica.MetricByName("ilp_64")
+	// grappa's bit-vector kernel: logic-saturated and serial.
+	fmt.Println(len(v), v[logic.Index] > 0.2, v[ilp.Index] < 5)
+	// Output: 69 true true
+}

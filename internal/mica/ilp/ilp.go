@@ -1,0 +1,126 @@
+// Package ilp measures the inherent instruction-level parallelism of an
+// instruction stream on an idealized processor: perfect caches, perfect
+// branch prediction, unlimited functional units — the only constraints are
+// true register data dependences and a finite window of in-flight
+// instructions. This matches the four MICA "ILP" characteristics (IPC for
+// window sizes 32, 64, 128 and 256).
+package ilp
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// StandardWindows are the window sizes of the paper's Table 1.
+var StandardWindows = []int{32, 64, 128, 256}
+
+// windowModel schedules instructions through one window size.
+type windowModel struct {
+	size     int
+	regReady [isa.NumRegs]int64 // cycle each register value is available
+	complete []int64            // ring buffer of completion cycles
+	pos      int
+	count    uint64
+	lastDone int64 // latest completion cycle seen
+}
+
+func newWindowModel(size int) *windowModel {
+	return &windowModel{
+		size:     size,
+		complete: make([]int64, size),
+	}
+}
+
+func (w *windowModel) record(ins *isa.Instruction) {
+	// Issue no earlier than when the instruction leaving the window
+	// completed (a full window stalls dispatch), and no earlier than all
+	// source operands are ready.
+	start := int64(0)
+	if w.count >= uint64(w.size) {
+		start = w.complete[w.pos]
+	}
+	for _, r := range ins.Sources() {
+		if r == isa.ZeroReg {
+			continue
+		}
+		if t := w.regReady[r]; t > start {
+			start = t
+		}
+	}
+	done := start + int64(ins.Op.Latency())
+	if ins.WritesReg() {
+		w.regReady[ins.Dst] = done
+	}
+	w.complete[w.pos] = done
+	w.pos++
+	if w.pos == w.size {
+		w.pos = 0
+	}
+	w.count++
+	if done > w.lastDone {
+		w.lastDone = done
+	}
+}
+
+func (w *windowModel) ipc() float64 {
+	if w.count == 0 || w.lastDone == 0 {
+		return 0
+	}
+	return float64(w.count) / float64(w.lastDone)
+}
+
+func (w *windowModel) reset() {
+	w.regReady = [isa.NumRegs]int64{}
+	for i := range w.complete {
+		w.complete[i] = 0
+	}
+	w.pos = 0
+	w.count = 0
+	w.lastDone = 0
+}
+
+// Analyzer measures ideal IPC for a set of window sizes simultaneously.
+type Analyzer struct {
+	windows []*windowModel
+}
+
+// NewAnalyzer builds an analyzer for the given window sizes (typically
+// StandardWindows).
+func NewAnalyzer(windows []int) (*Analyzer, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("ilp: no window sizes")
+	}
+	a := &Analyzer{}
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("ilp: non-positive window size %d", w)
+		}
+		a.windows = append(a.windows, newWindowModel(w))
+	}
+	return a, nil
+}
+
+// Record schedules one instruction in every window model.
+func (a *Analyzer) Record(ins *isa.Instruction) {
+	for _, w := range a.windows {
+		w.record(ins)
+	}
+}
+
+// IPC returns the achieved ideal IPC per configured window, in the order
+// the windows were given.
+func (a *Analyzer) IPC() []float64 {
+	out := make([]float64, len(a.windows))
+	for i, w := range a.windows {
+		out[i] = w.ipc()
+	}
+	return out
+}
+
+// Reset clears all scheduling state.
+func (a *Analyzer) Reset() {
+	for _, w := range a.windows {
+		w.reset()
+	}
+}

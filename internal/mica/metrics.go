@@ -1,0 +1,222 @@
+// Package mica implements the MICA (Microarchitecture-Independent
+// Characterization of Applications) characteristic set of Hoste & Eeckhout:
+// 69 microarchitecture-independent program characteristics measured per
+// instruction interval, spanning instruction mix, inherent ILP, register
+// traffic, memory footprint, data-stream strides and branch predictability
+// (the paper's Table 1).
+package mica
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mica/ppm"
+)
+
+// Category groups related characteristics, mirroring Table 1 of the paper.
+type Category uint8
+
+const (
+	CatInstructionMix Category = iota
+	CatILP
+	CatRegisterTraffic
+	CatMemoryFootprint
+	CatDataStrides
+	CatBranchPredictability
+
+	// NumCategories is the number of characteristic categories.
+	NumCategories = int(CatBranchPredictability) + 1
+)
+
+var categoryNames = [NumCategories]string{
+	"instruction mix",
+	"ILP",
+	"register traffic",
+	"memory footprint",
+	"data stream strides",
+	"branch predictability",
+}
+
+// String returns the category's Table 1 name.
+func (c Category) String() string {
+	if int(c) < NumCategories {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Stride bucket thresholds (bytes). Local strides (per static instruction)
+// use finer buckets than global strides (consecutive accesses overall),
+// following the MICA definitions.
+var (
+	// LocalStrideBounds are cumulative |stride| <= bound thresholds for
+	// the per-static-instruction stride distributions.
+	LocalStrideBounds = []uint64{0, 8, 64, 1024, 65536}
+	// GlobalStrideBounds are cumulative |stride| <= bound thresholds for
+	// the consecutive-access stride distributions.
+	GlobalStrideBounds = []uint64{64, 4096, 262144, 16777216}
+)
+
+// DepDistBounds are the register dependency distance bucket upper bounds
+// (inclusive); bucket i counts distances in (bounds[i-1], bounds[i]].
+var DepDistBounds = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Metric index layout. The 69 characteristics are a fixed vector; these
+// constants give the offset of each group.
+const (
+	IdxMix       = 0                         // 20 metrics: fraction of each isa.OpClass
+	IdxILP       = IdxMix + isa.NumOpClasses // 4 metrics: ideal IPC, windows 32/64/128/256
+	IdxRegAvgSrc = IdxILP + 4                // average register input operands per instruction
+	IdxRegUse    = IdxRegAvgSrc + 1          // average degree of use (reads per write)
+	IdxRegDep    = IdxRegUse + 1             // 7 metrics: dependency-distance distribution
+	IdxFootprint = IdxRegDep + 7             // 4 metrics: instr/data x 64B-block/4KB-page counts
+	IdxStrides   = IdxFootprint + 4          // 18 metrics: local/global x load/store buckets
+	IdxTakenRate = IdxStrides + 18           // average branch taken rate
+	IdxTransRate = IdxTakenRate + 1          // average branch transition rate
+	IdxPPM       = IdxTransRate + 1          // 12 metrics: {GAg,GAs,PAg,PAs} x history {4,8,12}
+	NumMetrics   = IdxPPM + 12               // 69
+)
+
+// Metric describes one of the 69 characteristics.
+type Metric struct {
+	// Index is the metric's position in a characteristic vector.
+	Index int
+	// Name is a short machine-friendly identifier, e.g. "gls_64".
+	Name string
+	// Description is the human-readable definition.
+	Description string
+	// Category is the Table 1 group.
+	Category Category
+}
+
+var metrics []Metric
+
+func addMetric(idx int, name, desc string, cat Category) {
+	if idx != len(metrics) {
+		panic(fmt.Sprintf("mica: metric %q registered at %d, expected %d", name, idx, len(metrics)))
+	}
+	metrics = append(metrics, Metric{Index: idx, Name: name, Description: desc, Category: cat})
+}
+
+func init() {
+	for c := 0; c < isa.NumOpClasses; c++ {
+		op := isa.OpClass(c)
+		addMetric(IdxMix+c, "mix_"+op.String(),
+			fmt.Sprintf("fraction of %s instructions", op), CatInstructionMix)
+	}
+	for i, w := range []int{32, 64, 128, 256} {
+		addMetric(IdxILP+i, fmt.Sprintf("ilp_%d", w),
+			fmt.Sprintf("ideal IPC with a %d-entry instruction window (perfect caches and branch prediction)", w), CatILP)
+	}
+	addMetric(IdxRegAvgSrc, "reg_src_cnt", "average number of register input operands per instruction", CatRegisterTraffic)
+	addMetric(IdxRegUse, "reg_use_deg", "average degree of use of register values (reads per write)", CatRegisterTraffic)
+	for i, b := range DepDistBounds {
+		lo := 1
+		if i > 0 {
+			lo = DepDistBounds[i-1] + 1
+		}
+		name := fmt.Sprintf("reg_dep_%d", b)
+		desc := fmt.Sprintf("probability register dependency distance in [%d,%d] instructions", lo, b)
+		addMetric(IdxRegDep+i, name, desc, CatRegisterTraffic)
+	}
+	addMetric(IdxFootprint+0, "instr_footprint_64B", "unique 64-byte blocks touched by the instruction stream", CatMemoryFootprint)
+	addMetric(IdxFootprint+1, "instr_footprint_4KB", "unique 4KB pages touched by the instruction stream", CatMemoryFootprint)
+	addMetric(IdxFootprint+2, "data_footprint_64B", "unique 64-byte blocks touched by the data stream", CatMemoryFootprint)
+	addMetric(IdxFootprint+3, "data_footprint_4KB", "unique 4KB pages touched by the data stream", CatMemoryFootprint)
+	idx := IdxStrides
+	for _, b := range LocalStrideBounds {
+		addMetric(idx, fmt.Sprintf("lls_%d", b), fmt.Sprintf("probability local load stride <= %d bytes", b), CatDataStrides)
+		idx++
+	}
+	for _, b := range LocalStrideBounds {
+		addMetric(idx, fmt.Sprintf("lss_%d", b), fmt.Sprintf("probability local store stride <= %d bytes", b), CatDataStrides)
+		idx++
+	}
+	for _, b := range GlobalStrideBounds {
+		addMetric(idx, fmt.Sprintf("gls_%d", b), fmt.Sprintf("probability global load stride <= %d bytes", b), CatDataStrides)
+		idx++
+	}
+	for _, b := range GlobalStrideBounds {
+		addMetric(idx, fmt.Sprintf("gss_%d", b), fmt.Sprintf("probability global store stride <= %d bytes", b), CatDataStrides)
+		idx++
+	}
+	addMetric(IdxTakenRate, "br_taken_rate", "average branch taken rate", CatBranchPredictability)
+	addMetric(IdxTransRate, "br_trans_rate", "average branch transition rate", CatBranchPredictability)
+	for i, cfg := range ppm.StandardConfigs() {
+		addMetric(IdxPPM+i, fmt.Sprintf("%s_%dbits", cfg.Name(), cfg.MaxHistory),
+			fmt.Sprintf("misprediction rate of the theoretical PPM %s predictor with %d-bit history", cfg.Name(), cfg.MaxHistory),
+			CatBranchPredictability)
+	}
+	if len(metrics) != NumMetrics {
+		panic(fmt.Sprintf("mica: registered %d metrics, want %d", len(metrics), NumMetrics))
+	}
+}
+
+// Metrics returns descriptors for all 69 characteristics, in vector order.
+func Metrics() []Metric {
+	out := make([]Metric, len(metrics))
+	copy(out, metrics)
+	return out
+}
+
+// MetricNames returns the 69 short names, in vector order.
+func MetricNames() []string {
+	out := make([]string, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// MetricByName returns the descriptor with the given short name.
+func MetricByName(name string) (Metric, bool) {
+	for _, m := range metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// ByCategory returns the metrics of one Table 1 category, in vector order.
+func ByCategory(c Category) []Metric {
+	var out []Metric
+	for _, m := range metrics {
+		if m.Category == c {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PaperKeyCharacteristics returns the 12 key characteristics the paper's
+// own genetic algorithm retained (its Table 2), mapped to this
+// implementation's metric names. Two instruction-mix entries are garbled
+// in the available copy of the paper and are approximated by the multiply
+// and shift fractions. This fixed set is useful for paper-comparable
+// kiviat plots without re-running the GA.
+func PaperKeyCharacteristics() []Metric {
+	names := []string{
+		"br_trans_rate",       // average branch transition rate
+		"GAs_4bits",           // PPM GAs misprediction, 4-bit history
+		"mix_int_mul",         // percentage ... instructions (garbled in source)
+		"mix_shift",           // percentage ... instructions (garbled in source)
+		"instr_footprint_64B", // instruction footprint, 64-byte blocks
+		"data_footprint_64B",  // data footprint, 64-byte blocks
+		"lss_1024",            // prob local store stride <= 1K
+		"lss_64",              // prob local store stride <= 64
+		"gls_262144",          // prob global load stride <= 256K
+		"gls_64",              // prob global load stride <= 64
+		"reg_use_deg",         // average degree of use
+		"reg_src_cnt",         // average number of register operands
+	}
+	out := make([]Metric, 0, len(names))
+	for _, n := range names {
+		m, ok := MetricByName(n)
+		if !ok {
+			panic("mica: paper key characteristic " + n + " not registered")
+		}
+		out = append(out, m)
+	}
+	return out
+}

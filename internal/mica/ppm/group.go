@@ -1,0 +1,194 @@
+package ppm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group evaluates one predictor variant (history scope x table scope) at
+// several maximum history lengths simultaneously. Because a PPM predictor
+// with maximum history H uses exactly the order-0..H frequency tables of
+// the H'-history predictor (H' >= H) of the same variant, the group
+// maintains one set of tables at the longest history and answers every
+// configured length from it — identical results to independent Predictor
+// instances at a fraction of the cost.
+type Group struct {
+	histScope  Scope
+	tableScope Scope
+	lengths    []int // sorted ascending
+	maxHist    int
+
+	mask   uint64
+	tables [][]entry
+
+	globalHist uint64
+	localHist  []uint64
+	localMask  uint64
+
+	predictions uint64
+	misses      []uint64 // per length
+}
+
+// NewGroup builds a grouped predictor for the given history lengths
+// (typically {4, 8, 12}).
+func NewGroup(histScope, tableScope Scope, lengths []int, tableBits int) (*Group, error) {
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("ppm: group with no history lengths")
+	}
+	ls := append([]int(nil), lengths...)
+	sort.Ints(ls)
+	if ls[0] < 0 || ls[len(ls)-1] > 32 {
+		return nil, fmt.Errorf("ppm: history lengths %v out of [0,32]", ls)
+	}
+	if tableBits == 0 {
+		tableBits = 14
+	}
+	if tableBits < 4 || tableBits > 24 {
+		return nil, fmt.Errorf("ppm: table bits %d out of [4,24]", tableBits)
+	}
+	g := &Group{
+		histScope:  histScope,
+		tableScope: tableScope,
+		lengths:    ls,
+		maxHist:    ls[len(ls)-1],
+		mask:       1<<uint(tableBits) - 1,
+		misses:     make([]uint64, len(ls)),
+	}
+	g.tables = make([][]entry, g.maxHist+1)
+	for o := range g.tables {
+		g.tables[o] = make([]entry, 1<<uint(tableBits))
+	}
+	if histScope == PerAddress {
+		const localBits = 10
+		g.localHist = make([]uint64, 1<<localBits)
+		g.localMask = 1<<localBits - 1
+	}
+	return g, nil
+}
+
+// Lengths returns the configured history lengths, ascending.
+func (g *Group) Lengths() []int { return append([]int(nil), g.lengths...) }
+
+// Name returns the variant name, e.g. "PAs".
+func (g *Group) Name() string {
+	return Config{HistoryScope: g.histScope, TableScope: g.tableScope}.Name()
+}
+
+// Reset clears all predictor state and counters.
+func (g *Group) Reset() {
+	for o := range g.tables {
+		t := g.tables[o]
+		for i := range t {
+			t[i] = entry{}
+		}
+	}
+	for i := range g.localHist {
+		g.localHist[i] = 0
+	}
+	g.globalHist = 0
+	g.predictions = 0
+	for i := range g.misses {
+		g.misses[i] = 0
+	}
+}
+
+func (g *Group) index(order int, hist, pc uint64) uint64 {
+	ctx := hist & (1<<uint(order) - 1)
+	key := ctx<<6 ^ uint64(order)
+	if g.tableScope == PerAddress {
+		key ^= mix64(pc) << 1
+	}
+	return mix64(key) & g.mask
+}
+
+// Record predicts the branch at pc at every configured history length,
+// then updates the shared tables with the outcome.
+func (g *Group) Record(pc uint64, taken bool) {
+	hist := &g.globalHist
+	if g.histScope == PerAddress {
+		hist = &g.localHist[mix64(pc)&g.localMask]
+	}
+
+	// One pass from the longest order down: whenever a seen context is
+	// crossed, it becomes the prediction for every cutoff >= that order
+	// that has not found a longer context yet.
+	pending := len(g.lengths) - 1
+	for o := g.maxHist; o >= 0 && pending >= 0; o-- {
+		if g.lengths[pending] < o {
+			continue // no unresolved cutoff can use a context this long
+		}
+		e := &g.tables[o][g.index(o, *hist, pc)]
+		if e.total == 0 {
+			continue
+		}
+		pred := 2*uint32(e.taken) >= uint32(e.total)
+		for pending >= 0 && g.lengths[pending] >= o {
+			if pred != taken {
+				g.misses[pending]++
+			}
+			pending--
+		}
+	}
+	// Cutoffs that found no seen context at any order default to taken.
+	for pending >= 0 {
+		if !taken {
+			g.misses[pending]++
+		}
+		pending--
+	}
+
+	for o := 0; o <= g.maxHist; o++ {
+		e := &g.tables[o][g.index(o, *hist, pc)]
+		if e.total == entryMax {
+			e.taken /= 2
+			e.total /= 2
+		}
+		e.total++
+		if taken {
+			e.taken++
+		}
+	}
+
+	*hist = *hist << 1
+	if taken {
+		*hist |= 1
+	}
+	g.predictions++
+}
+
+// MissRates returns the misprediction rate per configured history length,
+// ascending by length.
+func (g *Group) MissRates() []float64 {
+	out := make([]float64, len(g.lengths))
+	if g.predictions == 0 {
+		return out
+	}
+	for i, m := range g.misses {
+		out[i] = float64(m) / float64(g.predictions)
+	}
+	return out
+}
+
+// Predictions returns the number of branches recorded.
+func (g *Group) Predictions() uint64 { return g.predictions }
+
+// StandardGroups returns the four variant groups covering the twelve
+// standard configurations, in the same variant order as StandardConfigs
+// (GAg, GAs, PAg, PAs; each at histories 4, 8, 12).
+func StandardGroups() []*Group {
+	scopes := []struct{ h, t Scope }{
+		{Global, Global},
+		{Global, PerAddress},
+		{PerAddress, Global},
+		{PerAddress, PerAddress},
+	}
+	out := make([]*Group, 0, len(scopes))
+	for _, s := range scopes {
+		g, err := NewGroup(s.h, s.t, []int{4, 8, 12}, 0)
+		if err != nil {
+			panic("ppm: standard group invalid: " + err.Error())
+		}
+		out = append(out, g)
+	}
+	return out
+}

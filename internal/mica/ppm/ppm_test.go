@@ -1,0 +1,258 @@
+package ppm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigNames(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Global, Global, 8, 0}, "GAg"},
+		{Config{Global, PerAddress, 8, 0}, "GAs"},
+		{Config{PerAddress, Global, 8, 0}, "PAg"},
+		{Config{PerAddress, PerAddress, 8, 0}, "PAs"},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{MaxHistory: -1}); err == nil {
+		t.Fatal("negative history accepted")
+	}
+	if _, err := New(Config{MaxHistory: 40}); err == nil {
+		t.Fatal("oversized history accepted")
+	}
+	if _, err := New(Config{MaxHistory: 8, TableBits: 2}); err == nil {
+		t.Fatal("tiny table accepted")
+	}
+	if _, err := New(Config{MaxHistory: 8, TableBits: 30}); err == nil {
+		t.Fatal("huge table accepted")
+	}
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := mustNew(t, Config{Global, Global, 8, 0})
+	for i := 0; i < 1000; i++ {
+		p.Record(0x400, true)
+	}
+	if rate := p.MissRate(); rate > 0.01 {
+		t.Fatalf("always-taken miss rate = %v", rate)
+	}
+}
+
+func TestAlternatingPatternLearned(t *testing.T) {
+	for _, cfg := range StandardConfigs() {
+		p := mustNew(t, cfg)
+		for i := 0; i < 2000; i++ {
+			p.Record(0x400, i%2 == 0)
+		}
+		if rate := p.MissRate(); rate > 0.05 {
+			t.Fatalf("%s_%d: alternating pattern miss rate %v", cfg.Name(), cfg.MaxHistory, rate)
+		}
+	}
+}
+
+func TestPeriodicPatternNeedsHistory(t *testing.T) {
+	// A period-6 pattern (5 taken, 1 not) is learnable with history >= 5
+	// but not with history 4 contexts alone (the all-taken context is
+	// ambiguous), so longer histories must do strictly better.
+	run := func(hist int) float64 {
+		p := mustNew(t, Config{Global, Global, hist, 0})
+		for i := 0; i < 6000; i++ {
+			p.Record(0x400, i%6 != 5)
+		}
+		return p.MissRate()
+	}
+	short := run(4)
+	long := run(12)
+	if long >= short {
+		t.Fatalf("12-bit history (%v) not better than 4-bit (%v) on period-6 pattern", long, short)
+	}
+	if long > 0.02 {
+		t.Fatalf("period-6 pattern not learned by 12-bit PPM: %v", long)
+	}
+}
+
+func TestRandomOutcomesNearHalf(t *testing.T) {
+	p := mustNew(t, Config{Global, PerAddress, 8, 0})
+	x := uint64(12345)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p.Record(0x400, x>>63 == 1)
+	}
+	if rate := p.MissRate(); math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("random-outcome miss rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestPerAddressHistorySeparatesBranches(t *testing.T) {
+	// Two interleaved branches with opposite constant outcomes: trivial
+	// for per-address history, also learnable globally, but per-address
+	// tables must not confuse them.
+	p := mustNew(t, Config{PerAddress, PerAddress, 8, 0})
+	for i := 0; i < 4000; i++ {
+		p.Record(0x100, true)
+		p.Record(0x200, false)
+	}
+	if rate := p.MissRate(); rate > 0.01 {
+		t.Fatalf("two-constant-branch miss rate = %v", rate)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := mustNew(t, Config{Global, Global, 4, 0})
+	for i := 0; i < 100; i++ {
+		p.Record(0x400, true)
+	}
+	p.Reset()
+	if p.Predictions() != 0 || p.Misses() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if p.MissRate() != 0 {
+		t.Fatal("MissRate after Reset should be 0")
+	}
+}
+
+func TestStandardConfigs(t *testing.T) {
+	cfgs := StandardConfigs()
+	if len(cfgs) != 12 {
+		t.Fatalf("got %d standard configs, want 12", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		key := c.Name() + string(rune(c.MaxHistory))
+		if seen[key] {
+			t.Fatalf("duplicate config %s/%d", c.Name(), c.MaxHistory)
+		}
+		seen[key] = true
+		if c.MaxHistory != 4 && c.MaxHistory != 8 && c.MaxHistory != 12 {
+			t.Fatalf("unexpected history length %d", c.MaxHistory)
+		}
+	}
+}
+
+// TestGroupMatchesIndividualPredictors is the equivalence property backing
+// the analyzer's use of Group: for any outcome stream, the grouped
+// predictor must report exactly the miss rates of the twelve independent
+// PPM predictors.
+func TestGroupMatchesIndividualPredictors(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		groups := StandardGroups()
+		var preds []*Predictor
+		for _, cfg := range StandardConfigs() {
+			p, err := New(cfg)
+			if err != nil {
+				return false
+			}
+			preds = append(preds, p)
+		}
+		x := seed
+		for _, b := range raw {
+			// A handful of branch PCs with data-dependent outcomes.
+			pc := uint64(0x400000 + int(b%7)*4)
+			x = x*6364136223846793005 + 1442695040888963407
+			taken := (x>>62)&1 == 1 || b%3 == 0
+			for _, g := range groups {
+				g.Record(pc, taken)
+			}
+			for _, p := range preds {
+				p.Record(pc, taken)
+			}
+		}
+		i := 0
+		for _, g := range groups {
+			for _, rate := range g.MissRates() {
+				if math.Abs(rate-preds[i].MissRate()) > 1e-12 {
+					return false
+				}
+				i++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupReset(t *testing.T) {
+	g, err := NewGroup(Global, Global, []int{4, 8, 12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		g.Record(0x4, i%2 == 0)
+	}
+	g.Reset()
+	if g.Predictions() != 0 {
+		t.Fatal("Reset did not clear predictions")
+	}
+	for _, r := range g.MissRates() {
+		if r != 0 {
+			t.Fatal("Reset did not clear miss counters")
+		}
+	}
+}
+
+func TestGroupRejectsBadConfig(t *testing.T) {
+	if _, err := NewGroup(Global, Global, nil, 0); err == nil {
+		t.Fatal("empty lengths accepted")
+	}
+	if _, err := NewGroup(Global, Global, []int{40}, 0); err == nil {
+		t.Fatal("oversized history accepted")
+	}
+	if _, err := NewGroup(Global, Global, []int{4}, 2); err == nil {
+		t.Fatal("tiny tables accepted")
+	}
+}
+
+func TestGroupLengthsSortedCopy(t *testing.T) {
+	g, err := NewGroup(Global, Global, []int{12, 4, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := g.Lengths()
+	if ls[0] != 4 || ls[1] != 8 || ls[2] != 12 {
+		t.Fatalf("Lengths() = %v, want ascending", ls)
+	}
+	ls[0] = 99
+	if g.Lengths()[0] != 4 {
+		t.Fatal("Lengths() exposed internal slice")
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	if Global.String() != "G" || PerAddress.String() != "P" {
+		t.Fatal("scope strings wrong")
+	}
+}
+
+func TestGroupName(t *testing.T) {
+	g, err := NewGroup(PerAddress, Global, []int{4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "PAg" {
+		t.Fatalf("group name = %q", g.Name())
+	}
+}

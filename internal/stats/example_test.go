@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleComputePCA reduces a tiny correlated data set to its principal
+// components and reports how much variance the first component carries.
+func ExampleComputePCA() {
+	// Two perfectly correlated columns plus one constant: one real
+	// dimension of information.
+	data, err := stats.FromRows([][]float64{
+		{1, 2, 5},
+		{2, 4, 5},
+		{3, 6, 5},
+		{4, 8, 5},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	pca, err := stats.ComputePCA(data, true)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("retained=%d pc1=%.0f%%\n",
+		pca.NumRetained(1.0), 100*pca.ExplainedVariance(1))
+	// Output: retained=1 pc1=100%
+}
+
+// ExamplePearson measures linear correlation between two samples.
+func ExamplePearson() {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	fmt.Printf("%.2f\n", stats.Pearson(x, y))
+	// Output: 1.00
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA holds the result of a principal components analysis: the components
+// (eigenvectors of the covariance matrix), their variances (eigenvalues)
+// and the column statistics of the input data that scores must be computed
+// against.
+type PCA struct {
+	// Components is p x p: row k is the loading vector of principal
+	// component k (components are sorted by decreasing variance).
+	Components *Matrix
+	// Variances are the eigenvalues, sorted decreasing.
+	Variances []float64
+	// InputStats holds the mean/std the input was normalized with before
+	// the analysis (all-zero std entries mean no scaling was applied).
+	InputStats ColumnStats
+	// TotalVariance is the sum of all eigenvalues.
+	TotalVariance float64
+}
+
+// ComputePCA runs a principal components analysis on the rows of data. If
+// normalize is true (the usual case for workload characterization, where
+// the characteristics live on wildly different scales), columns are first
+// normalized to zero mean and unit variance.
+func ComputePCA(data *Matrix, normalize bool) (*PCA, error) {
+	if data.Rows < 2 {
+		return nil, fmt.Errorf("stats: PCA needs at least 2 rows, have %d", data.Rows)
+	}
+	if data.Cols < 1 {
+		return nil, fmt.Errorf("stats: PCA needs at least 1 column")
+	}
+	work := data
+	var cs ColumnStats
+	if normalize {
+		work, cs = data.Normalize()
+	} else {
+		cs = ColumnStats{Mean: make([]float64, data.Cols), Std: make([]float64, data.Cols)}
+		for j := range cs.Std {
+			cs.Std[j] = 1
+		}
+		// Center only (PCA is defined on centered data).
+		ms := data.ColumnMeansStds()
+		cs.Mean = ms.Mean
+		work = NewMatrix(data.Rows, data.Cols)
+		for i := 0; i < data.Rows; i++ {
+			src, dst := data.Row(i), work.Row(i)
+			for j, v := range src {
+				dst[j] = v - ms.Mean[j]
+			}
+		}
+	}
+	cov := work.Covariance()
+	vals, vecs, err := JacobiEigen(cov, 200, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sort eigenpairs by decreasing eigenvalue.
+	p := data.Cols
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	pca := &PCA{
+		Components: NewMatrix(p, p),
+		Variances:  make([]float64, p),
+		InputStats: cs,
+	}
+	for k, idx := range order {
+		v := vals[idx]
+		if v < 0 && v > -1e-10 {
+			v = 0 // numerical noise on rank-deficient data
+		}
+		pca.Variances[k] = v
+		pca.TotalVariance += v
+		// Eigenvector idx is column idx of vecs.
+		for j := 0; j < p; j++ {
+			pca.Components.Set(k, j, vecs.At(j, idx))
+		}
+	}
+	return pca, nil
+}
+
+// NumRetained returns how many leading components have standard deviation
+// greater than minStd (the paper retains components with std > 1 on
+// normalized data). At least one component is always retained.
+func (p *PCA) NumRetained(minStd float64) int {
+	n := 0
+	for _, v := range p.Variances {
+		if math.Sqrt(math.Max(v, 0)) > minStd {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// ExplainedVariance returns the fraction of total variance captured by the
+// first k components.
+func (p *PCA) ExplainedVariance(k int) float64 {
+	if p.TotalVariance == 0 {
+		return 0
+	}
+	if k > len(p.Variances) {
+		k = len(p.Variances)
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += p.Variances[i]
+	}
+	return s / p.TotalVariance
+}
+
+// Project maps the rows of data (raw, un-normalized) into the space of the
+// first k principal components, applying the stored normalization.
+func (p *PCA) Project(data *Matrix, k int) (*Matrix, error) {
+	if data.Cols != p.Components.Cols {
+		return nil, fmt.Errorf("stats: projecting %d-column data through %d-column PCA", data.Cols, p.Components.Cols)
+	}
+	if k < 1 || k > p.Components.Rows {
+		return nil, fmt.Errorf("stats: cannot retain %d of %d components", k, p.Components.Rows)
+	}
+	out := NewMatrix(data.Rows, k)
+	ncols := data.Cols
+	centered := make([]float64, ncols)
+	for i := 0; i < data.Rows; i++ {
+		row := data.Row(i)
+		for j, v := range row {
+			d := v - p.InputStats.Mean[j]
+			if p.InputStats.Std[j] > 0 {
+				d /= p.InputStats.Std[j]
+			}
+			centered[j] = d
+		}
+		dst := out.Row(i)
+		for c := 0; c < k; c++ {
+			comp := p.Components.Row(c)
+			var s float64
+			for j := 0; j < ncols; j++ {
+				s += comp[j] * centered[j]
+			}
+			dst[c] = s
+		}
+	}
+	return out, nil
+}
+
+// RescaledScores projects data onto the first k components and then
+// normalizes each score column to unit variance — the paper's "rescaled
+// PCA space", which gives every retained underlying program characteristic
+// equal weight in subsequent distance computations.
+func (p *PCA) RescaledScores(data *Matrix, k int) (*Matrix, error) {
+	scores, err := p.Project(data, k)
+	if err != nil {
+		return nil, err
+	}
+	rescaled, _ := scores.Normalize()
+	return rescaled, nil
+}
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the symmetric
+// matrix a using the cyclic Jacobi rotation method. It returns the
+// eigenvalues and a matrix whose columns are the corresponding
+// eigenvectors. a is not modified.
+func JacobiEigen(a *Matrix, maxSweeps int, tol float64) ([]float64, *Matrix, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, nil, fmt.Errorf("stats: Jacobi on non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	// Verify symmetry (within tolerance scaled by magnitude).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Abs(a.At(i, j) - a.At(j, i))
+			scale := math.Max(1, math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i))))
+			if d > 1e-8*scale {
+				return nil, nil, fmt.Errorf("stats: Jacobi on non-symmetric matrix (|a[%d,%d]-a[%d,%d]| = %g)", i, j, j, i, d)
+			}
+		}
+	}
+
+	m := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal norm for convergence.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < tol*tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation J(p, q, theta): rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v, nil
+}

@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// MixSpec holds relative weights for each operation class. Weights need not
+// sum to one; the generator normalizes them. The zero value is invalid (no
+// weight anywhere).
+type MixSpec [isa.NumOpClasses]float64
+
+// Normalize returns a copy scaled to sum to 1. It returns an error if no
+// class has positive weight.
+func (m MixSpec) Normalize() (MixSpec, error) {
+	var total float64
+	for _, w := range m {
+		if w < 0 {
+			return m, fmt.Errorf("trace: negative mix weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return m, fmt.Errorf("trace: empty instruction mix")
+	}
+	for i := range m {
+		m[i] /= total
+	}
+	return m, nil
+}
+
+// Set assigns weight w to class c and returns the modified spec, enabling
+// fluent construction.
+func (m MixSpec) Set(c isa.OpClass, w float64) MixSpec {
+	m[c] = w
+	return m
+}
+
+// BaseMix returns a generic scalar-code mix that individual behaviours
+// adjust: mostly integer ALU with moderate memory and branch traffic.
+func BaseMix() MixSpec {
+	var m MixSpec
+	m[isa.OpLoad] = 0.20
+	m[isa.OpStore] = 0.09
+	m[isa.OpBranchCond] = 0.12
+	m[isa.OpBranchJump] = 0.02
+	m[isa.OpCall] = 0.01
+	m[isa.OpReturn] = 0.01
+	m[isa.OpIntAdd] = 0.28
+	m[isa.OpIntMul] = 0.01
+	m[isa.OpLogic] = 0.07
+	m[isa.OpShift] = 0.05
+	m[isa.OpCompare] = 0.08
+	m[isa.OpMove] = 0.05
+	m[isa.OpOther] = 0.01
+	return m
+}
+
+// FPBaseMix returns a generic floating-point-loop mix.
+func FPBaseMix() MixSpec {
+	var m MixSpec
+	m[isa.OpLoad] = 0.26
+	m[isa.OpStore] = 0.10
+	m[isa.OpBranchCond] = 0.04
+	m[isa.OpBranchJump] = 0.01
+	m[isa.OpFPAdd] = 0.24
+	m[isa.OpFPMul] = 0.18
+	m[isa.OpFPDiv] = 0.01
+	m[isa.OpIntAdd] = 0.10
+	m[isa.OpCompare] = 0.02
+	m[isa.OpMove] = 0.03
+	m[isa.OpConvert] = 0.01
+	return m
+}
+
+// BranchSpec describes conditional-branch behaviour of a phase.
+//
+// Each static branch is assigned (deterministically, by hashing its PC) a
+// period derived from PatternPeriod; its outcome stream is then a periodic
+// loop-style pattern (taken for period-1 iterations, not-taken once — or the
+// inverse for low TakenBias) perturbed by NoiseLevel. PatternPeriod == 0
+// makes outcomes Bernoulli(TakenBias) — essentially unpredictable for
+// TakenBias near 0.5.
+type BranchSpec struct {
+	// TakenBias is the target fraction of taken outcomes in [0, 1].
+	TakenBias float64
+	// PatternPeriod is the mean period of the per-branch repeating
+	// pattern; 0 disables patterns (pure Bernoulli outcomes).
+	PatternPeriod int
+	// NoiseLevel is the probability that a patterned outcome is flipped.
+	NoiseLevel float64
+}
+
+// RegDepSpec describes register traffic and dependence structure.
+type RegDepSpec struct {
+	// MeanDepDist is the mean register dependency distance (instructions
+	// between production and consumption); sampled geometrically.
+	MeanDepDist float64
+	// AvgSrcRegs is the average number of register input operands per
+	// instruction, in [0, isa.MaxSrcRegs].
+	AvgSrcRegs float64
+	// WriteFraction is the fraction of instructions producing a register
+	// value; degree of use ~= AvgSrcRegs/WriteFraction.
+	WriteFraction float64
+}
+
+// PatternKind selects how an AccessPattern walks its region.
+type PatternKind uint8
+
+const (
+	// PatternStride walks the region with a fixed stride, wrapping.
+	PatternStride PatternKind = iota
+	// PatternRandom touches uniformly random 8-byte-aligned locations.
+	PatternRandom
+	// PatternChase performs a deterministic pseudo-random permutation
+	// walk (pointer chasing): random-looking strides but a footprint that
+	// grows linearly like a strided walk.
+	PatternChase
+)
+
+func (k PatternKind) String() string {
+	switch k {
+	case PatternStride:
+		return "stride"
+	case PatternRandom:
+		return "random"
+	case PatternChase:
+		return "chase"
+	default:
+		return fmt.Sprintf("pattern(%d)", uint8(k))
+	}
+}
+
+// AccessPattern describes one component of a phase's load or store address
+// stream.
+type AccessPattern struct {
+	// Kind selects the walk.
+	Kind PatternKind
+	// Weight is the fraction of accesses served by this pattern,
+	// relative to its siblings.
+	Weight float64
+	// Region is the working-set size in bytes touched by this pattern.
+	Region uint64
+	// Stride is the byte stride for PatternStride.
+	Stride uint64
+}
+
+// Validate reports structural problems with the pattern.
+func (p AccessPattern) Validate() error {
+	if p.Weight < 0 {
+		return fmt.Errorf("trace: pattern weight %v < 0", p.Weight)
+	}
+	if p.Region == 0 {
+		return fmt.Errorf("trace: pattern with zero region")
+	}
+	if p.Kind == PatternStride && p.Stride == 0 {
+		return fmt.Errorf("trace: stride pattern with zero stride")
+	}
+	return nil
+}
+
+// PhaseBehavior is the complete behavioural description of one program
+// phase. It is the unit the synthetic-workload generator consumes: every
+// instruction interval is generated from exactly one PhaseBehavior (plus a
+// seed and a small amount of per-interval jitter).
+type PhaseBehavior struct {
+	// Name identifies the phase in diagnostics, e.g. "grappa/kernel".
+	Name string
+
+	// Mix is the instruction-class distribution.
+	Mix MixSpec
+
+	// CodeSize is the static code footprint in instructions; the dynamic
+	// program counter walks loops and functions inside this region.
+	CodeSize int
+
+	// Branch describes conditional-branch outcome behaviour.
+	Branch BranchSpec
+
+	// Reg describes register traffic and dependence distances.
+	Reg RegDepSpec
+
+	// Loads and Stores describe the data address streams.
+	Loads  []AccessPattern
+	Stores []AccessPattern
+
+	// Jitter is the relative per-interval perturbation (0–~0.3) applied
+	// to continuous parameters so intervals of one phase are similar but
+	// not identical.
+	Jitter float64
+}
+
+// Validate checks the behaviour for structural errors.
+func (b *PhaseBehavior) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("trace: phase with empty name")
+	}
+	if _, err := b.Mix.Normalize(); err != nil {
+		return fmt.Errorf("phase %s: %w", b.Name, err)
+	}
+	if b.CodeSize <= 0 {
+		return fmt.Errorf("phase %s: non-positive code size", b.Name)
+	}
+	if b.Branch.TakenBias < 0 || b.Branch.TakenBias > 1 {
+		return fmt.Errorf("phase %s: taken bias %v out of [0,1]", b.Name, b.Branch.TakenBias)
+	}
+	if b.Branch.NoiseLevel < 0 || b.Branch.NoiseLevel > 1 {
+		return fmt.Errorf("phase %s: noise level %v out of [0,1]", b.Name, b.Branch.NoiseLevel)
+	}
+	if b.Reg.AvgSrcRegs < 0 || b.Reg.AvgSrcRegs > float64(isa.MaxSrcRegs) {
+		return fmt.Errorf("phase %s: avg src regs %v out of range", b.Name, b.Reg.AvgSrcRegs)
+	}
+	if b.Reg.WriteFraction <= 0 || b.Reg.WriteFraction > 1 {
+		return fmt.Errorf("phase %s: write fraction %v out of (0,1]", b.Name, b.Reg.WriteFraction)
+	}
+	if b.Reg.MeanDepDist < 1 {
+		return fmt.Errorf("phase %s: mean dependency distance %v < 1", b.Name, b.Reg.MeanDepDist)
+	}
+	if len(b.Loads) == 0 {
+		return fmt.Errorf("phase %s: no load patterns", b.Name)
+	}
+	if len(b.Stores) == 0 {
+		return fmt.Errorf("phase %s: no store patterns", b.Name)
+	}
+	for _, p := range b.Loads {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("phase %s loads: %w", b.Name, err)
+		}
+	}
+	for _, p := range b.Stores {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("phase %s stores: %w", b.Name, err)
+		}
+	}
+	return nil
+}
+
+// jittered returns a copy of b with continuous parameters perturbed by the
+// phase's jitter amount, using r. Structural parameters (pattern kinds,
+// counts) are preserved.
+func (b *PhaseBehavior) jittered(r *RNG) PhaseBehavior {
+	j := *b
+	if b.Jitter <= 0 {
+		return j
+	}
+	a := b.Jitter
+	for i := range j.Mix {
+		j.Mix[i] = r.Jitter(j.Mix[i], a)
+	}
+	j.Branch.TakenBias = clamp01(r.Jitter(j.Branch.TakenBias, a/2))
+	j.Branch.NoiseLevel = clamp01(r.Jitter(j.Branch.NoiseLevel, a))
+	j.Reg.MeanDepDist = maxf(1, r.Jitter(j.Reg.MeanDepDist, a))
+	j.Reg.AvgSrcRegs = clampf(r.Jitter(j.Reg.AvgSrcRegs, a/2), 0, float64(isa.MaxSrcRegs))
+	j.Reg.WriteFraction = clampf(r.Jitter(j.Reg.WriteFraction, a/2), 0.05, 1)
+	j.Loads = jitterPatterns(j.Loads, r, a)
+	j.Stores = jitterPatterns(j.Stores, r, a)
+	return j
+}
+
+func jitterPatterns(ps []AccessPattern, r *RNG, a float64) []AccessPattern {
+	out := make([]AccessPattern, len(ps))
+	copy(out, ps)
+	for i := range out {
+		out[i].Weight = r.Jitter(out[i].Weight, a)
+		reg := r.Jitter(float64(out[i].Region), a)
+		if reg < 64 {
+			reg = 64
+		}
+		out[i].Region = uint64(reg)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 { return clampf(v, 0, 1) }
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// paramHash folds the CODE-shaped behavioural parameters into one 64-bit
+// value: instruction mix, code size, branch behaviour, register structure,
+// and the memory-pattern kinds. Two phases with identical code-shaped
+// parameters hash identically, so the generator gives them the same
+// synthetic static code — the basis for cross-benchmark phase similarity.
+// Data-region sizes, strides and pattern weights are deliberately
+// excluded: the same program processing a different input keeps its code.
+func (b *PhaseBehavior) paramHash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		h = Hash64(h ^ v)
+	}
+	f := func(v float64) { mix(math.Float64bits(v)) }
+	for _, w := range b.Mix {
+		f(w)
+	}
+	mix(uint64(b.CodeSize))
+	// Branch outcome parameters (taken bias, noise) are data-dependent
+	// and excluded; the pattern period reflects loop structure and stays.
+	mix(uint64(b.Branch.PatternPeriod))
+	f(b.Reg.MeanDepDist)
+	f(b.Reg.AvgSrcRegs)
+	f(b.Reg.WriteFraction)
+	for _, ps := range [][]AccessPattern{b.Loads, b.Stores} {
+		mix(uint64(len(ps)))
+		for _, p := range ps {
+			mix(uint64(p.Kind))
+		}
+	}
+	return h
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// validBehavior returns a minimal valid phase for mutation in tests.
+func validBehavior() PhaseBehavior {
+	return PhaseBehavior{
+		Name:     "test/phase",
+		Mix:      BaseMix(),
+		CodeSize: 1000,
+		Branch:   BranchSpec{TakenBias: 0.6, PatternPeriod: 8, NoiseLevel: 0.1},
+		Reg:      RegDepSpec{MeanDepDist: 4, AvgSrcRegs: 1.5, WriteFraction: 0.7},
+		Loads:    []AccessPattern{{Kind: PatternStride, Weight: 1, Region: 1 << 16, Stride: 8}},
+		Stores:   []AccessPattern{{Kind: PatternRandom, Weight: 1, Region: 1 << 14}},
+		Jitter:   0.05,
+	}
+}
+
+func TestValidBehaviorValidates(t *testing.T) {
+	b := validBehavior()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid behaviour rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*PhaseBehavior)
+		want string
+	}{
+		{"empty name", func(b *PhaseBehavior) { b.Name = "" }, "empty name"},
+		{"empty mix", func(b *PhaseBehavior) { b.Mix = MixSpec{} }, "mix"},
+		{"negative mix", func(b *PhaseBehavior) { b.Mix[0] = -1 }, "negative"},
+		{"zero code", func(b *PhaseBehavior) { b.CodeSize = 0 }, "code size"},
+		{"bias too high", func(b *PhaseBehavior) { b.Branch.TakenBias = 1.5 }, "taken bias"},
+		{"bias negative", func(b *PhaseBehavior) { b.Branch.TakenBias = -0.1 }, "taken bias"},
+		{"noise too high", func(b *PhaseBehavior) { b.Branch.NoiseLevel = 2 }, "noise"},
+		{"src regs too many", func(b *PhaseBehavior) { b.Reg.AvgSrcRegs = 10 }, "src regs"},
+		{"zero write fraction", func(b *PhaseBehavior) { b.Reg.WriteFraction = 0 }, "write fraction"},
+		{"dep dist below one", func(b *PhaseBehavior) { b.Reg.MeanDepDist = 0.5 }, "dependency distance"},
+		{"no loads", func(b *PhaseBehavior) { b.Loads = nil }, "no load"},
+		{"no stores", func(b *PhaseBehavior) { b.Stores = nil }, "no store"},
+		{"zero region", func(b *PhaseBehavior) { b.Loads[0].Region = 0 }, "zero region"},
+		{"zero stride", func(b *PhaseBehavior) { b.Loads[0].Stride = 0 }, "zero stride"},
+		{"negative weight", func(b *PhaseBehavior) { b.Loads[0].Weight = -1 }, "weight"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := validBehavior()
+			// Deep-copy patterns so mutations don't leak across cases.
+			b.Loads = append([]AccessPattern(nil), b.Loads...)
+			b.Stores = append([]AccessPattern(nil), b.Stores...)
+			tt.mut(&b)
+			err := b.Validate()
+			if err == nil {
+				t.Fatal("invalid behaviour accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestMixNormalize(t *testing.T) {
+	var m MixSpec
+	m[isa.OpLoad] = 2
+	m[isa.OpStore] = 2
+	n, err := m.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n[isa.OpLoad] != 0.5 || n[isa.OpStore] != 0.5 {
+		t.Fatalf("normalized mix = %v/%v, want 0.5/0.5", n[isa.OpLoad], n[isa.OpStore])
+	}
+	// The receiver must be unchanged (value semantics).
+	if m[isa.OpLoad] != 2 {
+		t.Fatal("Normalize mutated its receiver")
+	}
+}
+
+func TestMixSet(t *testing.T) {
+	m := BaseMix().Set(isa.OpFPSqrt, 0.25)
+	if m[isa.OpFPSqrt] != 0.25 {
+		t.Fatalf("Set did not assign: %v", m[isa.OpFPSqrt])
+	}
+}
+
+func TestBaseMixesNormalize(t *testing.T) {
+	for name, m := range map[string]MixSpec{"base": BaseMix(), "fp": FPBaseMix()} {
+		n, err := m.Normalize()
+		if err != nil {
+			t.Fatalf("%s mix invalid: %v", name, err)
+		}
+		var sum float64
+		for _, w := range n {
+			sum += w
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s mix normalizes to %v", name, sum)
+		}
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	if PatternStride.String() != "stride" || PatternRandom.String() != "random" || PatternChase.String() != "chase" {
+		t.Fatal("pattern kind names wrong")
+	}
+	if got := PatternKind(9).String(); got != "pattern(9)" {
+		t.Fatalf("unknown pattern kind = %q", got)
+	}
+}
+
+func TestJitteredStaysValidAndBounded(t *testing.T) {
+	b := validBehavior()
+	b.Jitter = 0.3
+	r := NewRNG(99)
+	for i := 0; i < 200; i++ {
+		j := b.jittered(r)
+		if err := j.Validate(); err != nil {
+			t.Fatalf("jittered behaviour invalid: %v", err)
+		}
+		if j.Branch.TakenBias < 0 || j.Branch.TakenBias > 1 {
+			t.Fatalf("jittered taken bias %v out of range", j.Branch.TakenBias)
+		}
+		if j.Reg.MeanDepDist < 1 {
+			t.Fatalf("jittered dep dist %v below 1", j.Reg.MeanDepDist)
+		}
+		if j.CodeSize != b.CodeSize {
+			t.Fatal("jitter must not change structural code size")
+		}
+		if len(j.Loads) != len(b.Loads) {
+			t.Fatal("jitter must not change pattern count")
+		}
+	}
+}
+
+func TestJitterZeroIsIdentity(t *testing.T) {
+	b := validBehavior()
+	b.Jitter = 0
+	j := b.jittered(NewRNG(1))
+	if j.Branch.TakenBias != b.Branch.TakenBias || j.Reg.MeanDepDist != b.Reg.MeanDepDist {
+		t.Fatal("zero jitter changed parameters")
+	}
+}
+
+func TestJitteredDoesNotMutateOriginal(t *testing.T) {
+	b := validBehavior()
+	b.Jitter = 0.3
+	before := b.Loads[0].Region
+	_ = b.jittered(NewRNG(4))
+	if b.Loads[0].Region != before {
+		t.Fatal("jittered mutated the original pattern slice")
+	}
+}
+
+func TestParamHashIgnoresName(t *testing.T) {
+	a := validBehavior()
+	b := validBehavior()
+	b.Name = "totally/different"
+	if a.paramHash() != b.paramHash() {
+		t.Fatal("paramHash must ignore the phase name (twin phases share static code)")
+	}
+}
+
+func TestParamHashIgnoresDataParameters(t *testing.T) {
+	// The same code processing a bigger input keeps its static layout.
+	a := validBehavior()
+	b := validBehavior()
+	b.Loads = append([]AccessPattern(nil), b.Loads...)
+	b.Loads[0].Region *= 4
+	b.Loads[0].Stride = 16
+	b.Loads[0].Weight *= 2
+	b.Branch.TakenBias += 0.05 // data-dependent outcome shift
+	b.Branch.NoiseLevel += 0.05
+	if a.paramHash() != b.paramHash() {
+		t.Fatal("paramHash must ignore data-dependent parameters")
+	}
+}
+
+func TestParamHashSensitiveToParameters(t *testing.T) {
+	base := validBehavior()
+	mutations := []func(*PhaseBehavior){
+		func(b *PhaseBehavior) { b.Mix[0] += 0.01 },
+		func(b *PhaseBehavior) { b.CodeSize++ },
+		func(b *PhaseBehavior) { b.Branch.PatternPeriod++ },
+		func(b *PhaseBehavior) { b.Reg.MeanDepDist++ },
+		func(b *PhaseBehavior) { b.Stores = append(b.Stores, b.Stores[0]) },
+	}
+	for i, mut := range mutations {
+		m := validBehavior()
+		m.Loads = append([]AccessPattern(nil), m.Loads...)
+		m.Stores = append([]AccessPattern(nil), m.Stores...)
+		mut(&m)
+		if m.paramHash() == base.paramHash() {
+			t.Errorf("mutation %d did not change paramHash", i)
+		}
+	}
+}
+
+func TestTwinPhasesGenerateIdenticalStreams(t *testing.T) {
+	// Two behaviours that differ only by name must produce identical
+	// instruction streams for the same seed — the mechanism behind
+	// cross-suite phase twins.
+	a := validBehavior()
+	b := validBehavior()
+	b.Name = "other/name"
+	ga, err := NewGenerator(&a, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewGenerator(&b, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ia, ib isa.Instruction
+	for i := 0; i < 5000; i++ {
+		ga.Next(&ia)
+		gb.Next(&ib)
+		if ia != ib {
+			t.Fatalf("twin streams diverged at %d:\n%v\n%v", i, &ia, &ib)
+		}
+	}
+}

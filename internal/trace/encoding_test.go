@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func roundTrip(t *testing.T, instrs []isa.Instruction) []isa.Instruction {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range instrs {
+		if err := w.Write(&instrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var out []isa.Instruction
+	var ins isa.Instruction
+	for {
+		err := r.Next(&ins)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+func TestTraceRoundTripGenerated(t *testing.T) {
+	b := validBehavior()
+	var orig []isa.Instruction
+	if err := GenerateInterval(&b, 5, 20000, func(ins *isa.Instruction) {
+		orig = append(orig, *ins)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, orig)
+	if len(got) != len(orig) {
+		t.Fatalf("round-tripped %d of %d instructions", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("instruction %d changed:\n%v\n%v", i, &orig[i], &got[i])
+		}
+	}
+}
+
+func TestTraceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var ins isa.Instruction
+	if err := r.Next(&ins); err != io.EOF {
+		t.Fatalf("empty trace Next = %v, want EOF", err)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("not a trace at all")))
+	var ins isa.Instruction
+	if err := r.Next(&ins); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+}
+
+func TestTraceRejectsTruncation(t *testing.T) {
+	b := validBehavior()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := GenerateInterval(&b, 7, 100, func(ins *isa.Instruction) {
+		if err := w.Write(ins); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut mid-instruction: at least one prefix in the body must error
+	// with ErrBadTrace rather than silently truncate everything.
+	sawBad := false
+	for cut := 5; cut < len(full); cut += 7 {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		var ins isa.Instruction
+		var err error
+		for {
+			err = r.Next(&ins)
+			if err != nil {
+				break
+			}
+		}
+		if errors.Is(err, ErrBadTrace) {
+			sawBad = true
+		} else if err != io.EOF {
+			t.Fatalf("unexpected error %v at cut %d", err, cut)
+		}
+	}
+	if !sawBad {
+		t.Fatal("no truncation was ever detected")
+	}
+}
+
+func TestTraceCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ins := isa.Instruction{Op: isa.OpIntAdd, PC: 0x400000}
+	for i := 0; i < 42; i++ {
+		if err := w.Write(&ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 42 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Delta encoding should keep loop-heavy traces well under the naive
+	// fixed-width footprint (~26 bytes/instruction).
+	b := validBehavior()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 50000
+	if err := GenerateInterval(&b, 11, n, func(ins *isa.Instruction) {
+		if err := w.Write(ins); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / n
+	if perInstr > 12 {
+		t.Fatalf("trace uses %.1f bytes/instruction, expected compact encoding", perInstr)
+	}
+}
+
+func TestTraceZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzig(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRejectsOversizedNSrc(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	bad := isa.Instruction{Op: isa.OpIntAdd, NSrc: isa.MaxSrcRegs + 1}
+	if err := w.Write(&bad); err == nil {
+		t.Fatal("oversized NSrc accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package uarch
+
+import "fmt"
+
+// BranchPredictor is a realizable (table-limited) dynamic branch predictor,
+// in contrast to the theoretical PPM predictor of the MICA metrics.
+type BranchPredictor interface {
+	// Record predicts the branch at pc, updates the predictor with the
+	// outcome, and returns the prediction made.
+	Record(pc uint64, taken bool) bool
+	// MissRate returns mispredictions/predictions.
+	MissRate() float64
+	// Reset clears all state.
+	Reset()
+	// Name labels the predictor.
+	Name() string
+}
+
+// counter is a 2-bit saturating counter: 0,1 predict not-taken; 2,3 taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+type predictorStats struct {
+	predictions uint64
+	misses      uint64
+}
+
+func (s *predictorStats) record(pred, taken bool) {
+	s.predictions++
+	if pred != taken {
+		s.misses++
+	}
+}
+
+func (s *predictorStats) missRate() float64 {
+	if s.predictions == 0 {
+		return 0
+	}
+	return float64(s.misses) / float64(s.predictions)
+}
+
+// Bimodal is a per-PC 2-bit-counter predictor.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+	predictorStats
+}
+
+// NewBimodal builds a bimodal predictor with 1<<bits counters.
+func NewBimodal(bits int) (*Bimodal, error) {
+	if bits < 2 || bits > 24 {
+		return nil, fmt.Errorf("uarch: bimodal bits %d out of [2,24]", bits)
+	}
+	return &Bimodal{table: make([]counter, 1<<bits), mask: 1<<bits - 1}, nil
+}
+
+// Name implements BranchPredictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Record implements BranchPredictor.
+func (b *Bimodal) Record(pc uint64, taken bool) bool {
+	idx := (pc >> 2) & b.mask
+	pred := b.table[idx].taken()
+	b.table[idx] = b.table[idx].update(taken)
+	b.record(pred, taken)
+	return pred
+}
+
+// MissRate implements BranchPredictor.
+func (b *Bimodal) MissRate() float64 { return b.missRate() }
+
+// Reset implements BranchPredictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+	b.predictorStats = predictorStats{}
+}
+
+// GShare is the classic global-history predictor: the PC is XORed with the
+// global history to index a shared 2-bit-counter table.
+type GShare struct {
+	table    []counter
+	mask     uint64
+	history  uint64
+	histBits uint
+	predictorStats
+}
+
+// NewGShare builds a gshare predictor with 1<<bits counters and histBits of
+// global history.
+func NewGShare(bits, histBits int) (*GShare, error) {
+	if bits < 2 || bits > 24 {
+		return nil, fmt.Errorf("uarch: gshare bits %d out of [2,24]", bits)
+	}
+	if histBits < 1 || histBits > bits {
+		return nil, fmt.Errorf("uarch: gshare history %d out of [1,%d]", histBits, bits)
+	}
+	return &GShare{table: make([]counter, 1<<bits), mask: 1<<bits - 1, histBits: uint(histBits)}, nil
+}
+
+// Name implements BranchPredictor.
+func (g *GShare) Name() string { return "gshare" }
+
+// Record implements BranchPredictor.
+func (g *GShare) Record(pc uint64, taken bool) bool {
+	idx := ((pc >> 2) ^ (g.history & (1<<g.histBits - 1))) & g.mask
+	pred := g.table[idx].taken()
+	g.table[idx] = g.table[idx].update(taken)
+	g.history = g.history<<1 | boolBit(taken)
+	g.record(pred, taken)
+	return pred
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MissRate implements BranchPredictor.
+func (g *GShare) MissRate() float64 { return g.missRate() }
+
+// Reset implements BranchPredictor.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.history = 0
+	g.predictorStats = predictorStats{}
+}

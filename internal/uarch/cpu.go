@@ -1,0 +1,186 @@
+package uarch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config describes one machine configuration for the dependent
+// characterization.
+type Config struct {
+	Name string
+
+	// L1I/L1D/L2 geometry.
+	L1ISize, L1IWays int
+	L1DSize, L1DWays int
+	L2Size, L2Ways   int
+	BlockSize        int
+
+	// Latencies, in cycles, charged on top of the base CPI.
+	L2HitPenalty    int // L1 miss hitting in L2
+	MemPenalty      int // L2 miss
+	BranchMissFlush int // pipeline flush on mispredicted conditional
+
+	// Predictor selects "bimodal" or "gshare".
+	Predictor     string
+	PredictorBits int
+}
+
+// SmallCore returns a modest embedded-class configuration.
+func SmallCore() Config {
+	return Config{
+		Name:    "small-core",
+		L1ISize: 8 << 10, L1IWays: 2,
+		L1DSize: 8 << 10, L1DWays: 2,
+		L2Size: 128 << 10, L2Ways: 4,
+		BlockSize:       64,
+		L2HitPenalty:    8,
+		MemPenalty:      60,
+		BranchMissFlush: 6,
+		Predictor:       "bimodal",
+		PredictorBits:   10,
+	}
+}
+
+// BigCore returns a desktop-class configuration.
+func BigCore() Config {
+	return Config{
+		Name:    "big-core",
+		L1ISize: 32 << 10, L1IWays: 8,
+		L1DSize: 32 << 10, L1DWays: 8,
+		L2Size: 2 << 20, L2Ways: 16,
+		BlockSize:       64,
+		L2HitPenalty:    12,
+		MemPenalty:      150,
+		BranchMissFlush: 14,
+		Predictor:       "gshare",
+		PredictorBits:   14,
+	}
+}
+
+// Metrics is the microarchitecture-dependent characterization of one run:
+// exactly the numbers the paper's section 6.2 contrasts with the
+// microarchitecture-independent MICA set.
+type Metrics struct {
+	Instructions uint64
+	IPC          float64
+	L1IMissRate  float64
+	L1DMissRate  float64
+	L2MissRate   float64
+	BranchMiss   float64
+}
+
+// Vector returns the metrics as a characterization vector (IPC, three miss
+// rates, branch misprediction rate).
+func (m Metrics) Vector() []float64 {
+	return []float64{m.IPC, m.L1IMissRate, m.L1DMissRate, m.L2MissRate, m.BranchMiss}
+}
+
+// VectorNames labels Vector's elements.
+func VectorNames() []string {
+	return []string{"ipc", "l1i_miss", "l1d_miss", "l2_miss", "bp_miss"}
+}
+
+// CPU is an in-order single-issue timing model over the configured memory
+// hierarchy and branch predictor: base CPI 1, plus miss penalties.
+type CPU struct {
+	cfg Config
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+	bp  BranchPredictor
+
+	instructions uint64
+	cycles       uint64
+	branches     uint64
+}
+
+// NewCPU builds a CPU for the configuration.
+func NewCPU(cfg Config) (*CPU, error) {
+	l1i, err := NewCache("L1I", cfg.L1ISize, cfg.L1IWays, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache("L1D", cfg.L1DSize, cfg.L1DWays, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2", cfg.L2Size, cfg.L2Ways, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	var bp BranchPredictor
+	switch cfg.Predictor {
+	case "bimodal":
+		bp, err = NewBimodal(cfg.PredictorBits)
+	case "gshare":
+		bp, err = NewGShare(cfg.PredictorBits, cfg.PredictorBits)
+	default:
+		return nil, fmt.Errorf("uarch: unknown predictor %q", cfg.Predictor)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &CPU{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2, bp: bp}, nil
+}
+
+// Record executes one instruction in the timing model.
+func (c *CPU) Record(ins *isa.Instruction) {
+	cycles := uint64(1)
+
+	// Instruction fetch.
+	if !c.l1i.Access(ins.PC) {
+		if c.l2.Access(ins.PC) {
+			cycles += uint64(c.cfg.L2HitPenalty)
+		} else {
+			cycles += uint64(c.cfg.MemPenalty)
+		}
+	}
+	// Data access.
+	if ins.Op.IsMemRead() || ins.Op.IsMemWrite() {
+		if !c.l1d.Access(ins.Addr) {
+			if c.l2.Access(ins.Addr) {
+				cycles += uint64(c.cfg.L2HitPenalty)
+			} else {
+				cycles += uint64(c.cfg.MemPenalty)
+			}
+		}
+	}
+	// Conditional branches.
+	if ins.Op.IsConditional() {
+		c.branches++
+		if pred := c.bp.Record(ins.PC, ins.Taken); pred != ins.Taken {
+			cycles += uint64(c.cfg.BranchMissFlush)
+		}
+	}
+
+	c.instructions++
+	c.cycles += cycles
+}
+
+// Metrics returns the run's dependent characterization.
+func (c *CPU) Metrics() Metrics {
+	m := Metrics{
+		Instructions: c.instructions,
+		L1IMissRate:  c.l1i.MissRate(),
+		L1DMissRate:  c.l1d.MissRate(),
+		L2MissRate:   c.l2.MissRate(),
+		BranchMiss:   c.bp.MissRate(),
+	}
+	if c.cycles > 0 {
+		m.IPC = float64(c.instructions) / float64(c.cycles)
+	}
+	return m
+}
+
+// Reset clears all machine and statistics state.
+func (c *CPU) Reset() {
+	c.l1i.Reset()
+	c.l1d.Reset()
+	c.l2.Reset()
+	c.bp.Reset()
+	c.instructions = 0
+	c.cycles = 0
+	c.branches = 0
+}

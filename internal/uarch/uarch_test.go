@@ -1,0 +1,282 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustCache(t *testing.T, size, ways, block int) *Cache {
+	t.Helper()
+	c, err := NewCache("test", size, ways, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	if _, err := NewCache("x", 0, 1, 64); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewCache("x", 1024, 2, 48); err == nil {
+		t.Fatal("non-power-of-two block accepted")
+	}
+	if _, err := NewCache("x", 1000, 2, 64); err == nil {
+		t.Fatal("indivisible size accepted")
+	}
+	if _, err := NewCache("x", 3*64*2, 2, 64); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := mustCache(t, 1024, 2, 64)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("re-access missed")
+	}
+	if !c.Access(0x1038) { // same 64B block
+		t.Fatal("same-block access missed")
+	}
+	if c.MissRate() != 1.0/3 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, block 64, 2 sets: addresses 0, 128, 256 map to set 0.
+	c := mustCache(t, 256, 2, 64)
+	c.Access(0)   // miss, install
+	c.Access(128) // miss, install (set full)
+	c.Access(0)   // hit, 128 becomes LRU
+	c.Access(256) // miss, evicts 128
+	if !c.Access(0) {
+		t.Fatal("most recently used line evicted")
+	}
+	if c.Access(128) {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestCacheCapacityBehavior(t *testing.T) {
+	// A working set bigger than the cache thrashes; one that fits hits.
+	small := mustCache(t, 4<<10, 4, 64)
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 64<<10; addr += 64 {
+			small.Access(addr)
+		}
+	}
+	if small.MissRate() < 0.99 {
+		t.Fatalf("thrashing working set hit too often: %v", small.MissRate())
+	}
+	fits := mustCache(t, 64<<10, 4, 64)
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 32<<10; addr += 64 {
+			fits.Access(addr)
+		}
+	}
+	if fits.MissRate() > 0.3 {
+		t.Fatalf("resident working set missed too often: %v", fits.MissRate())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := mustCache(t, 1024, 2, 64)
+	c.Access(0x40)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	if c.Access(0x40) {
+		t.Fatal("reset did not clear contents")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b, err := NewBimodal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		b.Record(0x400, true)
+	}
+	if b.MissRate() > 0.01 {
+		t.Fatalf("bimodal miss rate on constant branch: %v", b.MissRate())
+	}
+}
+
+func TestBimodalAlternatingPathology(t *testing.T) {
+	// The classic bimodal weakness: a strictly alternating branch keeps
+	// the counter oscillating and mispredicts heavily.
+	b, err := NewBimodal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		b.Record(0x400, i%2 == 0)
+	}
+	if b.MissRate() < 0.4 {
+		t.Fatalf("bimodal should struggle on alternation, miss rate %v", b.MissRate())
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	g, err := NewGShare(12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		g.Record(0x400, i%4 != 3) // period-4 pattern
+	}
+	if g.MissRate() > 0.05 {
+		t.Fatalf("gshare miss rate on periodic pattern: %v", g.MissRate())
+	}
+}
+
+func TestGShareBeatsBimodalOnPatterns(t *testing.T) {
+	b, _ := NewBimodal(12)
+	g, _ := NewGShare(12, 10)
+	for i := 0; i < 5000; i++ {
+		taken := i%2 == 0
+		b.Record(0x400, taken)
+		g.Record(0x400, taken)
+	}
+	if g.MissRate() >= b.MissRate() {
+		t.Fatalf("gshare (%v) not better than bimodal (%v) on alternation", g.MissRate(), b.MissRate())
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := NewBimodal(0); err == nil {
+		t.Fatal("tiny bimodal accepted")
+	}
+	if _, err := NewGShare(10, 0); err == nil {
+		t.Fatal("zero history accepted")
+	}
+	if _, err := NewGShare(10, 20); err == nil {
+		t.Fatal("history beyond index bits accepted")
+	}
+}
+
+func TestCPUIdealStreamIPCNearOne(t *testing.T) {
+	cpu, err := NewCPU(BigCore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny loop, no memory, no branches: every fetch hits after warmup.
+	for i := 0; i < 100000; i++ {
+		ins := isa.Instruction{PC: 0x400000 + uint64(i%16)*4, Op: isa.OpIntAdd}
+		cpu.Record(&ins)
+	}
+	m := cpu.Metrics()
+	if m.IPC < 0.99 {
+		t.Fatalf("ideal stream IPC = %v", m.IPC)
+	}
+	if m.Instructions != 100000 {
+		t.Fatalf("instructions = %d", m.Instructions)
+	}
+}
+
+func TestCPUMemoryBoundStreamSlow(t *testing.T) {
+	cpu, err := NewCPU(SmallCore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random loads over 64 MiB: misses everywhere.
+	x := uint64(1)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1
+		ins := isa.Instruction{
+			PC:   0x400000 + uint64(i%16)*4,
+			Op:   isa.OpLoad,
+			Addr: 0x10000000 + (x % (64 << 20)),
+		}
+		cpu.Record(&ins)
+	}
+	m := cpu.Metrics()
+	if m.IPC > 0.2 {
+		t.Fatalf("memory-bound IPC = %v, expected much below 1", m.IPC)
+	}
+	if m.L1DMissRate < 0.9 {
+		t.Fatalf("random 64MiB loads should thrash L1D: %v", m.L1DMissRate)
+	}
+}
+
+func TestCPUConfigsDiffer(t *testing.T) {
+	// The same instruction stream must measure differently on the two
+	// configurations — the premise of the dependent-characterization
+	// ablation.
+	// Repeated strided sweep over 512 KiB: resident in the big core's
+	// 2 MiB L2, far beyond the small core's 128 KiB L2 — capacity, not
+	// compulsory misses, must separate the configurations.
+	run := func(cfg Config) Metrics {
+		cpu, err := NewCPU(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const region = 512 << 10
+		i := 0
+		for pass := 0; pass < 8; pass++ {
+			for off := uint64(0); off < region; off += 64 {
+				ins := isa.Instruction{PC: 0x400000 + uint64(i%64)*4, Op: isa.OpLoad, Addr: 0x10000000 + off}
+				cpu.Record(&ins)
+				i++
+			}
+		}
+		return cpu.Metrics()
+	}
+	small := run(SmallCore())
+	big := run(BigCore())
+	if math.Abs(small.IPC-big.IPC) < 1e-6 {
+		t.Fatal("configurations produced identical IPC")
+	}
+	if big.IPC <= 2*small.IPC {
+		t.Fatalf("big core (%v) not clearly faster than small core (%v) on an L2-resident sweep", big.IPC, small.IPC)
+	}
+	if small.L2MissRate < 0.5 || big.L2MissRate > 0.5 {
+		t.Fatalf("L2 capacity effect missing: small %v, big %v", small.L2MissRate, big.L2MissRate)
+	}
+}
+
+func TestCPUValidation(t *testing.T) {
+	cfg := SmallCore()
+	cfg.Predictor = "oracle"
+	if _, err := NewCPU(cfg); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+	cfg = SmallCore()
+	cfg.L1ISize = 100
+	if _, err := NewCPU(cfg); err == nil {
+		t.Fatal("bad cache geometry accepted")
+	}
+}
+
+func TestMetricsVector(t *testing.T) {
+	m := Metrics{IPC: 0.5, L1IMissRate: 0.1, L1DMissRate: 0.2, L2MissRate: 0.3, BranchMiss: 0.4}
+	v := m.Vector()
+	names := VectorNames()
+	if len(v) != len(names) {
+		t.Fatalf("vector/name length mismatch: %d vs %d", len(v), len(names))
+	}
+	if v[0] != 0.5 || v[4] != 0.4 {
+		t.Fatalf("vector layout wrong: %v", v)
+	}
+}
+
+func TestCPUReset(t *testing.T) {
+	cpu, err := NewCPU(SmallCore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := isa.Instruction{PC: 0x400000, Op: isa.OpLoad, Addr: 0x1000}
+	cpu.Record(&ins)
+	cpu.Reset()
+	m := cpu.Metrics()
+	if m.Instructions != 0 || m.IPC != 0 {
+		t.Fatalf("reset left stats: %+v", m)
+	}
+}

@@ -1,0 +1,364 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a single-series vertical bar chart (Figures 4 and 6 of
+// the paper: one bar per benchmark suite).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Values []float64
+	// YMax fixes the axis maximum; 0 auto-scales.
+	YMax float64
+}
+
+// SVG renders the chart as a standalone <svg> element.
+func (c *BarChart) SVG() (string, error) {
+	if len(c.Labels) == 0 || len(c.Labels) != len(c.Values) {
+		return "", fmt.Errorf("viz: bar chart with %d labels and %d values", len(c.Labels), len(c.Values))
+	}
+	const (
+		w      = 460.0
+		h      = 300.0
+		left   = 56.0
+		right  = 12.0
+		top    = 34.0
+		bottom = 78.0
+	)
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, v := range c.Values {
+			if v > ymax {
+				ymax = v
+			}
+		}
+		if ymax == 0 {
+			ymax = 1
+		}
+		ymax *= 1.1
+	}
+	plotW := w - left - right
+	plotH := h - top - bottom
+	n := float64(len(c.Values))
+	barW := plotW / n * 0.62
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`, w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%.1f" y="16" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`, w/2, escape(c.Title))
+	// Axes and gridlines.
+	for i := 0; i <= 4; i++ {
+		y := top + plotH*float64(i)/4
+		val := ymax * float64(4-i) / 4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd" stroke-width="0.7"/>`, left, y, w-right, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="end" font-family="sans-serif">%.3g</text>`, left-4, y+3, val)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="12" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 12 %.1f)">%s</text>`,
+			top+plotH/2, top+plotH/2, escape(c.YLabel))
+	}
+	for i, v := range c.Values {
+		x := left + plotW*(float64(i)+0.5)/n - barW/2
+		bh := plotH * v / ymax
+		if bh < 0 {
+			bh = 0
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#4477aa"/>`, x, top+plotH-bh, barW, bh)
+		lx := left + plotW*(float64(i)+0.5)/n
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="end" font-family="sans-serif" transform="rotate(-40 %.1f %.1f)">%s</text>`,
+			lx, top+plotH+12, lx, top+plotH+12, escape(c.Labels[i]))
+	}
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333333" stroke-width="1"/>`, left, top+plotH, w-right, top+plotH)
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// Series is one line of a LineChart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders a multi-series line chart (Figure 1's GA correlation
+// curve, Figure 5's cumulative-coverage curves).
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	YMax   float64 // 0 auto-scales
+}
+
+// SVG renders the chart as a standalone <svg> element with a legend.
+func (c *LineChart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("viz: line chart with no series")
+	}
+	const (
+		w      = 520.0
+		h      = 320.0
+		left   = 56.0
+		right  = 130.0
+		top    = 34.0
+		bottom = 48.0
+	)
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := c.YMax
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("viz: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if c.YMax <= 0 && s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	if c.YMax <= 0 {
+		ymax *= 1.05
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	plotW := w - left - right
+	plotH := h - top - bottom
+	px := func(x float64) float64 { return left + plotW*(x-xmin)/(xmax-xmin) }
+	py := func(y float64) float64 {
+		r := y / ymax
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		return top + plotH*(1-r)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`, w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%.1f" y="16" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`, w/2, escape(c.Title))
+	for i := 0; i <= 4; i++ {
+		y := top + plotH*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd" stroke-width="0.7"/>`, left, y, w-right, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="end" font-family="sans-serif">%.3g</text>`, left-4, y+3, ymax*float64(4-i)/4)
+	}
+	for i := 0; i <= 4; i++ {
+		x := left + plotW*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" font-family="sans-serif">%.3g</text>`, x, top+plotH+14, xmin+(xmax-xmin)*float64(i)/4)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif">%s</text>`, left+plotW/2, h-8, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="12" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 12 %.1f)">%s</text>`, top+plotH/2, top+plotH/2, escape(c.YLabel))
+	}
+	for si, s := range c.Series {
+		color := pieColors[si%len(pieColors)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`, strings.Join(pts, " "), color)
+		ly := top + 6 + 14*float64(si)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`, w-right+8, ly, w-right+24, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif">%s</text>`, w-right+28, ly+3, escape(s.Name))
+	}
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333333" stroke-width="1"/>`, left, top+plotH, w-right, top+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333333" stroke-width="1"/>`, left, top, left, top+plotH)
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// Cell is one unit of a phase-figure grid: a kiviat plot, its composition
+// pie and the represented-benchmark list.
+type Cell struct {
+	Kiviat Kiviat
+	Pie    Pie
+	// Note lines are drawn under the pie (the paper's benchmark list with
+	// percentages).
+	Note []string
+}
+
+// Grid renders cells in rows of Columns cells each, as one SVG document —
+// the layout of the paper's Figures 2 and 3.
+type Grid struct {
+	Title   string
+	Columns int
+	Cells   []Cell
+}
+
+// SVG renders the grid.
+func (g *Grid) SVG() (string, error) {
+	if len(g.Cells) == 0 {
+		return "", fmt.Errorf("viz: empty grid")
+	}
+	cols := g.Columns
+	if cols <= 0 {
+		cols = 4
+	}
+	const (
+		cellW = 590.0
+		cellH = 270.0
+		headH = 24.0
+	)
+	rows := (len(g.Cells) + cols - 1) / cols
+	w := cellW * float64(cols)
+	h := headH + cellH*float64(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`, w, h, w, h)
+	fmt.Fprintf(&b, `<text x="%.1f" y="16" font-size="13" text-anchor="middle" font-family="sans-serif">%s</text>`, w/2, escape(g.Title))
+	for i := range g.Cells {
+		cell := &g.Cells[i]
+		x := cellW * float64(i%cols)
+		y := headH + cellH*float64(i/cols)
+		ksvg, err := cell.Kiviat.SVG()
+		if err != nil {
+			return "", fmt.Errorf("viz: grid cell %d kiviat: %w", i, err)
+		}
+		psvg, err := cell.Pie.SVG()
+		if err != nil {
+			return "", fmt.Errorf("viz: grid cell %d pie: %w", i, err)
+		}
+		fmt.Fprintf(&b, `<g transform="translate(%.1f,%.1f)">%s</g>`, x, y, inner(ksvg))
+		fmt.Fprintf(&b, `<g transform="translate(%.1f,%.1f)">%s</g>`, x+kiviatSize+10, y+20, inner(psvg))
+		for j, line := range cell.Note {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" font-family="sans-serif">%s</text>`,
+				x+kiviatSize+10, y+175+float64(j)*10, escape(line))
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#eeeeee"/>`, x+2, y+2, cellW-4, cellH-4)
+	}
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// inner strips the outer <svg ...> wrapper so the fragment can be nested
+// inside a <g> transform.
+func inner(svg string) string {
+	start := strings.Index(svg, ">")
+	end := strings.LastIndex(svg, "</svg>")
+	if start < 0 || end < 0 || end <= start {
+		return svg
+	}
+	return svg[start+1 : end]
+}
+
+// ASCII renders the bar chart as a horizontal text chart.
+func (c *BarChart) ASCII(width int) (string, error) {
+	if len(c.Labels) == 0 || len(c.Labels) != len(c.Values) {
+		return "", fmt.Errorf("viz: bar chart with %d labels and %d values", len(c.Labels), len(c.Values))
+	}
+	if width < 10 {
+		width = 10
+	}
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, v := range c.Values {
+			if v > ymax {
+				ymax = v
+			}
+		}
+		if ymax == 0 {
+			ymax = 1
+		}
+	}
+	labelW := 0
+	for _, l := range c.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.Values {
+		n := int(v / ymax * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.4g\n", labelW, c.Labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String(), nil
+}
+
+// ASCII renders each series of the line chart as a sparkline.
+func (c *LineChart) ASCII(width int) (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("viz: line chart with no series")
+	}
+	if width < 10 {
+		width = 10
+	}
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, s := range c.Series {
+			for _, y := range s.Y {
+				if y > ymax {
+					ymax = y
+				}
+			}
+		}
+		if ymax == 0 {
+			ymax = 1
+		}
+	}
+	ramp := []rune(" .:-=+*#%@")
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) == 0 {
+			return "", fmt.Errorf("viz: series %q is empty", s.Name)
+		}
+		line := make([]rune, width)
+		for i := range line {
+			// Sample the series at this column.
+			idx := i * (len(s.Y) - 1) / maxInt(width-1, 1)
+			frac := s.Y[idx] / ymax
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			line[i] = ramp[int(frac*float64(len(ramp)-1))]
+		}
+		fmt.Fprintf(&b, "  %-*s |%s| max %.4g\n", nameW, s.Name, string(line), s.Y[len(s.Y)-1])
+	}
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DendroMerge mirrors one agglomeration step of a hierarchical clustering
+// (node ids: 0..leaves-1 are leaves; leaves+i is the node made by step i).
+type DendroMerge struct {
+	A, B     int
+	Distance float64
+}
+
+// Dendrogram renders an average-linkage hierarchy as a left-to-right SVG
+// tree with leaf labels — the benchmark-similarity view of the workload
+// space.
+type Dendrogram struct {
+	Title  string
+	Labels []string
+	Merges []DendroMerge
+	// LeafOrder is the display order of the leaves (top to bottom).
+	LeafOrder []int
+}
+
+// SVG renders the dendrogram.
+func (d *Dendrogram) SVG() (string, error) {
+	n := len(d.Labels)
+	if n < 2 {
+		return "", fmt.Errorf("viz: dendrogram needs at least 2 leaves")
+	}
+	if len(d.Merges) != n-1 {
+		return "", fmt.Errorf("viz: dendrogram with %d leaves needs %d merges, have %d", n, n-1, len(d.Merges))
+	}
+	order := d.LeafOrder
+	if len(order) == 0 {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		return "", fmt.Errorf("viz: leaf order has %d entries for %d leaves", len(order), n)
+	}
+
+	const (
+		rowH   = 16.0
+		top    = 30.0
+		right  = 14.0
+		plotW  = 430.0
+		labelW = 150.0
+	)
+	height := top + rowH*float64(n) + 10
+	width := plotW + labelW + right
+
+	// Vertical position of each node: leaves at their display row,
+	// internal nodes midway between their children.
+	y := make([]float64, n+len(d.Merges))
+	for row, leaf := range order {
+		if leaf < 0 || leaf >= n {
+			return "", fmt.Errorf("viz: leaf order entry %d out of range", leaf)
+		}
+		y[leaf] = top + rowH*(float64(row)+0.5)
+	}
+	// Horizontal position: distance scaled to [0, plotW], leaves at x=plotW
+	// (right side, labels next to them), root towards x=0.
+	maxDist := 0.0
+	for _, m := range d.Merges {
+		if m.Distance > maxDist {
+			maxDist = m.Distance
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	xOf := func(dist float64) float64 { return plotW * (1 - dist/maxDist) }
+
+	x := make([]float64, n+len(d.Merges))
+	for i := 0; i < n; i++ {
+		x[i] = plotW
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<text x="%.1f" y="16" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`,
+		width/2, escape(d.Title))
+
+	for i, m := range d.Merges {
+		id := n + i
+		if m.A < 0 || m.A >= id || m.B < 0 || m.B >= id {
+			return "", fmt.Errorf("viz: merge %d references invalid nodes (%d, %d)", i, m.A, m.B)
+		}
+		nx := xOf(m.Distance)
+		y[id] = (y[m.A] + y[m.B]) / 2
+		x[id] = nx
+		// Two horizontal legs into the vertical connector.
+		fmt.Fprintf(&b, `<path d="M%.1f,%.1f L%.1f,%.1f L%.1f,%.1f L%.1f,%.1f" fill="none" stroke="#4477aa" stroke-width="1.1"/>`,
+			x[m.A], y[m.A], nx, y[m.A], nx, y[m.B], x[m.B], y[m.B])
+	}
+	for row, leaf := range order {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif">%s</text>`,
+			plotW+6, top+rowH*(float64(row)+0.5)+3, escape(d.Labels[leaf]))
+	}
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}

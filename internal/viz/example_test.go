@@ -1,0 +1,35 @@
+package viz_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/viz"
+)
+
+// Example renders a kiviat plot for one phase and checks the SVG came out.
+func Example() {
+	axes, err := viz.AxesFromPopulation(
+		[]string{"load_frac", "ilp_64", "ppm_miss"},
+		[][]float64{
+			{0.10, 2.0, 0.40},
+			{0.25, 6.5, 0.05},
+			{0.32, 9.0, 0.02},
+		})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	k := viz.Kiviat{
+		Title:  "weight: 4.87%",
+		Axes:   axes,
+		Values: []float64{0.25, 6.5, 0.05},
+	}
+	svg, err := k.SVG()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(strings.HasPrefix(svg, "<svg"), strings.Contains(svg, "weight: 4.87%"))
+	// Output: true true
+}

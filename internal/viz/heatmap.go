@@ -1,0 +1,105 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a labelled matrix of values in [0, 1] as an SVG grid,
+// used for the suite-similarity extension.
+type Heatmap struct {
+	Title string
+	// RowLabels and ColLabels name the axes; Values[i][j] is row i,
+	// column j, expected in [0, 1] (values are clamped for colouring).
+	RowLabels []string
+	ColLabels []string
+	Values    [][]float64
+}
+
+// SVG renders the heatmap with per-cell value annotations.
+func (h *Heatmap) SVG() (string, error) {
+	if len(h.Values) == 0 || len(h.RowLabels) != len(h.Values) {
+		return "", fmt.Errorf("viz: heatmap with %d rows and %d row labels", len(h.Values), len(h.RowLabels))
+	}
+	for i, row := range h.Values {
+		if len(row) != len(h.ColLabels) {
+			return "", fmt.Errorf("viz: heatmap row %d has %d values for %d columns", i, len(row), len(h.ColLabels))
+		}
+	}
+	const (
+		cell   = 44.0
+		left   = 110.0
+		top    = 70.0
+		bottom = 14.0
+	)
+	rows := len(h.RowLabels)
+	cols := len(h.ColLabels)
+	w := left + cell*float64(cols) + 14
+	ht := top + cell*float64(rows) + bottom
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`, w, ht, w, ht)
+	fmt.Fprintf(&b, `<text x="%.1f" y="16" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`, w/2, escape(h.Title))
+	for j, label := range h.ColLabels {
+		x := left + cell*(float64(j)+0.5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="start" font-family="sans-serif" transform="rotate(-45 %.1f %.1f)">%s</text>`,
+			x, top-8, x, top-8, escape(label))
+	}
+	for i, label := range h.RowLabels {
+		y := top + cell*(float64(i)+0.5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="end" font-family="sans-serif">%s</text>`, left-6, y+3, escape(label))
+	}
+	for i := range h.Values {
+		for j, v := range h.Values[i] {
+			cv := math.Max(0, math.Min(1, v))
+			// White -> blue ramp.
+			rCh := int(255 - 187*cv)
+			gCh := int(255 - 136*cv)
+			bCh := int(255 - 85*cv)
+			x := left + cell*float64(j)
+			y := top + cell*float64(i)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" stroke="#ffffff"/>`,
+				x, y, cell, cell, rCh, gCh, bCh)
+			textColor := "#222222"
+			if cv > 0.6 {
+				textColor = "#ffffff"
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" fill="%s" font-family="sans-serif">%.2f</text>`,
+				x+cell/2, y+cell/2+3, textColor, v)
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// ASCII renders the heatmap as a plain table.
+func (h *Heatmap) ASCII() string {
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	labelW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%*s", labelW+2, "")
+	for _, l := range h.ColLabels {
+		short := l
+		if len(short) > 6 {
+			short = short[:6]
+		}
+		fmt.Fprintf(&b, " %6s", short)
+	}
+	b.WriteString("\n")
+	for i, l := range h.RowLabels {
+		fmt.Fprintf(&b, "  %-*s", labelW, l)
+		for _, v := range h.Values[i] {
+			fmt.Fprintf(&b, " %6.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

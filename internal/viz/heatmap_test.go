@@ -1,0 +1,72 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleHeatmap() Heatmap {
+	return Heatmap{
+		Title:     "similarity",
+		RowLabels: []string{"A", "B"},
+		ColLabels: []string{"A", "B"},
+		Values:    [][]float64{{1, 0.25}, {0.75, 1}},
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	h := sampleHeatmap()
+	svg, err := h.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "similarity", "0.25", "0.75", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("heatmap SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Fatalf("heatmap has %d cells, want 4", got)
+	}
+}
+
+func TestHeatmapClampsOutOfRange(t *testing.T) {
+	h := sampleHeatmap()
+	h.Values[0][1] = 7 // clamped for colour, printed as-is
+	svg, err := h.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "7.00") {
+		t.Fatal("out-of-range value not annotated")
+	}
+	if strings.Contains(svg, "rgb(-") {
+		t.Fatal("out-of-range value produced invalid colour")
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	if _, err := (&Heatmap{}).SVG(); err == nil {
+		t.Fatal("empty heatmap accepted")
+	}
+	bad := sampleHeatmap()
+	bad.Values = [][]float64{{1}}
+	if _, err := bad.SVG(); err == nil {
+		t.Fatal("ragged heatmap accepted")
+	}
+	bad2 := sampleHeatmap()
+	bad2.RowLabels = []string{"only"}
+	if _, err := bad2.SVG(); err == nil {
+		t.Fatal("label/row mismatch accepted")
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	h := sampleHeatmap()
+	out := h.ASCII()
+	for _, want := range []string{"similarity", "1.00", "0.25", "0.75"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heatmap ASCII missing %q:\n%s", want, out)
+		}
+	}
+}

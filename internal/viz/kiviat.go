@@ -1,0 +1,233 @@
+// Package viz renders the paper's visualizations: kiviat (radar) plots of
+// prominent phase behaviours with mean/±1-standard-deviation rings, pie
+// charts of per-cluster benchmark composition, and multi-cell figure grids
+// — as self-contained SVG, plus a terminal-friendly ASCII rendering.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Axis describes one kiviat axis: a named characteristic and its scale
+// statistics over the population of plotted phases (the paper's rings are
+// the population mean and mean ± one standard deviation; the center and
+// outer ring are the population minimum and maximum).
+type Axis struct {
+	Name string
+	Min  float64
+	Max  float64
+	Mean float64
+	Std  float64
+}
+
+// normalize maps a raw value onto [0, 1] radius along the axis.
+func (ax Axis) normalize(v float64) float64 {
+	if ax.Max <= ax.Min {
+		return 0.5
+	}
+	r := (v - ax.Min) / (ax.Max - ax.Min)
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// Kiviat is one kiviat plot: a phase's values over the key characteristics.
+type Kiviat struct {
+	// Title is drawn above the plot (e.g. "weight: 4.87%").
+	Title string
+	// Axes defines the plot's dimensions, clockwise from 12 o'clock.
+	Axes []Axis
+	// Values are the phase's raw characteristic values, parallel to Axes.
+	Values []float64
+}
+
+// Validate reports structural problems.
+func (k *Kiviat) Validate() error {
+	if len(k.Axes) < 3 {
+		return fmt.Errorf("viz: kiviat needs at least 3 axes, have %d", len(k.Axes))
+	}
+	if len(k.Values) != len(k.Axes) {
+		return fmt.Errorf("viz: kiviat has %d values for %d axes", len(k.Values), len(k.Axes))
+	}
+	return nil
+}
+
+// svgStyle holds shared drawing constants.
+const (
+	kiviatSize   = 240.0 // px, square
+	kiviatMargin = 34.0
+)
+
+func polarXY(cx, cy, r, frac float64, i, n int) (float64, float64) {
+	theta := 2*math.Pi*float64(i)/float64(n) - math.Pi/2
+	return cx + r*frac*math.Cos(theta), cy + r*frac*math.Sin(theta)
+}
+
+// SVG renders the kiviat as a standalone SVG document fragment (one <svg>
+// element) with the phase polygon in dark grey and the mean / ±1-sd rings,
+// following the paper's Figure 2 legend.
+func (k *Kiviat) SVG() (string, error) {
+	if err := k.Validate(); err != nil {
+		return "", err
+	}
+	n := len(k.Axes)
+	cx, cy := kiviatSize/2, kiviatSize/2+8
+	radius := kiviatSize/2 - kiviatMargin
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		kiviatSize, kiviatSize+16, kiviatSize, kiviatSize+16)
+	fmt.Fprintf(&b, `<text x="%.1f" y="14" font-size="11" text-anchor="middle" font-family="sans-serif">%s</text>`,
+		cx, escape(k.Title))
+
+	// Outer ring (max) and center dot (min).
+	ring := func(frac float64, stroke string, dash string) {
+		var pts []string
+		for i := 0; i < n; i++ {
+			x, y := polarXY(cx, cy, radius, frac, i, n)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		dashAttr := ""
+		if dash != "" {
+			dashAttr = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="none" stroke="%s" stroke-width="0.8"%s/>`,
+			strings.Join(pts, " "), stroke, dashAttr)
+	}
+	ring(1, "#333333", "")
+
+	// Per-axis rings for mean-sd, mean, mean+sd (positions differ per
+	// axis, so these are polylines through per-axis normalized points).
+	statRing := func(pick func(Axis) float64, stroke, dash string) {
+		var pts []string
+		for i, ax := range k.Axes {
+			x, y := polarXY(cx, cy, radius, ax.normalize(pick(ax)), i, n)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="none" stroke="%s" stroke-width="0.8" stroke-dasharray="%s"/>`,
+			strings.Join(pts, " "), stroke, dash)
+	}
+	statRing(func(ax Axis) float64 { return ax.Mean - ax.Std }, "#999999", "2,2")
+	statRing(func(ax Axis) float64 { return ax.Mean }, "#777777", "4,2")
+	statRing(func(ax Axis) float64 { return ax.Mean + ax.Std }, "#999999", "2,2")
+
+	// Axis spokes and labels.
+	for i, ax := range k.Axes {
+		x, y := polarXY(cx, cy, radius, 1, i, n)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc" stroke-width="0.6"/>`,
+			cx, cy, x, y)
+		lx, ly := polarXY(cx, cy, radius+12, 1, i, n)
+		anchor := "middle"
+		switch {
+		case lx > cx+4:
+			anchor = "start"
+		case lx < cx-4:
+			anchor = "end"
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="7" text-anchor="%s" font-family="sans-serif">%s</text>`,
+			lx, ly+2, anchor, escape(ax.Name))
+	}
+
+	// The phase polygon.
+	var pts []string
+	for i, ax := range k.Axes {
+		x, y := polarXY(cx, cy, radius, ax.normalize(k.Values[i]), i, n)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	fmt.Fprintf(&b, `<polygon points="%s" fill="#555555" fill-opacity="0.55" stroke="#222222" stroke-width="1"/>`,
+		strings.Join(pts, " "))
+
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// ASCII renders the kiviat as a fixed-width bar chart: one row per axis,
+// with the value position (#), the mean (|) and the ±1 sd band (-) marked.
+func (k *Kiviat) ASCII(width int) (string, error) {
+	if err := k.Validate(); err != nil {
+		return "", err
+	}
+	if width < 20 {
+		width = 20
+	}
+	nameW := 0
+	for _, ax := range k.Axes {
+		if len(ax.Name) > nameW {
+			nameW = len(ax.Name)
+		}
+	}
+	var b strings.Builder
+	if k.Title != "" {
+		fmt.Fprintf(&b, "%s\n", k.Title)
+	}
+	for i, ax := range k.Axes {
+		bar := make([]byte, width)
+		for j := range bar {
+			bar[j] = ' '
+		}
+		mark := func(v float64, c byte) {
+			p := int(ax.normalize(v) * float64(width-1))
+			if bar[p] == ' ' || c == '#' {
+				bar[p] = c
+			}
+		}
+		lo := int(ax.normalize(ax.Mean-ax.Std) * float64(width-1))
+		hi := int(ax.normalize(ax.Mean+ax.Std) * float64(width-1))
+		for j := lo; j <= hi && j < width; j++ {
+			bar[j] = '-'
+		}
+		mark(ax.Mean, '|')
+		mark(k.Values[i], '#')
+		fmt.Fprintf(&b, "  %-*s [%s] %.4g\n", nameW, ax.Name, string(bar), k.Values[i])
+	}
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// AxesFromPopulation derives kiviat axes (min/max/mean/std per dimension)
+// from a population of value vectors, typically the prominent phases.
+func AxesFromPopulation(names []string, rows [][]float64) ([]Axis, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("viz: empty population")
+	}
+	n := len(names)
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("viz: population row %d has %d values for %d axes", i, len(r), n)
+		}
+	}
+	axes := make([]Axis, n)
+	for j := 0; j < n; j++ {
+		ax := Axis{Name: names[j], Min: math.Inf(1), Max: math.Inf(-1)}
+		var sum float64
+		for _, r := range rows {
+			v := r[j]
+			sum += v
+			if v < ax.Min {
+				ax.Min = v
+			}
+			if v > ax.Max {
+				ax.Max = v
+			}
+		}
+		ax.Mean = sum / float64(len(rows))
+		var ss float64
+		for _, r := range rows {
+			d := r[j] - ax.Mean
+			ss += d * d
+		}
+		ax.Std = math.Sqrt(ss / float64(len(rows)))
+		axes[j] = ax
+	}
+	return axes, nil
+}

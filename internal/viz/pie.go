@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Slice is one pie-chart segment.
+type Slice struct {
+	// Label names the segment (e.g. a benchmark).
+	Label string
+	// Fraction is the segment's share in [0, 1]; fractions should sum to
+	// roughly 1 (they are renormalized for drawing).
+	Fraction float64
+}
+
+// Pie is a pie chart of a cluster's benchmark composition.
+type Pie struct {
+	Title  string
+	Slices []Slice
+}
+
+// pieColors is a colour-blind-tolerant greyscale-plus-hatch substitute:
+// distinct fills cycled across slices.
+var pieColors = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44",
+	"#66ccee", "#aa3377", "#bbbbbb", "#222255",
+	"#999944", "#dd7788", "#44aa99", "#884411",
+}
+
+// SVG renders the pie as a standalone <svg> element with a legend.
+func (p *Pie) SVG() (string, error) {
+	if len(p.Slices) == 0 {
+		return "", fmt.Errorf("viz: pie with no slices")
+	}
+	var total float64
+	for _, s := range p.Slices {
+		if s.Fraction < 0 {
+			return "", fmt.Errorf("viz: pie slice %q has negative fraction", s.Label)
+		}
+		total += s.Fraction
+	}
+	if total <= 0 {
+		return "", fmt.Errorf("viz: pie with zero total")
+	}
+
+	const (
+		r       = 52.0
+		cx      = 64.0
+		cy      = 78.0
+		legendX = 136.0
+		width   = 320.0
+	)
+	height := math.Max(150, 34+14*float64(len(p.Slices)))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		width, height, width, height)
+	if p.Title != "" {
+		fmt.Fprintf(&b, `<text x="8" y="14" font-size="11" font-family="sans-serif">%s</text>`, escape(p.Title))
+	}
+
+	angle := -math.Pi / 2
+	for i, s := range p.Slices {
+		frac := s.Fraction / total
+		color := pieColors[i%len(pieColors)]
+		if frac >= 0.999999 {
+			// Full circle: a single arc path degenerates, use <circle>.
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#ffffff" stroke-width="1"/>`,
+				cx, cy, r, color)
+		} else {
+			a2 := angle + 2*math.Pi*frac
+			x1, y1 := cx+r*math.Cos(angle), cy+r*math.Sin(angle)
+			x2, y2 := cx+r*math.Cos(a2), cy+r*math.Sin(a2)
+			large := 0
+			if frac > 0.5 {
+				large = 1
+			}
+			fmt.Fprintf(&b, `<path d="M%.1f,%.1f L%.1f,%.1f A%.1f,%.1f 0 %d 1 %.1f,%.1f Z" fill="%s" stroke="#ffffff" stroke-width="1"/>`,
+				cx, cy, x1, y1, r, r, large, x2, y2, color)
+			angle = a2
+		}
+		// Legend row.
+		ly := 34 + 14*float64(i)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="9" height="9" fill="%s"/>`, legendX, ly-8, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif">%s (%.0f%%)</text>`,
+			legendX+13, ly, escape(s.Label), 100*frac)
+	}
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// ASCII renders the pie as a simple percentage table.
+func (p *Pie) ASCII() string {
+	var total float64
+	for _, s := range p.Slices {
+		total += s.Fraction
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for _, s := range p.Slices {
+		frac := 0.0
+		if total > 0 {
+			frac = s.Fraction / total
+		}
+		fmt.Fprintf(&b, "  %5.1f%%  %s\n", 100*frac, s.Label)
+	}
+	return b.String()
+}

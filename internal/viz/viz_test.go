@@ -1,0 +1,335 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleAxes() []Axis {
+	return []Axis{
+		{Name: "a", Min: 0, Max: 1, Mean: 0.5, Std: 0.2},
+		{Name: "b", Min: 0, Max: 10, Mean: 4, Std: 2},
+		{Name: "c", Min: -1, Max: 1, Mean: 0, Std: 0.5},
+		{Name: "d", Min: 0, Max: 100, Mean: 50, Std: 25},
+	}
+}
+
+func TestKiviatSVG(t *testing.T) {
+	k := Kiviat{Title: "weight: 4.87%", Axes: sampleAxes(), Values: []float64{0.2, 8, -0.5, 99}}
+	svg, err := k.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "weight: 4.87%", "polygon", ">a<", ">d<"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("kiviat SVG missing %q", want)
+		}
+	}
+	// 1 outer ring + 3 stat rings + 1 value polygon = 5 polygons.
+	if got := strings.Count(svg, "<polygon"); got != 5 {
+		t.Fatalf("kiviat has %d polygons, want 5", got)
+	}
+}
+
+func TestKiviatValidation(t *testing.T) {
+	k := Kiviat{Axes: sampleAxes()[:2], Values: []float64{1, 2}}
+	if _, err := k.SVG(); err == nil {
+		t.Fatal("two-axis kiviat accepted")
+	}
+	k2 := Kiviat{Axes: sampleAxes(), Values: []float64{1}}
+	if _, err := k2.SVG(); err == nil {
+		t.Fatal("mismatched values accepted")
+	}
+	if _, err := k2.ASCII(40); err == nil {
+		t.Fatal("ASCII accepted invalid kiviat")
+	}
+}
+
+func TestKiviatASCII(t *testing.T) {
+	k := Kiviat{Title: "t", Axes: sampleAxes(), Values: []float64{0.2, 8, -0.5, 99}}
+	out, err := k.ASCII(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "a") {
+		t.Fatalf("ASCII kiviat malformed:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 5 { // title + 4 axes
+		t.Fatalf("ASCII kiviat has %d lines", got)
+	}
+}
+
+func TestAxisNormalizeClamps(t *testing.T) {
+	ax := Axis{Min: 0, Max: 10}
+	if ax.normalize(-5) != 0 || ax.normalize(50) != 1 {
+		t.Fatal("normalize does not clamp")
+	}
+	if ax.normalize(5) != 0.5 {
+		t.Fatal("normalize midpoint wrong")
+	}
+	flat := Axis{Min: 3, Max: 3}
+	if flat.normalize(3) != 0.5 {
+		t.Fatal("degenerate axis should map to center")
+	}
+}
+
+func TestAxesFromPopulation(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	axes, err := AxesFromPopulation([]string{"x", "y"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axes[0].Min != 1 || axes[0].Max != 5 || axes[0].Mean != 3 {
+		t.Fatalf("axis x stats wrong: %+v", axes[0])
+	}
+	if axes[1].Std != 0 {
+		t.Fatalf("constant axis std = %v", axes[1].Std)
+	}
+	if _, err := AxesFromPopulation([]string{"x"}, nil); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	if _, err := AxesFromPopulation([]string{"x", "y"}, [][]float64{{1}}); err == nil {
+		t.Fatal("ragged population accepted")
+	}
+}
+
+func TestPieSVG(t *testing.T) {
+	p := Pie{Title: "cluster", Slices: []Slice{
+		{Label: "fasta", Fraction: 0.7},
+		{Label: "astar", Fraction: 0.3},
+	}}
+	svg, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "fasta", "astar", "<path", "(70%)", "(30%)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("pie SVG missing %q", want)
+		}
+	}
+}
+
+func TestPieFullCircle(t *testing.T) {
+	p := Pie{Slices: []Slice{{Label: "only", Fraction: 1}}}
+	svg, err := p.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("single-slice pie should render a circle")
+	}
+}
+
+func TestPieValidation(t *testing.T) {
+	if _, err := (&Pie{}).SVG(); err == nil {
+		t.Fatal("empty pie accepted")
+	}
+	if _, err := (&Pie{Slices: []Slice{{Label: "x", Fraction: -1}}}).SVG(); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := (&Pie{Slices: []Slice{{Label: "x", Fraction: 0}}}).SVG(); err == nil {
+		t.Fatal("zero-total pie accepted")
+	}
+}
+
+func TestPieASCII(t *testing.T) {
+	p := Pie{Title: "t", Slices: []Slice{{Label: "a", Fraction: 3}, {Label: "b", Fraction: 1}}}
+	out := p.ASCII()
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "25.0%") {
+		t.Fatalf("pie ASCII fractions wrong:\n%s", out)
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{Title: "Fig 4", YLabel: "clusters", Labels: []string{"A", "B"}, Values: []float64{10, 20}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 4", "clusters", ">A<", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("bar chart missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<rect"); got != 2 {
+		t.Fatalf("bar chart has %d rects, want 2", got)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (&BarChart{Labels: []string{"a"}, Values: nil}).SVG(); err == nil {
+		t.Fatal("mismatched bar chart accepted")
+	}
+	if _, err := (&BarChart{}).SVG(); err == nil {
+		t.Fatal("empty bar chart accepted")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title: "Fig 5", XLabel: "clusters", YLabel: "coverage", YMax: 1,
+		Series: []Series{
+			{Name: "s1", X: []float64{1, 2, 3}, Y: []float64{0.2, 0.5, 0.9}},
+			{Name: "s2", X: []float64{1, 2, 3}, Y: []float64{0.5, 0.8, 1}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 5", "polyline", "s1", "s2"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("line chart missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("line chart has %d polylines, want 2", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (&LineChart{}).SVG(); err == nil {
+		t.Fatal("empty line chart accepted")
+	}
+	bad := LineChart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	empty := LineChart{Series: []Series{{Name: "s"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestGridSVG(t *testing.T) {
+	cell := Cell{
+		Kiviat: Kiviat{Title: "w", Axes: sampleAxes(), Values: []float64{0.1, 1, 0, 10}},
+		Pie:    Pie{Slices: []Slice{{Label: "x", Fraction: 1}}},
+		Note:   []string{"x: 50% of benchmark"},
+	}
+	g := Grid{Title: "Figures 2-3", Columns: 2, Cells: []Cell{cell, cell, cell}}
+	svg, err := g.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "Figures 2-3") || strings.Count(svg, "<g transform") != 6 {
+		t.Fatalf("grid SVG malformed (transforms=%d)", strings.Count(svg, "<g transform"))
+	}
+	// Nested fragments must not contain nested <svg> elements.
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatalf("grid contains nested <svg> elements")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := (&Grid{}).SVG(); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestDendrogramSVG(t *testing.T) {
+	d := Dendrogram{
+		Title:  "tree",
+		Labels: []string{"a", "b", "c"},
+		Merges: []DendroMerge{
+			{A: 0, B: 1, Distance: 1},
+			{A: 3, B: 2, Distance: 4},
+		},
+		LeafOrder: []int{0, 1, 2},
+	}
+	svg, err := d.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "tree", ">a<", ">c<", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("dendrogram missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<path"); got != 2 {
+		t.Fatalf("dendrogram has %d connectors, want 2", got)
+	}
+}
+
+func TestDendrogramValidation(t *testing.T) {
+	if _, err := (&Dendrogram{Labels: []string{"a"}}).SVG(); err == nil {
+		t.Fatal("single-leaf dendrogram accepted")
+	}
+	bad := Dendrogram{Labels: []string{"a", "b"}, Merges: nil}
+	if _, err := bad.SVG(); err == nil {
+		t.Fatal("missing merges accepted")
+	}
+	badMerge := Dendrogram{
+		Labels: []string{"a", "b"},
+		Merges: []DendroMerge{{A: 0, B: 9, Distance: 1}},
+	}
+	if _, err := badMerge.SVG(); err == nil {
+		t.Fatal("invalid merge node accepted")
+	}
+	badOrder := Dendrogram{
+		Labels:    []string{"a", "b"},
+		Merges:    []DendroMerge{{A: 0, B: 1, Distance: 1}},
+		LeafOrder: []int{0},
+	}
+	if _, err := badOrder.SVG(); err == nil {
+		t.Fatal("short leaf order accepted")
+	}
+}
+
+func TestDendrogramDefaultOrder(t *testing.T) {
+	d := Dendrogram{
+		Labels: []string{"a", "b"},
+		Merges: []DendroMerge{{A: 0, B: 1, Distance: 2}},
+	}
+	if _, err := d.SVG(); err != nil {
+		t.Fatalf("default leaf order rejected: %v", err)
+	}
+}
+
+func TestBarChartASCII(t *testing.T) {
+	c := BarChart{Title: "cov", Labels: []string{"A", "BB"}, Values: []float64{10, 20}}
+	out, err := c.ASCII(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cov") || !strings.Contains(out, "####") {
+		t.Fatalf("bar ASCII malformed:\n%s", out)
+	}
+	// The longer bar must be twice the short one.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	a := strings.Count(lines[1], "#")
+	b := strings.Count(lines[2], "#")
+	if b != 2*a {
+		t.Fatalf("bar proportions wrong: %d vs %d", a, b)
+	}
+	if _, err := (&BarChart{Labels: []string{"x"}}).ASCII(20); err == nil {
+		t.Fatal("mismatched bar ASCII accepted")
+	}
+}
+
+func TestLineChartASCII(t *testing.T) {
+	c := LineChart{
+		Title: "curve", YMax: 1,
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.5, 1.0}}},
+	}
+	out, err := c.ASCII(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "|") {
+		t.Fatalf("line ASCII malformed:\n%s", out)
+	}
+	if _, err := (&LineChart{}).ASCII(20); err == nil {
+		t.Fatal("empty line ASCII accepted")
+	}
+	bad := LineChart{Series: []Series{{Name: "s"}}}
+	if _, err := bad.ASCII(20); err == nil {
+		t.Fatal("empty series ASCII accepted")
+	}
+}
