@@ -11,7 +11,9 @@ package repro
 // coverage per suite) in addition to timing.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -255,6 +257,102 @@ func BenchmarkGASelection(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// workerCounts returns the worker counts the parallel benchmarks compare:
+// serial, and the machine's GOMAXPROCS when that differs.
+func workerCounts() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
+}
+
+// BenchmarkKMeansParallel measures the parallel k-means restarts and
+// assignment kernel across worker counts; results are identical for all
+// of them, so the comparison is pure speedup.
+func BenchmarkKMeansParallel(b *testing.B) {
+	rng := trace.NewRNG(2)
+	data := stats.NewMatrix(3000, 15)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.KMeans(data, 300, cluster.Options{
+					Seed: 1, Restarts: 4, MaxIters: 20, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Inertia, "inertia")
+			}
+			rowsPerOp := float64(4 * data.Rows)
+			b.ReportMetric(rowsPerOp*float64(b.N)/b.Elapsed().Seconds(), "restart-rows/s")
+		})
+	}
+}
+
+// BenchmarkGAFitnessParallel measures concurrent genome evaluation with a
+// deliberately non-trivial fitness (the paper's distance objective).
+func BenchmarkGAFitnessParallel(b *testing.B) {
+	rng := trace.NewRNG(3)
+	data := stats.NewMatrix(100, mica.NumMetrics)
+	for i := 0; i < data.Rows; i++ {
+		base := rng.Float64() * 10
+		row := data.Row(i)
+		for j := range row {
+			row[j] = base*float64(j%5) + rng.Float64()
+		}
+	}
+	fitness, err := ga.DistanceFitness(data, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			evals := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sel, err := ga.Run(mica.NumMetrics, fitness, ga.Config{
+					TargetCount: 12, Seed: 7, Workers: workers,
+					Populations: 2, PopulationSize: 16, MaxGenerations: 12, Patience: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals += sel.Evaluations
+			}
+			b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+}
+
+// BenchmarkSelectKSweep measures the concurrent k-range evaluation used by
+// timeline phase detection.
+func BenchmarkSelectKSweep(b *testing.B) {
+	rng := trace.NewRNG(5)
+	data := stats.NewMatrix(400, 8)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.SelectK(data, 1, 12, 0.9, cluster.Options{
+					Seed: 1, Restarts: 2, MaxIters: 30, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.K), "chosen-k")
+			}
+			b.ReportMetric(12*float64(b.N)/b.Elapsed().Seconds(), "kmeans-fits/s")
+		})
 	}
 }
 

@@ -41,6 +41,7 @@ func run() error {
 		maxIntervals = flag.Int("max-intervals", 60, "cap on the benchmark's interval count")
 		perInterval  = flag.Bool("per-interval", false, "print one row per interval (phase view)")
 		timeline     = flag.Bool("timeline", false, "detect phases and print the execution timeline strip")
+		workers      = flag.Int("workers", 0, "parallel workers for timeline analysis (0: GOMAXPROCS; result is worker-count independent)")
 		kiviat       = flag.Bool("kiviat", false, "print an ASCII kiviat over the paper's 12 key characteristics")
 		traceFile    = flag.String("trace", "", "characterize a binary trace file instead of a benchmark model")
 		list         = flag.Bool("list", false, "list available benchmarks and exit")
@@ -79,6 +80,7 @@ func run() error {
 		cfg := core.DefaultConfig()
 		cfg.IntervalLength = *intervalLen
 		cfg.MaxIntervalsPerBenchmark = *maxIntervals
+		cfg.Workers = *workers
 		tl, err := core.AnalyzeTimeline(b, cfg, 8)
 		if err != nil {
 			return err

@@ -1,24 +1,29 @@
 // Command tracegen dumps the synthetic instruction stream of one benchmark
 // interval in a human-readable format — useful for inspecting what the
-// workload generator actually emits.
+// workload generator actually emits — or, with -all -o, writes every
+// interval of the benchmark to one binary trace file, generating intervals
+// in parallel.
 //
 // Usage:
 //
-//	tracegen [-n N] [-interval-index I] <suite/benchmark | benchmark>
+//	tracegen [-n N] [-interval-index I] [-all] [-workers W] <suite/benchmark | benchmark>
 //
-// Example:
+// Examples:
 //
 //	tracegen -n 40 BioPerf/grappa
+//	tracegen -all -n 2000 -workers 8 -o grappa.trace BioPerf/grappa
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -31,9 +36,11 @@ func main() {
 
 func run() error {
 	var (
-		n            = flag.Int("n", 50, "number of instructions to dump")
+		n            = flag.Int("n", 50, "number of instructions to dump (per interval with -all)")
 		intervalIdx  = flag.Int("interval-index", 0, "which interval of the benchmark to generate")
 		maxIntervals = flag.Int("max-intervals", 60, "cap on the benchmark's interval count")
+		all          = flag.Bool("all", false, "with -o: write every interval of the benchmark, in order, to one trace file")
+		workers      = flag.Int("workers", 0, "parallel workers for -all generation (0: GOMAXPROCS; output is worker-count independent)")
 		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
 	)
 	flag.Parse()
@@ -50,6 +57,14 @@ func run() error {
 		return err
 	}
 	total := b.ScaledIntervals(*maxIntervals)
+
+	if *all {
+		if *outFile == "" {
+			return fmt.Errorf("-all requires -o (binary traces only)")
+		}
+		return writeAllIntervals(b, total, *n, *workers, *outFile)
+	}
+
 	if *intervalIdx < 0 || *intervalIdx >= total {
 		return fmt.Errorf("interval index %d out of [0,%d)", *intervalIdx, total)
 	}
@@ -87,4 +102,51 @@ func run() error {
 	return trace.GenerateInterval(beh, b.IntervalSeed(*intervalIdx), *n, func(ins *isa.Instruction) {
 		fmt.Fprintln(w, ins.String())
 	})
+}
+
+// writeAllIntervals generates every interval of the benchmark concurrently
+// — each interval encodes into its own in-memory buffer — and concatenates
+// the buffers in interval order, so the file is byte-identical for any
+// worker count.
+func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path string) error {
+	bufs := make([]bytes.Buffer, total)
+	counts := make([]uint64, total)
+	errs := make([]error, total)
+	par.For(workers, total, func(i int) {
+		tw := trace.NewWriter(&bufs[i])
+		var werr error
+		err := trace.GenerateInterval(b.BehaviorAt(i, total), b.IntervalSeed(i), perInterval,
+			func(ins *isa.Instruction) {
+				if werr == nil {
+					werr = tw.Write(ins)
+				}
+			})
+		switch {
+		case err != nil:
+			errs[i] = fmt.Errorf("interval %d: %w", i, err)
+		case werr != nil:
+			errs[i] = fmt.Errorf("interval %d: %w", i, werr)
+		default:
+			errs[i] = tw.Flush()
+			counts[i] = tw.Count()
+		}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var written uint64
+	for i := range bufs {
+		if _, err := f.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		written += counts[i]
+	}
+	fmt.Printf("wrote %d instructions (%d intervals x %d) of %s to %s\n",
+		written, total, perInterval, b.ID(), path)
+	return f.Close()
 }

@@ -2,6 +2,12 @@
 // k-means (with k-means++ seeding and multiple random restarts) scored by
 // the Bayesian Information Criterion, plus cluster representatives, weights
 // and coverage accounting.
+//
+// Clustering is parallel and worker-count deterministic: restarts, Lloyd
+// assignment passes and the SelectK model sweep spread over par workers,
+// with per-restart seeds derived by hashing (never a shared *rand.Rand)
+// and floating-point reductions performed in a fixed chunk order, so the
+// Result is byte-identical whether Options.Workers is 1 or 64.
 package cluster
 
 import (
@@ -10,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -20,8 +27,16 @@ type Options struct {
 	// Restarts is how many random initializations to evaluate; the
 	// clustering with the highest BIC is kept (default 3).
 	Restarts int
-	// Seed makes the run deterministic.
+	// Seed makes the run deterministic. Every seed — including 0 — is a
+	// valid, distinct seed: per-restart randomness is derived from it
+	// with a SplitMix64-style hash (par.DeriveSeed), so there is no
+	// "unseeded" sentinel at this layer. (core.Config.Validate treats a
+	// zero Options.Seed as "inherit the pipeline seed" before the value
+	// reaches this package; that inheritance is documented there.)
 	Seed int64
+	// Workers bounds clustering parallelism; values < 1 mean GOMAXPROCS.
+	// The result is identical for any worker count.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -32,6 +47,7 @@ func (o *Options) withDefaults() Options {
 	if out.Restarts <= 0 {
 		out.Restarts = 3
 	}
+	out.Workers = par.Workers(out.Workers)
 	return out
 }
 
@@ -52,7 +68,10 @@ type Result struct {
 	BIC float64
 }
 
-// KMeans clusters the rows of data into k clusters.
+// KMeans clusters the rows of data into k clusters. Restarts run
+// concurrently, each on a sub-seed derived from Options.Seed, and the
+// best-BIC restart wins with ties broken by restart index — so the result
+// does not depend on Options.Workers.
 func KMeans(data *stats.Matrix, k int, opts Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("cluster: k = %d < 1", k)
@@ -61,39 +80,114 @@ func KMeans(data *stats.Matrix, k int, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("cluster: %d rows cannot form %d clusters", data.Rows, k)
 	}
 	o := opts.withDefaults()
-	rng := rand.New(rand.NewSource(o.Seed))
 
-	var best *Result
-	for r := 0; r < o.Restarts; r++ {
-		res := lloyd(data, k, o.MaxIters, rng)
+	results := make([]*Result, o.Restarts)
+	par.For(o.Workers, o.Restarts, func(r int) {
+		rng := rand.New(rand.NewSource(par.DeriveSeed(o.Seed, uint64(r))))
+		res := lloyd(data, k, o.MaxIters, o.Workers, rng)
 		res.BIC = bic(data, res)
-		if best == nil || res.BIC > best.BIC {
+		results[r] = res
+	})
+
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.BIC > best.BIC {
 			best = res
 		}
 	}
 	return best, nil
 }
 
-// lloyd runs one k-means fit with k-means++ seeding.
-func lloyd(data *stats.Matrix, k, maxIters int, rng *rand.Rand) *Result {
+// rowNorms caches the squared L2 norm of every row of m, the |x|² term of
+// the expansion |x-c|² = |x|² - 2·x·c + |c|² used by the assignment kernel.
+func rowNorms(m *stats.Matrix) []float64 {
+	out := make([]float64, m.Rows)
+	for i := range out {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// assignRows is the parallel Lloyd assignment kernel: for every row it
+// finds the nearest center (cached-squared-norms fast path, first center
+// wins ties) and records the squared distance to it. It returns how many
+// assignments changed. Rows are processed in fixed-grain chunks, each row
+// writing only its own assign/dist2 slot, so the output is identical for
+// any worker count.
+func assignRows(data, centers *stats.Matrix, dataNorm, centerNorm []float64, assign []int, dist2 []float64, workers int) int {
+	n := data.Rows
+	changedParts := make([]int, par.Chunks(n, 0))
+	par.ForChunks(workers, n, 0, func(chunk, lo, hi int) {
+		changed := 0
+		for i := lo; i < hi; i++ {
+			x := data.Row(i)
+			best, bestG := 0, math.Inf(1)
+			for c := 0; c < centers.Rows; c++ {
+				row := centers.Row(c)
+				var dot float64
+				for j, v := range x {
+					dot += v * row[j]
+				}
+				// g differs from |x-c|² by the constant |x|²; the
+				// argmin is the same and the subtraction is deferred.
+				if g := centerNorm[c] - 2*dot; g < bestG {
+					best, bestG = c, g
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				changed++
+			}
+			d2 := dataNorm[i] + bestG
+			if d2 < 0 {
+				d2 = 0 // cancellation can push an exact 0 slightly negative
+			}
+			dist2[i] = d2
+		}
+		changedParts[chunk] = changed
+	})
+	total := 0
+	for _, c := range changedParts {
+		total += c
+	}
+	return total
+}
+
+// lloyd runs one k-means fit with k-means++ seeding. Seeding and center
+// updates are serial (they are O(n·d), dwarfed by the O(n·k·d) assignment
+// passes, and seeding is inherently sequential in rng consumption); the
+// assignment and inertia passes fan out over workers.
+func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand) *Result {
 	n, d := data.Rows, data.Cols
 	centers := seedPlusPlus(data, k, rng)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
+	dist2 := make([]float64, n)
+	dataNorm := rowNorms(data)
+	centerNorm := make([]float64, k)
+	updateCenterNorms := func() {
+		for c := 0; c < k; c++ {
+			row := centers.Row(c)
+			var s float64
+			for _, v := range row {
+				s += v * v
+			}
+			centerNorm[c] = s
+		}
+	}
 	sizes := make([]int, k)
 	sums := stats.NewMatrix(k, d)
 
 	for iter := 0; iter < maxIters; iter++ {
-		changed := 0
-		for i := 0; i < n; i++ {
-			c := nearestCenter(data.Row(i), centers)
-			if c != assign[i] {
-				assign[i] = c
-				changed++
-			}
-		}
+		updateCenterNorms()
+		changed := assignRows(data, centers, dataNorm, centerNorm, assign, dist2, workers)
 		if changed == 0 && iter > 0 {
 			break
 		}
@@ -115,16 +209,19 @@ func lloyd(data *stats.Matrix, k, maxIters int, rng *rand.Rand) *Result {
 		}
 		for c := 0; c < k; c++ {
 			if sizes[c] == 0 {
-				// Re-seed an empty cluster at the point farthest
-				// from its current center.
+				// Re-seed an empty cluster at the point farthest from
+				// its assigned center, reusing the assignment pass's
+				// cached distances instead of recomputing n distances
+				// per empty cluster. Zeroing the winner keeps a second
+				// empty cluster from grabbing the same point.
 				far, farDist := 0, -1.0
-				for i := 0; i < n; i++ {
-					dd := stats.EuclideanDistance(data.Row(i), centers.Row(assign[i]))
+				for i, dd := range dist2 {
 					if dd > farDist {
 						far, farDist = i, dd
 					}
 				}
 				copy(centers.Row(c), data.Row(far))
+				dist2[far] = 0
 				continue
 			}
 			src := sums.Row(c)
@@ -136,17 +233,27 @@ func lloyd(data *stats.Matrix, k, maxIters int, rng *rand.Rand) *Result {
 		}
 	}
 
-	// Final assignment pass and inertia.
+	// Final assignment pass and inertia, the latter reduced from
+	// per-chunk partials in chunk order (worker-count independent).
+	updateCenterNorms()
+	assignRows(data, centers, dataNorm, centerNorm, assign, dist2, workers)
 	for i := range sizes {
 		sizes[i] = 0
 	}
-	var inertia float64
-	for i := 0; i < n; i++ {
-		c := nearestCenter(data.Row(i), centers)
-		assign[i] = c
+	for _, c := range assign {
 		sizes[c]++
-		dd := stats.EuclideanDistance(data.Row(i), centers.Row(c))
-		inertia += dd * dd
+	}
+	inertiaParts := make([]float64, par.Chunks(n, 0))
+	par.ForChunks(workers, n, 0, func(chunk, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += dist2[i]
+		}
+		inertiaParts[chunk] = s
+	})
+	var inertia float64
+	for _, p := range inertiaParts {
+		inertia += p
 	}
 	return &Result{K: k, Assignments: assign, Centers: centers, Sizes: sizes, Inertia: inertia}
 }
@@ -190,25 +297,6 @@ func seedPlusPlus(data *stats.Matrix, k int, rng *rand.Rand) *stats.Matrix {
 		}
 	}
 	return centers
-}
-
-func nearestCenter(x []float64, centers *stats.Matrix) int {
-	best, bestD := 0, math.Inf(1)
-	for c := 0; c < centers.Rows; c++ {
-		row := centers.Row(c)
-		var s float64
-		for j := range x {
-			d := x[j] - row[j]
-			s += d * d
-			if s >= bestD {
-				break
-			}
-		}
-		if s < bestD {
-			best, bestD = c, s
-		}
-	}
-	return best
 }
 
 // bic scores a clustering with the spherical-Gaussian Bayesian Information
@@ -301,6 +389,11 @@ func (r *Result) AvgWithinClusterDistance(data *stats.Matrix) float64 {
 // score reaches at least frac (typically 0.9) of the way from the worst to
 // the best BIC observed. Raw BIC maximization is too conservative on small
 // samples; the heuristic trades a little fit for far fewer clusters.
+//
+// The k range is evaluated concurrently (this is the inner loop of the
+// per-benchmark timeline analyses); each k's fit is independent and
+// deterministic, and the winner is chosen by a serial scan in ascending k,
+// so the selection does not depend on opts.Workers.
 func SelectK(data *stats.Matrix, kmin, kmax int, frac float64, opts Options) (*Result, error) {
 	if kmin < 1 || kmax < kmin {
 		return nil, fmt.Errorf("cluster: invalid k range [%d,%d]", kmin, kmax)
@@ -314,14 +407,16 @@ func SelectK(data *stats.Matrix, kmin, kmax int, frac float64, opts Options) (*R
 	if frac < 0 || frac > 1 {
 		return nil, fmt.Errorf("cluster: BIC fraction %v out of [0,1]", frac)
 	}
-	results := make([]*Result, 0, kmax-kmin+1)
+	results := make([]*Result, kmax-kmin+1)
+	errs := make([]error, len(results))
+	par.For(par.Workers(opts.Workers), len(results), func(i int) {
+		results[i], errs[i] = KMeans(data, kmin+i, opts)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for k := kmin; k <= kmax; k++ {
-		res, err := KMeans(data, k, opts)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
+	for _, res := range results {
 		if res.BIC < lo {
 			lo = res.BIC
 		}

@@ -91,6 +91,100 @@ func TestKMeansDeterministicWithSeed(t *testing.T) {
 	}
 }
 
+// TestKMeansWorkerCountInvariance is the tentpole contract: the fitted
+// clustering must be byte-identical whatever Options.Workers is, because
+// restart seeds are derived by hashing and all floating-point reductions
+// run in a fixed chunk order.
+func TestKMeansWorkerCountInvariance(t *testing.T) {
+	data, _ := blobs([][]float64{{0, 0}, {7, 1}, {2, 9}, {8, 8}}, 60, 0.8, 21)
+	ref, err := KMeans(data, 4, Options{Seed: 5, Restarts: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := KMeans(data, 4, Options{Seed: 5, Restarts: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BIC != ref.BIC || got.Inertia != ref.Inertia {
+			t.Fatalf("workers=%d scores differ: BIC %v vs %v, inertia %v vs %v",
+				workers, got.BIC, ref.BIC, got.Inertia, ref.Inertia)
+		}
+		for i := range ref.Assignments {
+			if got.Assignments[i] != ref.Assignments[i] {
+				t.Fatalf("workers=%d assignment %d differs", workers, i)
+			}
+		}
+		for i := range ref.Centers.Data {
+			if got.Centers.Data[i] != ref.Centers.Data[i] {
+				t.Fatalf("workers=%d center element %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSelectKWorkerCountInvariance(t *testing.T) {
+	data, _ := blobs([][]float64{{0, 0}, {15, 0}, {0, 15}}, 30, 0.5, 22)
+	ref, err := SelectK(data, 1, 8, 0.9, Options{Seed: 3, Restarts: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := SelectK(data, 1, 8, 0.9, Options{Seed: 3, Restarts: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.K != ref.K || got.BIC != ref.BIC {
+			t.Fatalf("workers=%d picked k=%d (BIC %v), workers=1 picked k=%d (BIC %v)",
+				workers, got.K, got.BIC, ref.K, ref.BIC)
+		}
+		for i := range ref.Assignments {
+			if got.Assignments[i] != ref.Assignments[i] {
+				t.Fatalf("workers=%d assignment %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestKMeansSeedZeroValid pins the Seed == 0 semantics: 0 is an ordinary
+// seed (deterministic, distinct from seed 1), not an "unseeded" sentinel.
+func TestKMeansSeedZeroValid(t *testing.T) {
+	// One diffuse blob: distinct seeds land in distinct local optima.
+	data, _ := blobs([][]float64{{0, 0}}, 200, 5.0, 23)
+	a, err := KMeans(data, 6, Options{Seed: 0, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(data, 6, Options{Seed: 0, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BIC != b.BIC || a.Inertia != b.Inertia {
+		t.Fatal("seed 0 not deterministic")
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("seed 0 not deterministic")
+		}
+	}
+	// Seed 0 must drive a different restart stream than seed 1 (it would
+	// not if 0 were collapsed into another value somewhere).
+	c, err := KMeans(data, 6, Options{Seed: 1, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Inertia == c.Inertia && a.BIC == c.BIC
+	for i := range a.Assignments {
+		if a.Assignments[i] != c.Assignments[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 0 and seed 1 produced identical clusterings; 0 looks like a sentinel")
+	}
+}
+
 func TestWeightsSumToOne(t *testing.T) {
 	data, _ := blobs([][]float64{{0}, {4}, {9}}, 30, 0.3, 3)
 	res, err := KMeans(data, 3, Options{Seed: 1})

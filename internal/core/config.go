@@ -42,13 +42,24 @@ type Config struct {
 	MinPCStd float64
 	// KeyCharacteristics is the GA target cardinality (the paper's 12).
 	KeyCharacteristics int
-	// Workers bounds characterization parallelism; 0 = GOMAXPROCS.
+	// Workers bounds the pipeline's parallelism — characterization,
+	// clustering, GA fitness evaluation and the distance kernels; 0 =
+	// GOMAXPROCS. Every stage is worker-count deterministic: a run's
+	// Result (and its JSON export) is byte-identical for any Workers.
 	Workers int
 	// Seed makes the whole pipeline deterministic.
 	Seed int64
-	// KMeans configures the clustering step.
+	// KMeans configures the clustering step. A zero KMeans.Seed means
+	// "inherit Config.Seed" and a zero KMeans.Workers means "inherit
+	// Config.Workers" — Validate resolves both, so a caller who wants
+	// the clustering stage decoupled from the pipeline seed must set
+	// KMeans.Seed to a nonzero value. (Inside the cluster package
+	// itself, seed 0 is an ordinary seed: sub-seeds are derived with a
+	// SplitMix64-style hash, never compared against 0.)
 	KMeans cluster.Options
-	// GA configures the key-characteristic search.
+	// GA configures the key-characteristic search. Zero GA.Seed /
+	// GA.Workers inherit Config.Seed / Config.Workers exactly as for
+	// KMeans above.
 	GA ga.Config
 }
 
@@ -110,6 +121,21 @@ func (c *Config) Validate() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	// Resolve the documented zero-field inheritance of the per-stage
+	// knobs: clustering and GA follow the pipeline seed and worker count
+	// unless explicitly overridden.
+	if c.KMeans.Seed == 0 {
+		c.KMeans.Seed = c.Seed
+	}
+	if c.KMeans.Workers == 0 {
+		c.KMeans.Workers = c.Workers
+	}
+	if c.GA.Seed == 0 {
+		c.GA.Seed = c.Seed
+	}
+	if c.GA.Workers == 0 {
+		c.GA.Workers = c.Workers
 	}
 	if c.IntervalLength < 100 {
 		return fmt.Errorf("core: interval length %d too small (min 100)", c.IntervalLength)

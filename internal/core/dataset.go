@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/isa"
 	"repro/internal/mica"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -92,54 +92,40 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		}
 	}
 
+	// Fan the unique intervals out over the par worker pool. Analyzers
+	// are heavy, so each worker keeps one and resets it per interval;
+	// every interval writes only its own vectors/errs slot and the
+	// per-worker instruction counts are integers, so the dataset is
+	// identical for any worker count.
+	workers := par.Workers(cfg.Workers)
 	vectors := make([][]float64, len(work))
 	errs := make([]error, len(work))
-	var instructions uint64
-	var mu sync.Mutex
-
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(work) {
-		workers = len(work)
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			analyzer := mica.NewAnalyzer()
-			var local uint64
-			for i := range next {
-				r := work[i]
-				analyzer.Reset()
-				beh := r.Bench.BehaviorAt(r.Index, r.Total)
-				err := trace.GenerateInterval(beh, r.Bench.IntervalSeed(r.Index), cfg.IntervalLength,
-					func(ins *isa.Instruction) { analyzer.Record(ins) })
-				if err != nil {
-					errs[i] = fmt.Errorf("core: interval %s: %w", r, err)
-					continue
-				}
-				vectors[i] = analyzer.Vector()
-				local += analyzer.Total()
-			}
-			mu.Lock()
-			instructions += local
-			mu.Unlock()
-		}()
-	}
-	for i := range work {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	analyzers := make([]*mica.Analyzer, workers)
+	instrParts := make([]uint64, workers)
+	par.ForWorker(workers, len(work), func(w, i int) {
+		analyzer := analyzers[w]
+		if analyzer == nil {
+			analyzer = mica.NewAnalyzer()
+			analyzers[w] = analyzer
 		}
+		r := work[i]
+		analyzer.Reset()
+		beh := r.Bench.BehaviorAt(r.Index, r.Total)
+		err := trace.GenerateInterval(beh, r.Bench.IntervalSeed(r.Index), cfg.IntervalLength,
+			func(ins *isa.Instruction) { analyzer.Record(ins) })
+		if err != nil {
+			errs[i] = fmt.Errorf("core: interval %s: %w", r, err)
+			return
+		}
+		vectors[i] = analyzer.Vector()
+		instrParts[w] += analyzer.Total()
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var instructions uint64
+	for _, p := range instrParts {
+		instructions += p
 	}
 
 	raw := stats.NewMatrix(len(refs), mica.NumMetrics)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Worker-count invariance is the contract the parallel analysis stages
+// must keep: the entire pipeline output — clustering, prominent phases,
+// GA selections, JSON export — is byte-identical whether it ran on one
+// worker or many. These tests exercise the contract end to end; the
+// per-stage variants live in the cluster, ga and stats packages.
+
+func runAtWorkers(t *testing.T, workers int) *Result {
+	t.Helper()
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.Workers = workers
+	res, err := Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunExportWorkerCountInvariance(t *testing.T) {
+	ref := runAtWorkers(t, 1)
+	var refJSON bytes.Buffer
+	if err := ref.WriteJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got := runAtWorkers(t, workers)
+		var gotJSON bytes.Buffer
+		if err := got.WriteJSON(&gotJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON.Bytes(), gotJSON.Bytes()) {
+			t.Fatalf("workers=%d JSON export differs from workers=1", workers)
+		}
+		// The export summarizes; also compare the underlying state
+		// bit-for-bit.
+		if got.Clusters.BIC != ref.Clusters.BIC || got.Clusters.Inertia != ref.Clusters.Inertia {
+			t.Fatalf("workers=%d clustering scores differ", workers)
+		}
+		for i := range ref.Clusters.Assignments {
+			if got.Clusters.Assignments[i] != ref.Clusters.Assignments[i] {
+				t.Fatalf("workers=%d assignment %d differs", workers, i)
+			}
+		}
+		for i := range ref.Scores.Data {
+			if got.Scores.Data[i] != ref.Scores.Data[i] {
+				t.Fatalf("workers=%d PCA score %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSelectKeyCharacteristicsWorkerCountInvariance(t *testing.T) {
+	mk := func(workers int) (sel []int, fitness float64, evals int) {
+		t.Helper()
+		reg := miniRegistry(t)
+		cfg := miniConfig()
+		cfg.NumClusters = 12
+		cfg.NumProminent = 12
+		cfg.SamplesPerBenchmark = 15
+		cfg.Workers = workers
+		res, err := Run(reg, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := res.SelectKeyCharacteristics(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Selected, s.Fitness, s.Evaluations
+	}
+	refSel, refFit, refEvals := mk(1)
+	gotSel, gotFit, gotEvals := mk(8)
+	if gotFit != refFit || gotEvals != refEvals {
+		t.Fatalf("GA diverged across worker counts: fitness %v vs %v, evals %d vs %d",
+			gotFit, refFit, gotEvals, refEvals)
+	}
+	for i := range refSel {
+		if gotSel[i] != refSel[i] {
+			t.Fatalf("selected %v at 8 workers, %v at 1", gotSel, refSel)
+		}
+	}
+}
+
+func TestAnalyzeTimelineWorkerCountInvariance(t *testing.T) {
+	reg := miniRegistry(t)
+	b, err := reg.Lookup("SuiteA/s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(workers int) *Timeline {
+		cfg := miniConfig()
+		cfg.Workers = workers
+		tl, err := AnalyzeTimeline(b, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	ref := mk(1)
+	got := mk(8)
+	if got.NumPhases != ref.NumPhases || got.Transitions != ref.Transitions {
+		t.Fatalf("timeline shape diverged: %d/%d phases, %d/%d transitions",
+			got.NumPhases, ref.NumPhases, got.Transitions, ref.Transitions)
+	}
+	if got.Strip() != ref.Strip() {
+		t.Fatalf("timeline strip diverged: %q vs %q", got.Strip(), ref.Strip())
+	}
+	for i := range ref.Vectors.Data {
+		if got.Vectors.Data[i] != ref.Vectors.Data[i] {
+			t.Fatalf("characterization vector element %d differs", i)
+		}
+	}
+}
+
+// TestSeedZeroPipelineValid pins the documented Seed == 0 behavior at the
+// core layer: the pipeline itself accepts seed 0 and stays deterministic
+// (per-stage zero seeds inherit it, and the stages treat 0 as an ordinary
+// seed).
+func TestSeedZeroPipelineValid(t *testing.T) {
+	reg := miniRegistry(t)
+	cfg := miniConfig()
+	cfg.Seed = 0
+	a, err := Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := miniConfig()
+	cfg2.Seed = 0
+	b, err := Run(reg, cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Clusters.Assignments {
+		if a.Clusters.Assignments[i] != b.Clusters.Assignments[i] {
+			t.Fatal("seed 0 pipeline not deterministic")
+		}
+	}
+}

@@ -130,13 +130,11 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 	if k >= scores.Rows {
 		return nil, fmt.Errorf("core: %d clusters need more than %d intervals", k, scores.Rows)
 	}
-	kopts := cfg.KMeans
-	if kopts.Seed == 0 {
-		kopts.Seed = cfg.Seed
-	}
-	logf("k-means: k=%d over %d intervals in %d dimensions (%d restarts)...",
-		k, scores.Rows, scores.Cols, max(1, kopts.Restarts))
-	cl, err := cluster.KMeans(scores, k, kopts)
+	// cfg.KMeans already carries the inherited pipeline seed and worker
+	// count (Validate resolved them above).
+	logf("k-means: k=%d over %d intervals in %d dimensions (%d restarts, %d workers)...",
+		k, scores.Rows, scores.Cols, max(1, cfg.KMeans.Restarts), cfg.Workers)
+	cl, err := cluster.KMeans(scores, k, cfg.KMeans)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -259,11 +257,10 @@ func (r *Result) SelectKeyCharacteristics(count int) (ga.Selection, error) {
 	if err != nil {
 		return ga.Selection{}, err
 	}
+	// r.Config was validated by Run, so cfg already carries the
+	// inherited pipeline seed and worker count.
 	cfg := r.Config.GA
 	cfg.TargetCount = count
-	if cfg.Seed == 0 {
-		cfg.Seed = r.Config.Seed
-	}
 	return ga.Run(r.Dataset.Raw.Cols, fitness, cfg)
 }
 
@@ -274,11 +271,7 @@ func (r *Result) SweepKeyCharacteristics(counts []int) ([]ga.SweepResult, error)
 	if err != nil {
 		return nil, err
 	}
-	cfg := r.Config.GA
-	if cfg.Seed == 0 {
-		cfg.Seed = r.Config.Seed
-	}
-	return ga.Sweep(r.Dataset.Raw.Cols, fitness, counts, cfg)
+	return ga.Sweep(r.Dataset.Raw.Cols, fitness, counts, r.Config.GA)
 }
 
 func max(a, b int) int {

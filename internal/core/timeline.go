@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/isa"
 	"repro/internal/mica"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -42,17 +43,30 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 	if maxPhases < 1 {
 		return nil, fmt.Errorf("core: maxPhases %d < 1", maxPhases)
 	}
+	// Characterize the intervals over the worker pool (one analyzer per
+	// worker, one matrix row per interval — worker-count deterministic).
 	total := b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
 	vectors := stats.NewMatrix(total, mica.NumMetrics)
-	analyzer := mica.NewAnalyzer()
-	for i := 0; i < total; i++ {
+	workers := par.Workers(cfg.Workers)
+	analyzers := make([]*mica.Analyzer, workers)
+	errs := make([]error, total)
+	par.ForWorker(workers, total, func(w, i int) {
+		analyzer := analyzers[w]
+		if analyzer == nil {
+			analyzer = mica.NewAnalyzer()
+			analyzers[w] = analyzer
+		}
 		analyzer.Reset()
 		err := trace.GenerateInterval(b.BehaviorAt(i, total), b.IntervalSeed(i), cfg.IntervalLength,
 			func(ins *isa.Instruction) { analyzer.Record(ins) })
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		copy(vectors.Row(i), analyzer.Vector())
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 
 	pca, err := stats.ComputePCA(vectors, true)
@@ -72,7 +86,7 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 	// SimPoint-style model selection: smallest k reaching 90% of the
 	// BIC range.
 	best, err := cluster.SelectK(scores, 1, maxPhases, 0.9,
-		cluster.Options{Seed: cfg.Seed, Restarts: 2, MaxIters: 50})
+		cluster.Options{Seed: cfg.Seed, Restarts: 2, MaxIters: 50, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -115,6 +115,9 @@ func AblationK(e *Env) (string, error) {
 		if opts.Seed == 0 {
 			opts.Seed = e.Config.Seed
 		}
+		if opts.Workers == 0 {
+			opts.Workers = e.Config.Workers
+		}
 		cl, err := cluster.KMeans(res.Scores, k, opts)
 		if err != nil {
 			return "", err

@@ -3,6 +3,7 @@ package ga
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -14,6 +15,10 @@ import (
 // rescaled-PCA space of the full data set. The extra PCA step inside the
 // fitness discounts correlation among the raw characteristics, exactly as
 // section 2.7 describes.
+//
+// The returned Fitness is a pure function of its input (it only reads
+// data and the precomputed reference distances), so it is safe for the
+// concurrent evaluation Run performs when Config.Workers allows it.
 //
 // minPCStd is the retention threshold for principal components (the paper
 // keeps components with standard deviation > 1).
@@ -40,7 +45,10 @@ func DistanceFitness(data *stats.Matrix, minPCStd float64) (Fitness, error) {
 
 // rescaledDistances normalizes the data, runs PCA, retains components with
 // standard deviation above minPCStd, rescales the retained scores to unit
-// variance, and returns the pairwise distances between the rows.
+// variance, and returns the pairwise distances between the rows. The
+// distance kernel stays single-worker here because rescaledDistances is
+// itself invoked from Run's concurrent genome evaluations; nesting another
+// fan-out per genome would only add scheduling overhead.
 func rescaledDistances(data *stats.Matrix, minPCStd float64) ([]float64, error) {
 	pca, err := stats.ComputePCA(data, true)
 	if err != nil {
@@ -65,18 +73,27 @@ type SweepResult struct {
 
 // Sweep runs the genetic algorithm once per target cardinality and returns
 // the best correlation found at each, reproducing Figure 1. cfg.TargetCount
-// is overridden per run; cfg.Seed is varied deterministically.
+// is overridden per run; each run's seed is derived from cfg.Seed with a
+// SplitMix64-style hash of the cardinality index (so seed 0 is as valid as
+// any other). Cardinalities are searched concurrently — the Figure 1 curve
+// is embarrassingly parallel — and each slot's result is independent of
+// the others, so the sweep is deterministic for any cfg.Workers.
 func Sweep(numFeatures int, fitness Fitness, counts []int, cfg Config) ([]SweepResult, error) {
-	out := make([]SweepResult, 0, len(counts))
-	for i, c := range counts {
+	out := make([]SweepResult, len(counts))
+	errs := make([]error, len(counts))
+	par.For(par.Workers(cfg.Workers), len(counts), func(i int) {
 		runCfg := cfg
-		runCfg.TargetCount = c
-		runCfg.Seed = cfg.Seed + int64(i)*7919
+		runCfg.TargetCount = counts[i]
+		runCfg.Seed = par.DeriveSeed(cfg.Seed, uint64(i))
 		sel, err := Run(numFeatures, fitness, runCfg)
 		if err != nil {
-			return nil, fmt.Errorf("ga: sweep at count %d: %w", c, err)
+			errs[i] = fmt.Errorf("ga: sweep at count %d: %w", counts[i], err)
+			return
 		}
-		out = append(out, SweepResult{Count: c, Selection: sel})
+		out[i] = SweepResult{Count: counts[i], Selection: sel}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

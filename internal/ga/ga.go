@@ -5,15 +5,28 @@
 // fitness of a subset is the Pearson correlation between inter-phase
 // distances in the reduced space and in the full space (both measured in
 // rescaled-PCA coordinates).
+//
+// Fitness evaluation — the cost center of the search — is parallel and
+// worker-count deterministic: every generation's offspring are bred
+// serially from one rng (breeding never consumes fitness values of the
+// offspring being bred), then the generation's distinct uncached genomes
+// are evaluated concurrently and memoized in one batch. The evolved
+// Selection, including its Evaluations count, is byte-identical for any
+// Config.Workers.
 package ga
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Fitness scores a candidate subset of feature indices; higher is better.
+// When Config.Workers permits more than one worker, distinct genomes are
+// scored concurrently, so a Fitness must be safe for concurrent use (pure
+// functions of their input, like DistanceFitness, are).
 type Fitness func(selected []int) float64
 
 // Config tunes the evolutionary search.
@@ -38,8 +51,15 @@ type Config struct {
 	// Elite is how many top individuals survive unchanged per
 	// population (default 2).
 	Elite int
-	// Seed makes the search deterministic.
+	// Seed makes the search deterministic. Any value — including 0 — is
+	// a valid, distinct seed; Sweep derives per-cardinality sub-seeds
+	// from it with a SplitMix64-style hash. (core.Config.Validate treats
+	// a zero Config.Seed as "inherit the pipeline seed" before the value
+	// reaches this package; that inheritance is documented there.)
 	Seed int64
+	// Workers bounds fitness-evaluation parallelism; values < 1 mean
+	// GOMAXPROCS. The search result is identical for any worker count.
+	Workers int
 }
 
 func (c *Config) withDefaults(numFeatures int) (Config, error) {
@@ -71,6 +91,7 @@ func (c *Config) withDefaults(numFeatures int) (Config, error) {
 	if out.Elite > out.PopulationSize/2 {
 		out.Elite = out.PopulationSize / 2
 	}
+	out.Workers = par.Workers(out.Workers)
 	return out, nil
 }
 
@@ -99,6 +120,50 @@ func genomeKey(genes []int) string {
 	return string(b)
 }
 
+// memo caches genome fitness and evaluates batches of genomes. The cache
+// needs no lock: Evaluate dedupes the batch serially, fans out fitness
+// calls only for distinct uncached genomes (each writing its own slot),
+// and stores the results serially — which also makes the evaluation count
+// deterministic, where a racy per-lookup cache could score one genome
+// twice under contention.
+type memo struct {
+	fitness Fitness
+	workers int
+	cache   map[string]float64
+	evals   int
+}
+
+// Evaluate returns the fitness of each genome in genes, scoring uncached
+// distinct genomes concurrently and memoizing them in first-appearance
+// order.
+func (m *memo) Evaluate(genes [][]int) []float64 {
+	var todoKeys []string
+	var todoGenes [][]int
+	pending := map[string]bool{}
+	for _, g := range genes {
+		key := genomeKey(g)
+		if _, ok := m.cache[key]; ok || pending[key] {
+			continue
+		}
+		pending[key] = true
+		todoKeys = append(todoKeys, key)
+		todoGenes = append(todoGenes, g)
+	}
+	vals := make([]float64, len(todoGenes))
+	par.For(m.workers, len(todoGenes), func(i int) {
+		vals[i] = m.fitness(todoGenes[i])
+	})
+	for i, key := range todoKeys {
+		m.cache[key] = vals[i]
+		m.evals++
+	}
+	out := make([]float64, len(genes))
+	for i, g := range genes {
+		out[i] = m.cache[genomeKey(g)]
+	}
+	return out
+}
+
 // Run evolves feature subsets of size cfg.TargetCount drawn from
 // [0, numFeatures) to maximize fitness.
 func Run(numFeatures int, fitness Fitness, cfg Config) (Selection, error) {
@@ -113,27 +178,24 @@ func Run(numFeatures int, fitness Fitness, cfg Config) (Selection, error) {
 		return Selection{}, err
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
+	mm := &memo{fitness: fitness, workers: c.Workers, cache: map[string]float64{}}
 
-	cache := map[string]float64{}
-	evals := 0
-	eval := func(genes []int) float64 {
-		key := genomeKey(genes)
-		if f, ok := cache[key]; ok {
-			return f
-		}
-		f := fitness(genes)
-		cache[key] = f
-		evals++
-		return f
-	}
-
-	// Initialize populations with random subsets.
+	// Initialize populations with random subsets: breed every genome
+	// first (one rng, fixed order), then score them in one batch.
 	pops := make([][]individual, c.Populations)
+	var initGenes [][]int
 	for p := range pops {
 		pops[p] = make([]individual, c.PopulationSize)
 		for i := range pops[p] {
 			genes := randomSubset(numFeatures, c.TargetCount, rng)
-			pops[p][i] = individual{genes: genes, fitness: eval(genes)}
+			pops[p][i] = individual{genes: genes}
+			initGenes = append(initGenes, genes)
+		}
+	}
+	initFit := mm.Evaluate(initGenes)
+	for p := range pops {
+		for i := range pops[p] {
+			pops[p][i].fitness = initFit[p*c.PopulationSize+i]
 		}
 		sortPop(pops[p])
 	}
@@ -148,11 +210,31 @@ func Run(numFeatures int, fitness Fitness, cfg Config) (Selection, error) {
 	stale := 0
 	gen := 0
 	for ; gen < c.MaxGenerations && stale < c.Patience; gen++ {
-		improved := false
+		// Breed all populations' offspring serially (rng order is the
+		// same as a fully serial run: selection reads only the previous
+		// generation's fitness), then evaluate the generation's fresh
+		// genomes in one concurrent batch.
+		nexts := make([][]individual, len(pops))
+		var freshGenes [][]int
 		for p := range pops {
-			pops[p] = evolve(pops[p], numFeatures, c, rng, eval)
-			if pops[p][0].fitness > best.fitness {
-				best = pops[p][0]
+			next, fresh := breed(pops[p], numFeatures, c, rng)
+			nexts[p] = next
+			freshGenes = append(freshGenes, fresh...)
+		}
+		freshFit := mm.Evaluate(freshGenes)
+
+		improved := false
+		fi := 0
+		for p := range pops {
+			next := nexts[p]
+			for i := c.Elite; i < len(next); i++ {
+				next[i].fitness = freshFit[fi]
+				fi++
+			}
+			sortPop(next)
+			pops[p] = next
+			if next[0].fitness > best.fitness {
+				best = next[0]
 				improved = true
 			}
 		}
@@ -176,7 +258,7 @@ func Run(numFeatures int, fitness Fitness, cfg Config) (Selection, error) {
 		Selected:    append([]int(nil), best.genes...),
 		Fitness:     best.fitness,
 		Generations: gen,
-		Evaluations: evals,
+		Evaluations: mm.evals,
 	}
 	sort.Ints(sel.Selected)
 	return sel, nil
@@ -186,12 +268,16 @@ func sortPop(pop []individual) {
 	sort.SliceStable(pop, func(a, b int) bool { return pop[a].fitness > pop[b].fitness })
 }
 
-func evolve(pop []individual, numFeatures int, c Config, rng *rand.Rand, eval func([]int) float64) []individual {
+// breed builds the next generation of one population — elites first, then
+// tournament/crossover/mutation offspring — without scoring it. The genes
+// of the non-elite offspring are returned for batch evaluation.
+func breed(pop []individual, numFeatures int, c Config, rng *rand.Rand) ([]individual, [][]int) {
 	next := make([]individual, 0, len(pop))
-	// Elitism.
+	// Elitism: fitness already known.
 	for i := 0; i < c.Elite; i++ {
 		next = append(next, pop[i])
 	}
+	fresh := make([][]int, 0, len(pop)-c.Elite)
 	for len(next) < len(pop) {
 		a := tournament(pop, rng)
 		b := tournament(pop, rng)
@@ -200,10 +286,10 @@ func evolve(pop []individual, numFeatures int, c Config, rng *rand.Rand, eval fu
 			mutate(genes, numFeatures, rng)
 		}
 		sort.Ints(genes)
-		next = append(next, individual{genes: genes, fitness: eval(genes)})
+		next = append(next, individual{genes: genes})
+		fresh = append(fresh, genes)
 	}
-	sortPop(next)
-	return next
+	return next, fresh
 }
 
 func tournament(pop []individual, rng *rand.Rand) individual {

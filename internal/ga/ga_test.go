@@ -3,6 +3,7 @@ package ga
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -117,18 +118,110 @@ func TestRunFullCardinality(t *testing.T) {
 }
 
 func TestEvaluationsCounted(t *testing.T) {
-	calls := 0
-	f := func(sel []int) float64 { calls++; return 0 }
-	sel, err := Run(12, f, Config{TargetCount: 3, Seed: 4, MaxGenerations: 6, Patience: 3})
+	// Fitness functions run concurrently when Workers > 1, so the
+	// counter must be atomic (the Fitness contract requires concurrent
+	// safety).
+	var calls atomic.Int64
+	f := func(sel []int) float64 { calls.Add(1); return 0 }
+	for _, workers := range []int{1, 4} {
+		calls.Store(0)
+		sel, err := Run(12, f, Config{TargetCount: 3, Seed: 4, MaxGenerations: 6, Patience: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(sel.Evaluations) != calls.Load() {
+			t.Fatalf("workers=%d: Evaluations = %d, fitness called %d times", workers, sel.Evaluations, calls.Load())
+		}
+		if calls.Load() == 0 {
+			t.Fatal("fitness never called")
+		}
+	}
+}
+
+// TestRunWorkerCountInvariance is the tentpole contract: the evolved
+// selection — genes, fitness, generation count and even the number of
+// distinct evaluations — must be identical for any Config.Workers, because
+// breeding is serial and each generation's uncached genomes are deduped
+// before the concurrent scoring batch.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	f := plantedFitness([]int{2, 5, 11, 17})
+	ref, err := Run(30, f, Config{TargetCount: 4, Seed: 6, MaxGenerations: 20, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sel.Evaluations != calls {
-		t.Fatalf("Evaluations = %d, fitness called %d times", sel.Evaluations, calls)
+	for _, workers := range []int{2, 8} {
+		got, err := Run(30, f, Config{TargetCount: 4, Seed: 6, MaxGenerations: 20, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fitness != ref.Fitness || got.Generations != ref.Generations || got.Evaluations != ref.Evaluations {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, got, ref)
+		}
+		for i := range ref.Selected {
+			if got.Selected[i] != ref.Selected[i] {
+				t.Fatalf("workers=%d selected %v, workers=1 selected %v", workers, got.Selected, ref.Selected)
+			}
+		}
 	}
-	if calls == 0 {
-		t.Fatal("fitness never called")
+}
+
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	f := plantedFitness([]int{0, 1, 2, 3, 4, 5})
+	counts := []int{2, 4, 6}
+	ref, err := Sweep(16, f, counts, Config{Seed: 5, MaxGenerations: 15, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
 	}
+	got, err := Sweep(16, f, counts, Config{Seed: 5, MaxGenerations: 15, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i].Count != ref[i].Count || got[i].Selection.Fitness != ref[i].Selection.Fitness {
+			t.Fatalf("sweep slot %d diverged across worker counts", i)
+		}
+		for j := range ref[i].Selection.Selected {
+			if got[i].Selection.Selected[j] != ref[i].Selection.Selected[j] {
+				t.Fatalf("sweep slot %d selected different genes across worker counts", i)
+			}
+		}
+	}
+}
+
+// TestSeedZeroValid pins the Seed == 0 semantics at the ga layer: a valid,
+// deterministic seed distinct from seed 1.
+func TestSeedZeroValid(t *testing.T) {
+	f := plantedFitness([]int{1, 3, 5})
+	a, err := Run(40, f, Config{TargetCount: 3, Seed: 0, MaxGenerations: 3, Patience: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(40, f, Config{TargetCount: 3, Seed: 0, MaxGenerations: 3, Patience: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fitness != b.Fitness || a.Evaluations != b.Evaluations {
+		t.Fatal("seed 0 not deterministic")
+	}
+	c, err := Run(40, f, Config{TargetCount: 3, Seed: 1, MaxGenerations: 3, Patience: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evaluations == c.Evaluations && a.Fitness == c.Fitness && equalInts(a.Selected, c.Selected) {
+		t.Fatal("seed 0 and seed 1 ran identical searches; 0 looks like a sentinel")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestMutatePreservesInvariant(t *testing.T) {

@@ -7,6 +7,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Matrix is a dense row-major matrix of float64.
@@ -180,14 +182,26 @@ func EuclideanDistance(a, b []float64) float64 {
 // PairwiseDistances returns the upper-triangle (i < j) Euclidean distances
 // between the rows of m, flattened in row-major order of pairs.
 func PairwiseDistances(m *Matrix) []float64 {
+	return ParallelPairwiseDistances(m, 1)
+}
+
+// ParallelPairwiseDistances computes PairwiseDistances with the rows
+// chunked over up to workers goroutines (values < 1 mean GOMAXPROCS).
+// Every pair (i, j) writes only its own output slot at a position that is
+// a pure function of (i, j, Rows), so the result is byte-identical for
+// any worker count.
+func ParallelPairwiseDistances(m *Matrix, workers int) []float64 {
 	n := m.Rows
-	out := make([]float64, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		ri := m.Row(i)
-		for j := i + 1; j < n; j++ {
-			out = append(out, EuclideanDistance(ri, m.Row(j)))
+	out := make([]float64, n*(n-1)/2)
+	par.ForChunks(workers, n, 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := m.Row(i)
+			base := i*(n-1) - i*(i-1)/2 - i - 1 // + j = slot of pair (i, j)
+			for j := i + 1; j < n; j++ {
+				out[base+j] = EuclideanDistance(ri, m.Row(j))
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -142,6 +142,28 @@ func TestEuclideanDistancePanicsOnMismatch(t *testing.T) {
 	EuclideanDistance([]float64{1}, []float64{1, 2})
 }
 
+func TestParallelPairwiseDistancesMatchesSerial(t *testing.T) {
+	m := NewMatrix(57, 7)
+	for i := range m.Data {
+		m.Data[i] = float64((i*2654435761)%1000) / 999
+	}
+	ref := PairwiseDistances(m)
+	if len(ref) != m.Rows*(m.Rows-1)/2 {
+		t.Fatalf("pair count %d", len(ref))
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got := ParallelPairwiseDistances(m, workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: pair %d = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
 func TestPairwiseDistances(t *testing.T) {
 	m, _ := FromRows([][]float64{{0}, {1}, {3}})
 	d := PairwiseDistances(m)

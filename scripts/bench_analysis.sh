@@ -1,0 +1,59 @@
+#!/bin/sh
+# Benchmark the parallelized analysis stages and record the numbers in
+# BENCH_analysis.json at the repo root.
+#
+# Usage: scripts/bench_analysis.sh [benchtime]
+#
+# The recorded benchmarks are the parallel kernels introduced with the
+# worker-pool refactor (k-means restarts/assignment, GA fitness batches,
+# SelectK sweeps) plus the end-to-end pipeline and the GA sweep figure,
+# each at workers=1 and workers=GOMAXPROCS (the sub-benchmarks collapse
+# to a single workers=1 entry on single-core machines). All of them
+# produce byte-identical results at any worker count, so the comparison
+# is pure wall-clock.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2x}"
+OUT="BENCH_analysis.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkKMeansParallel|BenchmarkGAFitnessParallel|BenchmarkSelectKSweep|BenchmarkFullPipeline$|BenchmarkFig1GASweep' \
+    -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    n = $2
+    ns = $3
+    extras = ""
+    # Fields arrive as value/unit pairs after "ns/op".
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        extras = extras sprintf(", \"%s\": %s", unit, $i)
+    }
+    rows[++count] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}",
+                            name, n, ns, extras)
+}
+END {
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= count; i++)
+        printf "%s%s\n", rows[i], (i < count ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
