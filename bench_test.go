@@ -356,6 +356,67 @@ func BenchmarkSelectKSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterize measures the measurement substrate end to end —
+// core.Characterize over the benchConfig sample, cache disabled — and
+// reports ns/instruction and instructions/s, the numbers the paper's scale
+// (77 benchmarks x 1,000 intervals x 100M instructions) multiplies.
+func BenchmarkCharacterize(b *testing.B) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	refs := core.SampleRefs(reg, cfg)
+	var instructions uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := core.Characterize(refs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instructions += ds.Instructions
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instructions), "ns/instr")
+	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkCharacterizeCached measures the cache-warm characterization
+// path: one untimed cold run populates the interval-vector cache, then
+// every timed iteration is served entirely from it (verified via
+// CacheHits) — no interval is generated at all.
+func BenchmarkCharacterizeCached(b *testing.B) {
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	cfg.CacheDir = b.TempDir()
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	refs := core.SampleRefs(reg, cfg)
+	if _, err := core.Characterize(refs, cfg); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	var instructions uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := core.Characterize(refs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.CacheHits != ds.UniqueIntervals {
+			b.Fatalf("warm run generated %d intervals", ds.UniqueIntervals-ds.CacheHits)
+		}
+		instructions += ds.Instructions
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instructions), "ns/instr")
+	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds(), "instr/s")
+}
+
 // BenchmarkFullPipeline measures an end-to-end run at the benchmark scale.
 func BenchmarkFullPipeline(b *testing.B) {
 	reg, err := bench.StandardRegistry()

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mica"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/viz"
 )
@@ -45,8 +46,21 @@ func run() error {
 		kiviat       = flag.Bool("kiviat", false, "print an ASCII kiviat over the paper's 12 key characteristics")
 		traceFile    = flag.String("trace", "", "characterize a binary trace file instead of a benchmark model")
 		list         = flag.Bool("list", false, "list available benchmarks and exit")
+		cacheDir     = flag.String("cache", "", "interval-vector cache directory for -timeline analysis (empty: no cache)")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "micastat: profile:", err)
+		}
+	}()
 
 	if *traceFile != "" {
 		return characterizeTrace(*traceFile)
@@ -81,6 +95,7 @@ func run() error {
 		cfg.IntervalLength = *intervalLen
 		cfg.MaxIntervalsPerBenchmark = *maxIntervals
 		cfg.Workers = *workers
+		cfg.CacheDir = *cacheDir
 		tl, err := core.AnalyzeTimeline(b, cfg, 8)
 		if err != nil {
 			return err
@@ -100,12 +115,13 @@ func run() error {
 		fmt.Printf("%-4s %-28s %8s %8s %8s %8s %8s %8s\n",
 			"ivl", "phase", "ld", "st", "br", "ilp64", "GAs_8b", "dfoot64")
 	}
+	buf := make([]isa.Instruction, trace.DefaultBatchSize)
 	for i := 0; i < total; i++ {
 		ia.Reset()
 		beh := b.BehaviorAt(i, total)
-		err := trace.GenerateInterval(beh, b.IntervalSeed(i), *intervalLen, func(ins *isa.Instruction) {
-			agg.Record(ins)
-			ia.Record(ins)
+		err := trace.GenerateIntervalBatches(beh, b.IntervalSeed(i), *intervalLen, buf, func(batch []isa.Instruction) {
+			agg.RecordBatch(batch)
+			ia.RecordBatch(batch)
 		})
 		if err != nil {
 			return err

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -46,8 +47,21 @@ func run() error {
 		paperScale = flag.Bool("paper-scale", false, "use larger, closer-to-paper parameters (slower)")
 		quick      = flag.Bool("quick", false, "use small, fast parameters (for smoke runs)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		cacheDir   = flag.String("cache", "", "interval-vector cache directory: characterized vectors persist across runs and matching intervals skip regeneration entirely (empty: no cache)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "phasechar: profile:", err)
+		}
+	}()
 	if flag.NArg() < 1 {
 		flag.Usage()
 		return fmt.Errorf("expected an experiment id (or 'all' / 'list' / 'export' / 'simpoints <benchmark>')")
@@ -85,6 +99,7 @@ func run() error {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.CacheDir = *cacheDir
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -22,7 +22,10 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fcache"
 	"repro/internal/isa"
+	"repro/internal/mica"
 	"repro/internal/par"
 	"repro/internal/trace"
 )
@@ -42,6 +45,7 @@ func run() error {
 		all          = flag.Bool("all", false, "with -o: write every interval of the benchmark, in order, to one trace file")
 		workers      = flag.Int("workers", 0, "parallel workers for -all generation (0: GOMAXPROCS; output is worker-count independent)")
 		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
+		cacheDir     = flag.String("cache", "", "with -all: also characterize each interval and store its vector in this cache directory, pre-warming later phasechar/micastat runs")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,7 +66,10 @@ func run() error {
 		if *outFile == "" {
 			return fmt.Errorf("-all requires -o (binary traces only)")
 		}
-		return writeAllIntervals(b, total, *n, *workers, *outFile)
+		return writeAllIntervals(b, total, *n, *workers, *outFile, *cacheDir)
+	}
+	if *cacheDir != "" {
+		return fmt.Errorf("-cache requires -all (it caches whole characterized intervals)")
 	}
 
 	if *intervalIdx < 0 || *intervalIdx >= total {
@@ -107,18 +114,43 @@ func run() error {
 // writeAllIntervals generates every interval of the benchmark concurrently
 // — each interval encodes into its own in-memory buffer — and concatenates
 // the buffers in interval order, so the file is byte-identical for any
-// worker count.
-func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path string) error {
+// worker count. With a cache directory, each interval is additionally run
+// through the MICA analyzer and its 69-dim vector stored under the same
+// key core.Characterize uses, so later pipeline runs start cache-warm.
+func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path, cacheDir string) error {
+	var cache *fcache.Cache
+	if cacheDir != "" {
+		var err error
+		if cache, err = fcache.Open(cacheDir); err != nil {
+			return err
+		}
+	}
 	bufs := make([]bytes.Buffer, total)
 	counts := make([]uint64, total)
 	errs := make([]error, total)
-	par.For(workers, total, func(i int) {
+	nw := par.Workers(workers)
+	analyzers := make([]*mica.Analyzer, nw)
+	par.ForWorker(nw, total, func(w, i int) {
+		var analyzer *mica.Analyzer
+		if cache != nil {
+			analyzer = analyzers[w]
+			if analyzer == nil {
+				analyzer = mica.NewAnalyzer()
+				analyzers[w] = analyzer
+			}
+			analyzer.Reset()
+		}
 		tw := trace.NewWriter(&bufs[i])
 		var werr error
-		err := trace.GenerateInterval(b.BehaviorAt(i, total), b.IntervalSeed(i), perInterval,
+		beh := b.BehaviorAt(i, total)
+		seed := b.IntervalSeed(i)
+		err := trace.GenerateInterval(beh, seed, perInterval,
 			func(ins *isa.Instruction) {
 				if werr == nil {
 					werr = tw.Write(ins)
+				}
+				if analyzer != nil {
+					analyzer.Record(ins)
 				}
 			})
 		switch {
@@ -129,6 +161,10 @@ func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path
 		default:
 			errs[i] = tw.Flush()
 			counts[i] = tw.Count()
+			if cache != nil && errs[i] == nil {
+				// Best-effort: a failed write only costs regeneration later.
+				_ = cache.PutVector(core.VectorKey(beh, seed, perInterval), analyzer.Vector())
+			}
 		}
 	})
 	if err := par.FirstError(errs); err != nil {

@@ -49,6 +49,13 @@ type Config struct {
 	Workers int
 	// Seed makes the whole pipeline deterministic.
 	Seed int64
+	// CacheDir, when non-empty, enables the persistent interval-vector
+	// cache (internal/fcache) rooted at that directory: characterized
+	// interval vectors are stored keyed by (behavior hash, seed, length,
+	// kernel schema version) and later runs reuse them instead of
+	// regenerating the interval, with bit-identical results. Empty
+	// disables caching.
+	CacheDir string
 	// KMeans configures the clustering step. A zero KMeans.Seed means
 	// "inherit Config.Seed" and a zero KMeans.Workers means "inherit
 	// Config.Workers" — Validate resolves both, so a caller who wants

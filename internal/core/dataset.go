@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/fcache"
 	"repro/internal/isa"
 	"repro/internal/mica"
 	"repro/internal/par"
@@ -41,9 +42,29 @@ type Dataset struct {
 	Raw *stats.Matrix
 	// UniqueIntervals is how many distinct intervals were characterized.
 	UniqueIntervals int
-	// Instructions is the total number of synthetic instructions
-	// generated and characterized.
+	// Instructions is the total number of synthetic instructions the
+	// characterization accounts for. Intervals served from the vector
+	// cache contribute their interval length without being regenerated,
+	// so the total is identical whether a run was cold or cache-warm.
 	Instructions uint64
+	// CacheHits is how many unique intervals were served from the
+	// interval-vector cache (0 without a cache).
+	CacheHits int
+}
+
+// VectorKey builds the interval-vector cache key for one interval: the
+// behaviour's full content hash, the interval seed and length, plus the
+// kernel's schema version. Everything that can change a single generated
+// or measured bit is in the key, so a hit is exactly equivalent to
+// regenerating.
+func VectorKey(beh *trace.PhaseBehavior, seed uint64, length int) fcache.Key {
+	return fcache.Key{
+		Kind:     fcache.KindVector,
+		Version:  mica.SchemaVersion,
+		Behavior: beh.BehaviorHash(),
+		Seed:     seed,
+		Length:   int64(length),
+	}
 }
 
 // SampleRefs draws the per-benchmark interval sample. With
@@ -92,40 +113,69 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		}
 	}
 
+	var cache *fcache.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = fcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+
 	// Fan the unique intervals out over the par worker pool. Analyzers
-	// are heavy, so each worker keeps one and resets it per interval;
-	// every interval writes only its own vectors/errs slot and the
-	// per-worker instruction counts are integers, so the dataset is
-	// identical for any worker count.
+	// are heavy, so each worker keeps one (plus a reusable generation
+	// batch buffer) and resets it per interval; every interval writes
+	// only its own vectors/errs slot and the per-worker instruction and
+	// cache-hit counts are integers, so the dataset is identical for any
+	// worker count — and, because a cached vector is the bit-exact stored
+	// output of the same kernel, for any cache state.
 	workers := par.Workers(cfg.Workers)
 	vectors := make([][]float64, len(work))
 	errs := make([]error, len(work))
 	analyzers := make([]*mica.Analyzer, workers)
+	buffers := make([][]isa.Instruction, workers)
 	instrParts := make([]uint64, workers)
+	hitParts := make([]int, workers)
 	par.ForWorker(workers, len(work), func(w, i int) {
+		r := work[i]
+		beh := r.Bench.BehaviorAt(r.Index, r.Total)
+		seed := r.Bench.IntervalSeed(r.Index)
+		var key fcache.Key
+		if cache != nil {
+			key = VectorKey(beh, seed, cfg.IntervalLength)
+			if v, ok := cache.GetVector(key, mica.NumMetrics); ok {
+				vectors[i] = v
+				instrParts[w] += uint64(cfg.IntervalLength)
+				hitParts[w]++
+				return
+			}
+		}
 		analyzer := analyzers[w]
 		if analyzer == nil {
 			analyzer = mica.NewAnalyzer()
 			analyzers[w] = analyzer
+			buffers[w] = make([]isa.Instruction, trace.DefaultBatchSize)
 		}
-		r := work[i]
 		analyzer.Reset()
-		beh := r.Bench.BehaviorAt(r.Index, r.Total)
-		err := trace.GenerateInterval(beh, r.Bench.IntervalSeed(r.Index), cfg.IntervalLength,
-			func(ins *isa.Instruction) { analyzer.Record(ins) })
+		err := trace.GenerateIntervalBatches(beh, seed, cfg.IntervalLength, buffers[w], analyzer.RecordBatch)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: interval %s: %w", r, err)
 			return
 		}
 		vectors[i] = analyzer.Vector()
 		instrParts[w] += analyzer.Total()
+		if cache != nil {
+			// Best-effort: a failed write only costs regeneration later.
+			_ = cache.PutVector(key, vectors[i])
+		}
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}
 	var instructions uint64
-	for _, p := range instrParts {
-		instructions += p
+	var cacheHits int
+	for w := range instrParts {
+		instructions += instrParts[w]
+		cacheHits += hitParts[w]
 	}
 
 	raw := stats.NewMatrix(len(refs), mica.NumMetrics)
@@ -137,5 +187,6 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		Raw:             raw,
 		UniqueIntervals: len(work),
 		Instructions:    instructions,
+		CacheHits:       cacheHits,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/fcache"
 	"repro/internal/isa"
 	"repro/internal/mica"
 	"repro/internal/par"
@@ -43,27 +44,48 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 	if maxPhases < 1 {
 		return nil, fmt.Errorf("core: maxPhases %d < 1", maxPhases)
 	}
+	var cache *fcache.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = fcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	// Characterize the intervals over the worker pool (one analyzer per
-	// worker, one matrix row per interval — worker-count deterministic).
+	// worker, one matrix row per interval — worker-count deterministic),
+	// reusing cached interval vectors when a cache is configured.
 	total := b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
 	vectors := stats.NewMatrix(total, mica.NumMetrics)
 	workers := par.Workers(cfg.Workers)
 	analyzers := make([]*mica.Analyzer, workers)
+	buffers := make([][]isa.Instruction, workers)
 	errs := make([]error, total)
 	par.ForWorker(workers, total, func(w, i int) {
+		beh := b.BehaviorAt(i, total)
+		seed := b.IntervalSeed(i)
+		var key fcache.Key
+		if cache != nil {
+			key = VectorKey(beh, seed, cfg.IntervalLength)
+			if v, ok := cache.GetVector(key, mica.NumMetrics); ok {
+				copy(vectors.Row(i), v)
+				return
+			}
+		}
 		analyzer := analyzers[w]
 		if analyzer == nil {
 			analyzer = mica.NewAnalyzer()
 			analyzers[w] = analyzer
+			buffers[w] = make([]isa.Instruction, trace.DefaultBatchSize)
 		}
 		analyzer.Reset()
-		err := trace.GenerateInterval(b.BehaviorAt(i, total), b.IntervalSeed(i), cfg.IntervalLength,
-			func(ins *isa.Instruction) { analyzer.Record(ins) })
-		if err != nil {
+		if err := trace.GenerateIntervalBatches(beh, seed, cfg.IntervalLength, buffers[w], analyzer.RecordBatch); err != nil {
 			errs[i] = err
 			return
 		}
 		copy(vectors.Row(i), analyzer.Vector())
+		if cache != nil {
+			_ = cache.PutVector(key, vectors.Row(i))
+		}
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err

@@ -1,0 +1,235 @@
+// Package fcache is a content-addressed on-disk cache for expensive
+// derived artifacts of the synthetic-workload pipeline — primarily the
+// 69-element MICA interval vectors, whose generation dominates the
+// pipeline's runtime, and encoded interval traces.
+//
+// Entries are keyed by everything that determines the artifact bit for
+// bit: the artifact kind, a schema version (bumped whenever the producing
+// kernel's observable output changes), the behaviour's full content hash,
+// the interval seed, and the interval length. A cache hit therefore
+// replaces regeneration exactly; any input or kernel change misses and
+// regenerates.
+//
+// Entries are self-validating: each file stores a magic number, the full
+// key, the payload length and an FNV-1a checksum. Get re-verifies all of
+// them and treats any mismatch — truncation, corruption, a hash collision
+// in the file name, a version bump — as a miss, deleting the bad entry on
+// a best-effort basis. A cache can never return wrong data silently; the
+// worst failure mode is regenerating.
+//
+// Writes are atomic (temp file + rename), so concurrent workers and
+// processes may share one cache directory: duplicate Puts race benignly,
+// with the last rename winning.
+package fcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Artifact kinds. The kind participates in the key, so distinct artifact
+// types for the same (behavior, seed, length) never collide.
+const (
+	// KindVector is a 69-element MICA characteristic vector.
+	KindVector uint16 = 1
+	// KindTrace is an encoded binary instruction trace.
+	KindTrace uint16 = 2
+)
+
+// magic identifies fcache entry files ("FCH1").
+const magic = 0x46434831
+
+// headerSize is the fixed entry prefix: magic(4) kind(2) pad(2)
+// version(4) behavior(8) seed(8) length(8) payloadLen(8).
+const headerSize = 4 + 2 + 2 + 4 + 8 + 8 + 8 + 8
+
+// Key identifies one cached artifact.
+type Key struct {
+	// Kind is the artifact type (KindVector, KindTrace).
+	Kind uint16
+	// Version is the producer's schema version; bump it whenever the
+	// producing code's observable output changes.
+	Version uint32
+	// Behavior is the full content hash of the generating behaviour
+	// (trace.PhaseBehavior.BehaviorHash).
+	Behavior uint64
+	// Seed is the interval seed.
+	Seed uint64
+	// Length is the interval length in instructions.
+	Length int64
+}
+
+// hash folds the key into the 64-bit value used for the file name.
+func (k Key) hash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range []uint64{uint64(k.Kind), uint64(k.Version), k.Behavior, k.Seed, uint64(k.Length)} {
+		h ^= v
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// Cache is a handle on one cache directory. The zero value is invalid;
+// use Open.
+type Cache struct {
+	dir string
+}
+
+// Open prepares a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("fcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path returns the entry file for a key: two single-byte hex levels fan
+// entries out so no directory grows unboundedly.
+func (c *Cache) path(k Key) string {
+	h := k.hash()
+	return filepath.Join(c.dir,
+		fmt.Sprintf("%02x", byte(h>>56)),
+		fmt.Sprintf("%02x", byte(h>>48)),
+		fmt.Sprintf("%016x.fc", h))
+}
+
+// fnv1a is the 64-bit FNV-1a checksum of b.
+func fnv1a(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// encode renders the full entry file for key + payload.
+func encode(k Key, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+8)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], magic)
+	le.PutUint16(buf[4:], k.Kind)
+	// buf[6:8] is zero padding.
+	le.PutUint32(buf[8:], k.Version)
+	le.PutUint64(buf[12:], k.Behavior)
+	le.PutUint64(buf[20:], k.Seed)
+	le.PutUint64(buf[28:], uint64(k.Length))
+	le.PutUint64(buf[36:], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	le.PutUint64(buf[headerSize+len(payload):], fnv1a(buf[:headerSize+len(payload)]))
+	return buf
+}
+
+// decode validates an entry file against the expected key and returns its
+// payload, or an error describing the first mismatch.
+func decode(k Key, buf []byte) ([]byte, error) {
+	le := binary.LittleEndian
+	if len(buf) < headerSize+8 {
+		return nil, fmt.Errorf("fcache: entry truncated (%d bytes)", len(buf))
+	}
+	if le.Uint32(buf[0:]) != magic {
+		return nil, fmt.Errorf("fcache: bad magic")
+	}
+	got := Key{
+		Kind:     le.Uint16(buf[4:]),
+		Version:  le.Uint32(buf[8:]),
+		Behavior: le.Uint64(buf[12:]),
+		Seed:     le.Uint64(buf[20:]),
+		Length:   int64(le.Uint64(buf[28:])),
+	}
+	if got != k {
+		return nil, fmt.Errorf("fcache: key mismatch (stored %+v, want %+v)", got, k)
+	}
+	n := le.Uint64(buf[36:])
+	if n != uint64(len(buf)-headerSize-8) {
+		return nil, fmt.Errorf("fcache: payload length %d does not match file size", n)
+	}
+	body := buf[: headerSize+n : headerSize+n]
+	if fnv1a(body) != le.Uint64(buf[headerSize+n:]) {
+		return nil, fmt.Errorf("fcache: checksum mismatch")
+	}
+	return buf[headerSize : headerSize+n], nil
+}
+
+// Get returns the cached payload for k, or ok=false on any miss —
+// absence, truncation, corruption, or a key/version mismatch. Invalid
+// entries are removed best-effort so they are rebuilt cleanly.
+func (c *Cache) Get(k Key) (payload []byte, ok bool) {
+	p := c.path(k)
+	buf, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	payload, err = decode(k, buf)
+	if err != nil {
+		os.Remove(p) // never trust it again
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores payload under k, atomically: the entry is written to a
+// unique temp file and renamed into place, so readers only ever observe
+// complete entries. Errors are returned but safe to ignore — a failed Put
+// only costs a future regeneration.
+func (c *Cache) Put(k Key, payload []byte) error {
+	p := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("fcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return fmt.Errorf("fcache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encode(k, payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("fcache: %w", err)
+	}
+	return nil
+}
+
+// GetVector fetches a cached float64 vector of exactly want elements.
+// A stored vector of any other size is treated as corrupt (miss).
+func (c *Cache) GetVector(k Key, want int) ([]float64, bool) {
+	payload, ok := c.Get(k)
+	if !ok {
+		return nil, false
+	}
+	if len(payload) != 8*want {
+		os.Remove(c.path(k))
+		return nil, false
+	}
+	v := make([]float64, want)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return v, true
+}
+
+// PutVector stores a float64 vector (bit-exact: values round-trip through
+// their IEEE-754 bits, including negative zero and NaN payloads).
+func (c *Cache) PutVector(k Key, v []float64) error {
+	payload := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(x))
+	}
+	return c.Put(k, payload)
+}

@@ -1,0 +1,179 @@
+package fcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testKey() Key {
+	return Key{Kind: KindVector, Version: 1, Behavior: 0xdeadbeefcafe, Seed: 42, Length: 20000}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := testCache(t)
+	k := testKey()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	payload := []byte("hello interval")
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestVectorRoundTripBitExact(t *testing.T) {
+	c := testCache(t)
+	k := testKey()
+	v := []float64{0, 1.5, -0, math.Pi, math.Inf(1), math.NaN(), 1e-308}
+	if err := c.PutVector(k, v); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GetVector(k, len(v))
+	if !ok {
+		t.Fatal("vector not found")
+	}
+	for i := range v {
+		if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+			t.Fatalf("element %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(v[i]))
+		}
+	}
+	// A size mismatch is corruption, not a partial answer.
+	if _, ok := c.GetVector(k, len(v)+1); ok {
+		t.Fatal("wrong-size vector request returned a hit")
+	}
+	// And the offending entry must have been dropped.
+	if _, ok := c.Get(k); ok {
+		t.Fatal("size-mismatched entry survived")
+	}
+}
+
+func TestKeyFieldsDisambiguate(t *testing.T) {
+	c := testCache(t)
+	base := testKey()
+	if err := c.Put(base, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	variants := []Key{
+		{Kind: KindTrace, Version: base.Version, Behavior: base.Behavior, Seed: base.Seed, Length: base.Length},
+		{Kind: base.Kind, Version: base.Version + 1, Behavior: base.Behavior, Seed: base.Seed, Length: base.Length},
+		{Kind: base.Kind, Version: base.Version, Behavior: base.Behavior ^ 1, Seed: base.Seed, Length: base.Length},
+		{Kind: base.Kind, Version: base.Version, Behavior: base.Behavior, Seed: base.Seed + 1, Length: base.Length},
+		{Kind: base.Kind, Version: base.Version, Behavior: base.Behavior, Seed: base.Seed, Length: base.Length + 1},
+	}
+	for i, k := range variants {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("variant %d hit the base entry", i)
+		}
+	}
+}
+
+// TestCorruptEntryDetectedAndRemoved flips single bytes at several offsets
+// of a valid entry and verifies each corruption is a miss that deletes the
+// file — the acceptance criterion that a damaged cache is regenerated,
+// never trusted.
+func TestCorruptEntryDetectedAndRemoved(t *testing.T) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for _, offset := range []int{0, 5, 9, 15, 25, 36, headerSize, headerSize + 10, headerSize + len(payload) + 3} {
+		c := testCache(t)
+		k := testKey()
+		if err := c.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		p := c.path(k)
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[offset] ^= 0x40
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("corruption at offset %d went undetected", offset)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry at offset %d not removed", offset)
+		}
+		// After removal a fresh Put must succeed again.
+		if err := c.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("regenerated entry not readable")
+		}
+	}
+}
+
+func TestTruncatedEntryIsMiss(t *testing.T) {
+	c := testCache(t)
+	k := testKey()
+	if err := c.Put(k, []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	p := c.path(k)
+	buf, _ := os.ReadFile(p)
+	for _, n := range []int{0, 3, headerSize - 1, headerSize + 2, len(buf) - 1} {
+		if err := os.WriteFile(p, buf[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	c := testCache(t)
+	k := testKey()
+	if err := c.PutVector(k, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	k2 := k
+	k2.Version++
+	if _, ok := c.GetVector(k2, 3); ok {
+		t.Fatal("entry survived a schema version bump")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestPutIsAtomicallyVisible(t *testing.T) {
+	c := testCache(t)
+	k := testKey()
+	if err := c.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter left behind.
+	var stray []string
+	filepath.Walk(c.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) != ".fc" {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if len(stray) != 0 {
+		t.Fatalf("stray files after Put: %v", stray)
+	}
+}

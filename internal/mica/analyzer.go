@@ -1,6 +1,8 @@
 package mica
 
 import (
+	"math/bits"
+
 	"repro/internal/isa"
 	"repro/internal/mica/ilp"
 	"repro/internal/mica/ppm"
@@ -9,6 +11,11 @@ import (
 // Analyzer consumes an instruction stream and produces the 69-element MICA
 // characteristic vector for it. Feed it one interval (or a whole program,
 // for an aggregate characterization), read Vector, then Reset to reuse.
+//
+// All per-interval state — the footprint sets, the per-PC stride and
+// branch-outcome tables, the predictor tables — is cleared in place by
+// Reset rather than reallocated, so a long-lived analyzer settles into a
+// steady state with no per-interval allocation at all.
 type Analyzer struct {
 	total    uint64
 	opCounts [isa.NumOpClasses]uint64
@@ -24,18 +31,18 @@ type Analyzer struct {
 	writerValid [isa.NumRegs]bool
 
 	// Memory footprint.
-	instrBlocks map[uint64]struct{}
-	instrPages  map[uint64]struct{}
-	dataBlocks  map[uint64]struct{}
-	dataPages   map[uint64]struct{}
+	instrBlocks u64Set
+	instrPages  u64Set
+	dataBlocks  u64Set
+	dataPages   u64Set
 
 	// Strides.
 	lastLoadAddr   uint64
 	haveLoad       bool
 	lastStoreAddr  uint64
 	haveStore      bool
-	lastLoadByPC   map[uint64]uint64
-	lastStoreByPC  map[uint64]uint64
+	lastLoadByPC   u64Map   // PC -> last load address
+	lastStoreByPC  u64Map   // PC -> last store address
 	localLoadBins  []uint64 // len(LocalStrideBounds)+1, last = beyond
 	localStoreBins []uint64
 	globalLoadBins []uint64 // len(GlobalStrideBounds)+1
@@ -50,11 +57,12 @@ type Analyzer struct {
 	condTaken    uint64
 	transitions  uint64
 	transPairs   uint64
-	lastOutcome  map[uint64]bool
-	predictors   []*ppm.Group
+	lastOutcome  u64Map // PC -> 0/1 last outcome
+	predictors   []ppm.Group
+	outcomes     []ppm.Outcome // batch-mode staging buffer, reused
 
 	// Fast paths: last-seen instruction block/page (instruction fetch is
-	// highly sequential, so most map probes can be skipped).
+	// highly sequential, so most table probes can be skipped).
 	lastInstrBlock uint64
 	lastInstrPage  uint64
 	haveInstr      bool
@@ -73,39 +81,40 @@ func NewAnalyzer() *Analyzer {
 	a.localStoreBins = make([]uint64, len(LocalStrideBounds)+1)
 	a.globalLoadBins = make([]uint64, len(GlobalStrideBounds)+1)
 	a.globalStoreBin = make([]uint64, len(GlobalStrideBounds)+1)
-	a.resetMaps()
+	a.instrBlocks.initSet(10)
+	a.instrPages.initSet(6)
+	a.dataBlocks.initSet(12)
+	a.dataPages.initSet(8)
+	a.lastLoadByPC.initMap(10)
+	a.lastStoreByPC.initMap(10)
+	a.lastOutcome.initMap(10)
 	return a
 }
 
-func (a *Analyzer) resetMaps() {
-	a.instrBlocks = make(map[uint64]struct{}, 1024)
-	a.instrPages = make(map[uint64]struct{}, 64)
-	a.dataBlocks = make(map[uint64]struct{}, 4096)
-	a.dataPages = make(map[uint64]struct{}, 256)
-	a.lastLoadByPC = make(map[uint64]uint64, 1024)
-	a.lastStoreByPC = make(map[uint64]uint64, 1024)
-	a.lastOutcome = make(map[uint64]bool, 1024)
-}
-
 // Reset clears all measurement state so the analyzer can characterize a
-// fresh interval.
+// fresh interval. Every table keeps its capacity.
 func (a *Analyzer) Reset() {
 	a.total = 0
-	a.opCounts = [isa.NumOpClasses]uint64{}
+	clear(a.opCounts[:])
 	a.ilp.Reset()
 	a.srcOperands = 0
 	a.regWrites = 0
-	a.depBins = [8]uint64{}
+	clear(a.depBins[:])
 	a.depTotal = 0
-	a.lastWriter = [isa.NumRegs]uint64{}
-	a.writerValid = [isa.NumRegs]bool{}
-	a.resetMaps()
+	clear(a.lastWriter[:])
+	clear(a.writerValid[:])
+	a.instrBlocks.Clear()
+	a.instrPages.Clear()
+	a.dataBlocks.Clear()
+	a.dataPages.Clear()
+	a.lastLoadByPC.Clear()
+	a.lastStoreByPC.Clear()
 	a.haveLoad = false
 	a.haveStore = false
-	zero(a.localLoadBins)
-	zero(a.localStoreBins)
-	zero(a.globalLoadBins)
-	zero(a.globalStoreBin)
+	clear(a.localLoadBins)
+	clear(a.localStoreBins)
+	clear(a.globalLoadBins)
+	clear(a.globalStoreBin)
 	a.localLoadCnt = 0
 	a.localStoreCnt = 0
 	a.globalLoadCnt = 0
@@ -114,29 +123,63 @@ func (a *Analyzer) Reset() {
 	a.condTaken = 0
 	a.transitions = 0
 	a.transPairs = 0
-	for _, p := range a.predictors {
-		p.Reset()
+	a.lastOutcome.Clear()
+	for i := range a.predictors {
+		a.predictors[i].Reset()
 	}
 	a.haveInstr = false
 }
 
-func zero(s []uint64) {
-	for i := range s {
-		s[i] = 0
+// RecordBatch accounts a block of dynamically executed instructions, in
+// order. It is the hot-path entry point of the batched generate→measure
+// kernel and is equivalent to calling Record on each instruction: the
+// scalar statistics, the ILP window models and the branch predictors
+// observe disjoint state, so running them as separate passes over the
+// batch — each with its working set resident — cannot change any result.
+func (a *Analyzer) RecordBatch(batch []isa.Instruction) {
+	if len(batch) == 0 {
+		return
 	}
+	a.outcomes = a.outcomes[:0]
+	for i := range batch {
+		ins := &batch[i]
+		a.recordScalar(ins)
+		if ins.Op.IsConditional() {
+			a.outcomes = append(a.outcomes, ppm.Outcome{PC: ins.PC, Taken: ins.Taken})
+		}
+	}
+	if len(a.outcomes) > 0 {
+		for i := range a.predictors {
+			a.predictors[i].RecordAll(a.outcomes)
+		}
+	}
+	a.ilp.RecordBatch(batch)
 }
 
 // Record accounts one dynamically executed instruction.
 func (a *Analyzer) Record(ins *isa.Instruction) {
+	a.recordScalar(ins)
+	if ins.Op.IsConditional() {
+		for i := range a.predictors {
+			a.predictors[i].Record(ins.PC, ins.Taken)
+		}
+	}
+	a.ilp.Record(ins)
+}
+
+// recordScalar accounts everything except the ILP models and the PPM
+// predictors: instruction mix, footprints, register traffic, strides and
+// raw branch statistics.
+func (a *Analyzer) recordScalar(ins *isa.Instruction) {
 	a.opCounts[ins.Op]++
 
 	// Instruction-stream footprint (fast path: consecutive PCs share a
 	// block most of the time).
 	if blk := ins.PC / isa.BlockSize; !a.haveInstr || blk != a.lastInstrBlock {
-		a.instrBlocks[blk] = struct{}{}
+		a.instrBlocks.Add(blk)
 		a.lastInstrBlock = blk
 		if pg := ins.PC / isa.PageSize; !a.haveInstr || pg != a.lastInstrPage {
-			a.instrPages[pg] = struct{}{}
+			a.instrPages.Add(pg)
 			a.lastInstrPage = pg
 		}
 		a.haveInstr = true
@@ -169,11 +212,10 @@ func (a *Analyzer) Record(ins *isa.Instruction) {
 			a.globalLoadCnt++
 		}
 		a.lastLoadAddr, a.haveLoad = ins.Addr, true
-		if prev, ok := a.lastLoadByPC[ins.PC]; ok {
+		if prev, ok := a.lastLoadByPC.Swap(ins.PC, ins.Addr); ok {
 			a.localLoadBins[strideBin(ins.Addr, prev, LocalStrideBounds)]++
 			a.localLoadCnt++
 		}
-		a.lastLoadByPC[ins.PC] = ins.Addr
 	case ins.Op.IsMemWrite():
 		a.recordData(ins.Addr)
 		if a.haveStore {
@@ -181,50 +223,51 @@ func (a *Analyzer) Record(ins *isa.Instruction) {
 			a.globalStoreCnt++
 		}
 		a.lastStoreAddr, a.haveStore = ins.Addr, true
-		if prev, ok := a.lastStoreByPC[ins.PC]; ok {
+		if prev, ok := a.lastStoreByPC.Swap(ins.PC, ins.Addr); ok {
 			a.localStoreBins[strideBin(ins.Addr, prev, LocalStrideBounds)]++
 			a.localStoreCnt++
 		}
-		a.lastStoreByPC[ins.PC] = ins.Addr
 	}
 
 	// Branch behaviour (conditional branches only).
 	if ins.Op.IsConditional() {
 		a.condBranches++
+		var out uint64
 		if ins.Taken {
 			a.condTaken++
+			out = 1
 		}
-		if prev, ok := a.lastOutcome[ins.PC]; ok {
+		if prev, ok := a.lastOutcome.Swap(ins.PC, out); ok {
 			a.transPairs++
-			if prev != ins.Taken {
+			if prev != out {
 				a.transitions++
 			}
 		}
-		a.lastOutcome[ins.PC] = ins.Taken
-		for _, p := range a.predictors {
-			p.Record(ins.PC, ins.Taken)
-		}
 	}
 
-	a.ilp.Record(ins)
 	a.total++
 }
 
+// recordData tracks only the block set online; the page footprint is
+// recovered from it in Vector (a page is a fixed group of blocks), which
+// saves a second hash insert on every memory access.
 func (a *Analyzer) recordData(addr uint64) {
-	a.dataBlocks[addr/isa.BlockSize] = struct{}{}
-	a.dataPages[addr/isa.PageSize] = struct{}{}
+	a.dataBlocks.Add(addr / isa.BlockSize)
 }
 
 // depBin maps a dependency distance to its bin: 7 bounded bins plus an
 // overflow bin (the overflow bin is not itself a metric; it completes the
-// distribution's denominator).
+// distribution's denominator). DepDistBounds are the powers of two
+// 1..64, so the bin of d in (1, 64] is ceil(log2 d); depBinMatchesBounds
+// (table_test.go) pins the equivalence.
 func depBin(d uint64) int {
-	for i, b := range DepDistBounds {
-		if d <= uint64(b) {
-			return i
-		}
+	if d <= 1 {
+		return 0
 	}
-	return len(DepDistBounds)
+	if d > uint64(DepDistBounds[len(DepDistBounds)-1]) {
+		return len(DepDistBounds)
+	}
+	return bits.Len64(d - 1)
 }
 
 // strideBin maps an absolute address delta to its cumulative-threshold bin.
@@ -270,10 +313,14 @@ func (a *Analyzer) Vector() []float64 {
 		}
 	}
 
-	v[IdxFootprint+0] = float64(len(a.instrBlocks))
-	v[IdxFootprint+1] = float64(len(a.instrPages))
-	v[IdxFootprint+2] = float64(len(a.dataBlocks))
-	v[IdxFootprint+3] = float64(len(a.dataPages))
+	// Data pages are derived from the block set (page = block group of
+	// isa.PageSize/isa.BlockSize): identical to tracking them online,
+	// without the per-access insert.
+	a.dataBlocks.FillShifted(&a.dataPages, uint(bits.TrailingZeros64(isa.PageSize/isa.BlockSize)))
+	v[IdxFootprint+0] = float64(a.instrBlocks.Len())
+	v[IdxFootprint+1] = float64(a.instrPages.Len())
+	v[IdxFootprint+2] = float64(a.dataBlocks.Len())
+	v[IdxFootprint+3] = float64(a.dataPages.Len())
 
 	idx := IdxStrides
 	idx = fillCumulative(v, idx, a.localLoadBins, a.localLoadCnt, len(LocalStrideBounds))
@@ -288,8 +335,8 @@ func (a *Analyzer) Vector() []float64 {
 		v[IdxTransRate] = float64(a.transitions) / float64(a.transPairs)
 	}
 	idx = IdxPPM
-	for _, p := range a.predictors {
-		for _, rate := range p.MissRates() {
+	for i := range a.predictors {
+		for _, rate := range a.predictors[i].MissRates() {
 			v[idx] = rate
 			idx++
 		}

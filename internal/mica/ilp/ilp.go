@@ -25,8 +25,8 @@ type windowModel struct {
 	lastDone int64 // latest completion cycle seen
 }
 
-func newWindowModel(size int) *windowModel {
-	return &windowModel{
+func newWindowModel(size int) windowModel {
+	return windowModel{
 		size:     size,
 		complete: make([]int64, size),
 	}
@@ -63,6 +63,101 @@ func (w *windowModel) record(ins *isa.Instruction) {
 	}
 }
 
+// recordBatch is record unrolled over a block: the window's scalar state
+// lives in locals for the whole batch instead of being reloaded per call,
+// and the full-window test is hoisted out of the steady-state loop (once
+// count reaches the window size it stays there).
+func (w *windowModel) recordBatch(batch []isa.Instruction) {
+	pos := w.pos
+	count := w.count
+	lastDone := w.lastDone
+	complete := w.complete
+	size := len(complete)
+
+	j := 0
+	for ; j < len(batch) && count < uint64(size); j++ {
+		ins := &batch[j]
+		start := int64(0)
+		for _, r := range ins.Src[:ins.NSrc] {
+			if r == isa.ZeroReg {
+				continue
+			}
+			if t := w.regReady[r]; t > start {
+				start = t
+			}
+		}
+		done := start + int64(ins.Op.Latency())
+		if ins.Dst != isa.ZeroReg {
+			w.regReady[ins.Dst] = done
+		}
+		complete[pos] = done
+		pos++
+		if pos == size {
+			pos = 0
+		}
+		count++
+		if done > lastDone {
+			lastDone = done
+		}
+	}
+	count += uint64(len(batch) - j)
+	if size > 0 && size&(size-1) == 0 {
+		// Power-of-two ring (all standard window sizes): mask instead of
+		// wrap-compare, which also lets the compiler drop the ring bounds
+		// checks. Register indices are masked with NumRegs-1 — an identity,
+		// since registers are always < NumRegs — for the same reason.
+		m := uint64(len(complete) - 1)
+		p := uint64(pos)
+		for ; j < len(batch); j++ {
+			ins := &batch[j]
+			start := complete[p&m]
+			for _, r := range ins.Src[:ins.NSrc] {
+				if r == isa.ZeroReg {
+					continue
+				}
+				if t := w.regReady[r&(isa.NumRegs-1)]; t > start {
+					start = t
+				}
+			}
+			done := start + int64(ins.Op.Latency())
+			if ins.Dst != isa.ZeroReg {
+				w.regReady[ins.Dst&(isa.NumRegs-1)] = done
+			}
+			complete[p&m] = done
+			p = (p + 1) & m
+			if done > lastDone {
+				lastDone = done
+			}
+		}
+		pos = int(p)
+	}
+	for ; j < len(batch); j++ {
+		ins := &batch[j]
+		start := complete[pos]
+		for _, r := range ins.Src[:ins.NSrc] {
+			if r == isa.ZeroReg {
+				continue
+			}
+			if t := w.regReady[r]; t > start {
+				start = t
+			}
+		}
+		done := start + int64(ins.Op.Latency())
+		if ins.Dst != isa.ZeroReg {
+			w.regReady[ins.Dst] = done
+		}
+		complete[pos] = done
+		pos++
+		if pos == size {
+			pos = 0
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+	}
+	w.pos, w.count, w.lastDone = pos, count, lastDone
+}
+
 func (w *windowModel) ipc() float64 {
 	if w.count == 0 || w.lastDone == 0 {
 		return 0
@@ -71,18 +166,18 @@ func (w *windowModel) ipc() float64 {
 }
 
 func (w *windowModel) reset() {
-	w.regReady = [isa.NumRegs]int64{}
-	for i := range w.complete {
-		w.complete[i] = 0
-	}
+	clear(w.regReady[:])
+	clear(w.complete)
 	w.pos = 0
 	w.count = 0
 	w.lastDone = 0
 }
 
 // Analyzer measures ideal IPC for a set of window sizes simultaneously.
+// The window models are stored by value, contiguously, so walking them on
+// the hot path touches one slab rather than chasing pointers.
 type Analyzer struct {
-	windows []*windowModel
+	windows []windowModel
 }
 
 // NewAnalyzer builds an analyzer for the given window sizes (typically
@@ -103,8 +198,19 @@ func NewAnalyzer(windows []int) (*Analyzer, error) {
 
 // Record schedules one instruction in every window model.
 func (a *Analyzer) Record(ins *isa.Instruction) {
-	for _, w := range a.windows {
-		w.record(ins)
+	for i := range a.windows {
+		a.windows[i].record(ins)
+	}
+}
+
+// RecordBatch schedules a block of instructions. It runs window-major —
+// the whole batch through window 32, then 64, and so on — which keeps
+// each model's register scoreboard and completion ring hot for the length
+// of the batch. The windows are mutually independent, so the result is
+// identical to instruction-major Record calls.
+func (a *Analyzer) RecordBatch(batch []isa.Instruction) {
+	for i := range a.windows {
+		a.windows[i].recordBatch(batch)
 	}
 }
 
@@ -112,15 +218,15 @@ func (a *Analyzer) Record(ins *isa.Instruction) {
 // the windows were given.
 func (a *Analyzer) IPC() []float64 {
 	out := make([]float64, len(a.windows))
-	for i, w := range a.windows {
-		out[i] = w.ipc()
+	for i := range a.windows {
+		out[i] = a.windows[i].ipc()
 	}
 	return out
 }
 
 // Reset clears all scheduling state.
 func (a *Analyzer) Reset() {
-	for _, w := range a.windows {
-		w.reset()
+	for i := range a.windows {
+		a.windows[i].reset()
 	}
 }

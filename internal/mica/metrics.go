@@ -77,6 +77,15 @@ const (
 	NumMetrics   = IdxPPM + 12               // 69
 )
 
+// SchemaVersion identifies the observable output of the measurement
+// kernel: the metric layout above AND the exact values the generator and
+// analyzer produce for a given (behavior, seed, length). It is the
+// version component of the interval-vector cache key, so bump it whenever
+// either changes observably — stale cached vectors then miss instead of
+// silently polluting new runs. The golden-vector fixture
+// (testdata/golden_vectors.json) pins the current version's output.
+const SchemaVersion = 1
+
 // Metric describes one of the 69 characteristics.
 type Metric struct {
 	// Index is the metric's position in a characteristic vector.

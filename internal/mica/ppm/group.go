@@ -5,6 +5,15 @@ import (
 	"sort"
 )
 
+// Outcome is one resolved conditional branch, the unit of work for
+// RecordAll: collecting a batch of outcomes and replaying it through each
+// group in turn keeps that group's tables hot in cache for the whole
+// batch instead of cycling every group's working set per instruction.
+type Outcome struct {
+	PC    uint64
+	Taken bool
+}
+
 // Group evaluates one predictor variant (history scope x table scope) at
 // several maximum history lengths simultaneously. Because a PPM predictor
 // with maximum history H uses exactly the order-0..H frequency tables of
@@ -12,14 +21,41 @@ import (
 // maintains one set of tables at the longest history and answers every
 // configured length from it — identical results to independent Predictor
 // instances at a fraction of the cost.
+//
+// Entry storage is a small open-addressing hash map keyed by the
+// direct-mapped table index (order << tableBits | hashed context), not the
+// multi-megabyte direct-mapped slab itself. One interval touches a few
+// thousand distinct entries out of ~200K slots, so the slab's cache
+// behavior is dreadful: every access lands on its own cache line (4 live
+// bytes out of 64). The map packs the same entries 8 bytes apiece into a
+// contiguous table that fits in L2. Aliasing is untouched — two contexts
+// collide if and only if they produce the same direct-mapped index, which
+// is the map key — so the results are bit-identical to the slab. If an
+// interval overflows maxSlots the group spills the map into a real slab
+// and finishes the interval there, preserving exactness at any scale.
 type Group struct {
 	histScope  Scope
 	tableScope Scope
 	lengths    []int // sorted ascending
 	maxHist    int
 
-	mask   uint64
-	tables [][]entry
+	mask      uint64
+	tableBits uint
+
+	// Map mode: slot = idx<<32 | entry. A slot is empty iff it is zero —
+	// every stored entry has total >= 1, and a zero entry is semantically
+	// identical to an absent one. Grown by doubling at 50% load.
+	slots  []uint64
+	nslots int
+	// maxSlots caps map growth; exceeding it spills to the slab. A field
+	// (not a constant) so tests can force the spill path cheaply.
+	maxSlots int
+
+	// Spill mode: the direct-mapped slab, allocated on first spill and
+	// kept for later spilling intervals. inSlab marks the current
+	// interval as spilled.
+	slab   []uint32
+	inSlab bool
 
 	globalHist uint64
 	localHist  []uint64
@@ -27,6 +63,15 @@ type Group struct {
 
 	predictions uint64
 	misses      []uint64 // per length
+
+	// RecordAll staging (reused across batches): per-outcome history, pc
+	// hash term and taken bit (pre-widened to the counter increment so the
+	// order passes never re-derive it), and the per-outcome index of the
+	// longest history length whose prediction is still unresolved.
+	histBuf  []uint64
+	pcBuf    []uint64
+	takenBuf []uint16
+	pending  []int8
 }
 
 // NewGroup builds a grouped predictor for the given history lengths
@@ -52,11 +97,10 @@ func NewGroup(histScope, tableScope Scope, lengths []int, tableBits int) (*Group
 		lengths:    ls,
 		maxHist:    ls[len(ls)-1],
 		mask:       1<<uint(tableBits) - 1,
+		tableBits:  uint(tableBits),
 		misses:     make([]uint64, len(ls)),
-	}
-	g.tables = make([][]entry, g.maxHist+1)
-	for o := range g.tables {
-		g.tables[o] = make([]entry, 1<<uint(tableBits))
+		slots:      make([]uint64, 1<<12),
+		maxSlots:   1 << 16,
 	}
 	if histScope == PerAddress {
 		const localBits = 10
@@ -74,86 +118,414 @@ func (g *Group) Name() string {
 	return Config{HistoryScope: g.histScope, TableScope: g.tableScope}.Name()
 }
 
-// Reset clears all predictor state and counters.
+// Reset clears all predictor state and counters. The entry map keeps its
+// grown capacity; the slab (if any) was cleared when it was entered, so
+// dropping back to map mode is all a spilled interval needs.
 func (g *Group) Reset() {
-	for o := range g.tables {
-		t := g.tables[o]
-		for i := range t {
-			t[i] = entry{}
-		}
-	}
-	for i := range g.localHist {
-		g.localHist[i] = 0
-	}
+	clear(g.slots)
+	g.nslots = 0
+	g.inSlab = false
+	clear(g.localHist)
 	g.globalHist = 0
 	g.predictions = 0
-	for i := range g.misses {
-		g.misses[i] = 0
+	clear(g.misses)
+}
+
+// slotHash spreads a table index over the slot array. Multiply-shift:
+// idx's low bits are already a mix64 output, the multiply folds the order
+// bits in.
+func slotHash(idx uint64) uint64 { return idx * 0x9e3779b97f4a7c15 }
+
+// loadEntry returns the packed counters for idx, zero if unseen this
+// interval.
+func (g *Group) loadEntry(idx uint64) uint32 {
+	if g.inSlab {
+		return g.slab[idx]
+	}
+	slots := g.slots
+	if len(slots) == 0 {
+		return 0
+	}
+	m := uint64(len(slots) - 1)
+	for h := slotHash(idx); ; h++ {
+		s := slots[h&m]
+		if s == 0 {
+			return 0
+		}
+		if s>>32 == idx {
+			return uint32(s)
+		}
 	}
 }
 
-func (g *Group) index(order int, hist, pc uint64) uint64 {
-	ctx := hist & (1<<uint(order) - 1)
-	key := ctx<<6 ^ uint64(order)
-	if g.tableScope == PerAddress {
-		key ^= mix64(pc) << 1
+// storeEntry writes the updated counters for idx. wasZero marks a first
+// touch (a map insert).
+func (g *Group) storeEntry(idx uint64, e uint32, wasZero bool) {
+	if g.inSlab {
+		g.slab[idx] = e
+		return
 	}
-	return mix64(key) & g.mask
+	slots := g.slots
+	if len(slots) == 0 {
+		return
+	}
+	m := uint64(len(slots) - 1)
+	for h := slotHash(idx); ; h++ {
+		s := slots[h&m]
+		if s == 0 || s>>32 == idx {
+			slots[h&m] = idx<<32 | uint64(e)
+			break
+		}
+	}
+	if wasZero {
+		g.nslots++
+		if 2*g.nslots >= len(slots) {
+			g.growOrSpill()
+		}
+	}
+}
+
+// growOrSpill doubles the slot array, or migrates to the direct-mapped
+// slab once the map would outgrow maxSlots.
+func (g *Group) growOrSpill() {
+	if 2*len(g.slots) <= g.maxSlots {
+		old := g.slots
+		g.slots = make([]uint64, 2*len(old))
+		m := uint64(len(g.slots) - 1)
+		for _, s := range old {
+			if s == 0 {
+				continue
+			}
+			h := slotHash(s >> 32)
+			for g.slots[h&m] != 0 {
+				h++
+			}
+			g.slots[h&m] = s
+		}
+		return
+	}
+	// Spill: move every live entry to its direct-mapped slot. The slab
+	// may hold a previous spilled interval's counters, so clear it first.
+	if g.slab == nil {
+		// Padded to a power of two so the hot loop can index it as
+		// slab[idx&(len-1)]: a no-op mask (idx is already in range) that
+		// lets the compiler drop the bounds checks.
+		n := 1
+		for n < (g.maxHist+1)<<g.tableBits {
+			n <<= 1
+		}
+		g.slab = make([]uint32, n)
+	} else {
+		clear(g.slab)
+	}
+	for _, s := range g.slots {
+		if s != 0 {
+			g.slab[s>>32] = uint32(s)
+		}
+	}
+	g.inSlab = true
 }
 
 // Record predicts the branch at pc at every configured history length,
 // then updates the shared tables with the outcome.
 func (g *Group) Record(pc uint64, taken bool) {
 	hist := &g.globalHist
-	if g.histScope == PerAddress {
-		hist = &g.localHist[mix64(pc)&g.localMask]
-	}
-
-	// One pass from the longest order down: whenever a seen context is
-	// crossed, it becomes the prediction for every cutoff >= that order
-	// that has not found a longer context yet.
-	pending := len(g.lengths) - 1
-	for o := g.maxHist; o >= 0 && pending >= 0; o-- {
-		if g.lengths[pending] < o {
-			continue // no unresolved cutoff can use a context this long
+	var pcTerm uint64
+	if g.histScope == PerAddress || g.tableScope == PerAddress {
+		h := mix64(pc)
+		if g.histScope == PerAddress {
+			hist = &g.localHist[h&g.localMask]
 		}
-		e := &g.tables[o][g.index(o, *hist, pc)]
-		if e.total == 0 {
-			continue
-		}
-		pred := 2*uint32(e.taken) >= uint32(e.total)
-		for pending >= 0 && g.lengths[pending] >= o {
-			if pred != taken {
-				g.misses[pending]++
-			}
-			pending--
+		if g.tableScope == PerAddress {
+			pcTerm = h << 1
 		}
 	}
-	// Cutoffs that found no seen context at any order default to taken.
-	for pending >= 0 {
-		if !taken {
-			g.misses[pending]++
-		}
-		pending--
-	}
-
-	for o := 0; o <= g.maxHist; o++ {
-		e := &g.tables[o][g.index(o, *hist, pc)]
-		if e.total == entryMax {
-			e.taken /= 2
-			e.total /= 2
-		}
-		e.total++
-		if taken {
-			e.taken++
-		}
-	}
+	g.record(*hist, pcTerm, taken)
 
 	*hist = *hist << 1
 	if taken {
 		*hist |= 1
 	}
 	g.predictions++
+}
+
+// record runs the fused predict+update pass for one branch. A single
+// descending sweep is equivalent to the predict-then-update split: each
+// order's entries are disjoint (the order is part of the index), so when
+// order o is visited only orders above it have been updated and its entry
+// still holds the pre-update counts every prediction must read.
+func (g *Group) record(hist, pcTerm uint64, taken bool) {
+	lengths := g.lengths
+	misses := g.misses
+	pending := len(lengths) - 1
+	for o := g.maxHist; o >= 0; o-- {
+		ctx := hist & (1<<uint(o) - 1)
+		idx := uint64(o)<<g.tableBits + (mix64(ctx<<6^uint64(o)^pcTerm) & g.mask)
+		e := g.loadEntry(idx)
+		taken16, total16 := uint16(e>>16), uint16(e)
+
+		if total16 != 0 {
+			pred := 2*uint32(taken16) >= uint32(total16)
+			for pending >= 0 && lengths[pending] >= o {
+				if pred != taken {
+					misses[pending]++
+				}
+				pending--
+			}
+		}
+
+		if total16 == entryMax {
+			taken16 /= 2
+			total16 /= 2
+		}
+		total16++
+		if taken {
+			taken16++
+		}
+		g.storeEntry(idx, uint32(taken16)<<16|uint32(total16), total16 == 1)
+	}
+	// Cutoffs that found no seen context at any order default to taken.
+	for ; pending >= 0; pending-- {
+		if !taken {
+			misses[pending]++
+		}
+	}
+}
+
+// RecordAll replays a batch of branch outcomes in order, equivalent to
+// calling Record on each outcome but restructured order-major: the
+// per-outcome history and pc term are staged once, then the whole batch
+// sweeps the orders one at a time. The reordering is invisible: within an
+// order, outcomes are replayed in stream order (so every read sees
+// exactly the updates scalar processing would have applied), and
+// different orders index disjoint entries.
+func (g *Group) RecordAll(outcomes []Outcome) {
+	n := len(outcomes)
+	if n == 0 {
+		return
+	}
+	if cap(g.histBuf) < n {
+		g.histBuf = make([]uint64, n)
+		g.pcBuf = make([]uint64, n)
+		g.takenBuf = make([]uint16, n)
+		g.pending = make([]int8, n)
+	}
+	hists := g.histBuf[:n]
+	pcs := g.pcBuf[:n]
+	takens := g.takenBuf[:n]
+	pending := g.pending[:n]
+
+	// Stage each outcome's pre-update history and pc hash term, advancing
+	// the history state exactly as scalar Record would.
+	switch {
+	case g.histScope == PerAddress:
+		perAddrTables := g.tableScope == PerAddress
+		for i := range outcomes {
+			o := &outcomes[i]
+			h := mix64(o.PC)
+			slot := &g.localHist[h&g.localMask]
+			hists[i] = *slot
+			if perAddrTables {
+				pcs[i] = h << 1
+			} else {
+				pcs[i] = 0
+			}
+			t := uint16(0)
+			if o.Taken {
+				t = 1
+			}
+			takens[i] = t
+			*slot = *slot<<1 | uint64(t)
+		}
+	case g.tableScope == PerAddress:
+		hist := g.globalHist
+		for i := range outcomes {
+			o := &outcomes[i]
+			hists[i] = hist
+			pcs[i] = mix64(o.PC) << 1
+			t := uint16(0)
+			if o.Taken {
+				t = 1
+			}
+			takens[i] = t
+			hist = hist<<1 | uint64(t)
+		}
+		g.globalHist = hist
+	default: // GAg
+		hist := g.globalHist
+		for i := range outcomes {
+			hists[i] = hist
+			pcs[i] = 0
+			t := uint16(0)
+			if outcomes[i].Taken {
+				t = 1
+			}
+			takens[i] = t
+			hist = hist<<1 | uint64(t)
+		}
+		g.globalHist = hist
+	}
+
+	top := int8(len(g.lengths) - 1)
+	for i := range pending {
+		pending[i] = top
+	}
+	for o := g.maxHist; o >= 0; o-- {
+		g.recordOrder(o, takens, hists, pcs, pending)
+	}
+	// Outcomes whose short cutoffs found no seen context at any order
+	// default to predicted-taken.
+	for i := range takens {
+		if takens[i] == 0 {
+			for p := pending[i]; p >= 0; p-- {
+				g.misses[p]++
+			}
+		}
+	}
+	g.predictions += uint64(n)
+}
+
+// recordOrder runs one order's predict+update pass over a staged batch.
+func (g *Group) recordOrder(o int, takens []uint16, hists, pcs []uint64, pending []int8) {
+	i := 0
+	if !g.inSlab {
+		i = g.recordOrderMap(o, takens, hists, pcs, pending)
+	}
+	if i < len(takens) {
+		g.recordOrderSlab(o, takens[i:], hists[i:], pcs[i:], pending[i:])
+	}
+}
+
+// recordOrderMap is the map-mode pass. It returns the index of the first
+// unprocessed outcome — len(takens) normally, earlier if the map
+// spilled to the slab mid-pass.
+func (g *Group) recordOrderMap(o int, takens []uint16, hists, pcs []uint64, pending []int8) int {
+	lengths := g.lengths
+	misses := g.misses
+	base := uint64(o) << g.tableBits
+	ctxMask := uint64(1)<<uint(o) - 1
+	oTerm := uint64(o)
+	tblMask := g.mask
+	// The table pointer and probe mask only change on growth, so they live
+	// in locals and are reloaded after growOrSpill rather than per outcome.
+	slots := g.slots
+	if len(slots) == 0 {
+		return 0
+	}
+	m := uint64(len(slots) - 1)
+	for i := range takens {
+		takenInc := takens[i]
+		taken := takenInc != 0
+		idx := base + (mix64((hists[i]&ctxMask)<<6^oTerm^pcs[i]) & tblMask)
+
+		// Fused lookup+update probe: remember the slot so the store does
+		// not probe again.
+		h := slotHash(idx)
+		var e uint32
+		for {
+			s := slots[h&m]
+			if s == 0 {
+				e = 0
+				break
+			}
+			if s>>32 == idx {
+				e = uint32(s)
+				break
+			}
+			h++
+		}
+		taken16, total16 := uint16(e>>16), uint16(e)
+
+		if total16 != 0 {
+			p := pending[i]
+			if p >= 0 && lengths[p] >= o {
+				pred := 2*uint32(taken16) >= uint32(total16)
+				for {
+					var mi uint64
+					if pred != taken {
+						mi = 1
+					}
+					misses[p] += mi
+					p--
+					if p < 0 || lengths[p] < o {
+						break
+					}
+				}
+				pending[i] = p
+			}
+		}
+
+		if total16 == entryMax {
+			taken16 /= 2
+			total16 /= 2
+		}
+		total16++
+		taken16 += takenInc
+		slots[h&m] = idx<<32 | uint64(uint32(taken16)<<16|uint32(total16))
+		if e == 0 {
+			g.nslots++
+			if 2*g.nslots >= len(slots) {
+				g.growOrSpill()
+				if g.inSlab {
+					return i + 1
+				}
+				slots = g.slots
+				if len(slots) == 0 {
+					return i + 1
+				}
+				m = uint64(len(slots) - 1)
+			}
+		}
+	}
+	return len(takens)
+}
+
+// recordOrderSlab is the spilled pass over the direct-mapped slab.
+func (g *Group) recordOrderSlab(o int, takens []uint16, hists, pcs []uint64, pending []int8) {
+	slab := g.slab
+	if len(slab) == 0 {
+		return
+	}
+	lenMask := uint64(len(slab) - 1) // no-op mask proving accesses in bounds
+	lengths := g.lengths
+	misses := g.misses
+	base := uint64(o) << g.tableBits
+	ctxMask := uint64(1)<<uint(o) - 1
+	oTerm := uint64(o)
+	for i := range takens {
+		takenInc := takens[i]
+		taken := takenInc != 0
+		idx := base + (mix64((hists[i]&ctxMask)<<6^oTerm^pcs[i]) & g.mask)
+		e := slab[idx&lenMask]
+		taken16, total16 := uint16(e>>16), uint16(e)
+
+		if total16 != 0 {
+			p := pending[i]
+			if p >= 0 && lengths[p] >= o {
+				pred := 2*uint32(taken16) >= uint32(total16)
+				for {
+					var mi uint64
+					if pred != taken {
+						mi = 1
+					}
+					misses[p] += mi
+					p--
+					if p < 0 || lengths[p] < o {
+						break
+					}
+				}
+				pending[i] = p
+			}
+		}
+
+		if total16 == entryMax {
+			taken16 /= 2
+			total16 /= 2
+		}
+		total16++
+		taken16 += takenInc
+		slab[idx&lenMask] = uint32(taken16)<<16 | uint32(total16)
+	}
 }
 
 // MissRates returns the misprediction rate per configured history length,
@@ -174,21 +546,23 @@ func (g *Group) Predictions() uint64 { return g.predictions }
 
 // StandardGroups returns the four variant groups covering the twelve
 // standard configurations, in the same variant order as StandardConfigs
-// (GAg, GAs, PAg, PAs; each at histories 4, 8, 12).
-func StandardGroups() []*Group {
+// (GAg, GAs, PAg, PAs; each at histories 4, 8, 12). The groups are
+// returned by value, contiguous, so a caller iterating predictors touches
+// one slab of headers instead of four scattered allocations.
+func StandardGroups() []Group {
 	scopes := []struct{ h, t Scope }{
 		{Global, Global},
 		{Global, PerAddress},
 		{PerAddress, Global},
 		{PerAddress, PerAddress},
 	}
-	out := make([]*Group, 0, len(scopes))
+	out := make([]Group, 0, len(scopes))
 	for _, s := range scopes {
 		g, err := NewGroup(s.h, s.t, []int{4, 8, 12}, 0)
 		if err != nil {
 			panic("ppm: standard group invalid: " + err.Error())
 		}
-		out = append(out, g)
+		out = append(out, *g)
 	}
 	return out
 }

@@ -118,14 +118,9 @@ func (p *Predictor) Config() Config { return p.cfg }
 // Reset clears all state, including the accuracy counters.
 func (p *Predictor) Reset() {
 	for o := range p.tables {
-		t := p.tables[o]
-		for i := range t {
-			t[i] = entry{}
-		}
+		clear(p.tables[o])
 	}
-	for i := range p.localHist {
-		p.localHist[i] = 0
-	}
+	clear(p.localHist)
 	p.globalHist = 0
 	p.predictions = 0
 	p.misses = 0

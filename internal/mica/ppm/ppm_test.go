@@ -172,16 +172,16 @@ func TestGroupMatchesIndividualPredictors(t *testing.T) {
 			pc := uint64(0x400000 + int(b%7)*4)
 			x = x*6364136223846793005 + 1442695040888963407
 			taken := (x>>62)&1 == 1 || b%3 == 0
-			for _, g := range groups {
-				g.Record(pc, taken)
+			for gi := range groups {
+				groups[gi].Record(pc, taken)
 			}
 			for _, p := range preds {
 				p.Record(pc, taken)
 			}
 		}
 		i := 0
-		for _, g := range groups {
-			for _, rate := range g.MissRates() {
+		for gi := range groups {
+			for _, rate := range groups[gi].MissRates() {
 				if math.Abs(rate-preds[i].MissRate()) > 1e-12 {
 					return false
 				}
@@ -192,6 +192,77 @@ func TestGroupMatchesIndividualPredictors(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// outcomeStream produces a deterministic mixed-PC branch stream.
+func outcomeStream(seed uint64, n int) []Outcome {
+	out := make([]Outcome, n)
+	x := seed
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[i] = Outcome{
+			PC:    uint64(0x400000 + int(x>>59&7)*4),
+			Taken: (x>>62)&1 == 1 || x%5 == 0,
+		}
+	}
+	return out
+}
+
+// TestGroupRecordAllMatchesRecord pins RecordAll to the scalar path for
+// every variant: same outcomes, same miss rates, same prediction count.
+func TestGroupRecordAllMatchesRecord(t *testing.T) {
+	stream := outcomeStream(99, 5000)
+	scalar := StandardGroups()
+	batched := StandardGroups()
+	for i := range scalar {
+		for _, o := range stream {
+			scalar[i].Record(o.PC, o.Taken)
+		}
+		// Feed in uneven chunks to cross batch boundaries mid-history.
+		for lo := 0; lo < len(stream); {
+			hi := lo + 1 + (lo % 613)
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			batched[i].RecordAll(stream[lo:hi])
+			lo = hi
+		}
+		if scalar[i].Predictions() != batched[i].Predictions() {
+			t.Fatalf("%s: predictions %d vs %d", scalar[i].Name(),
+				scalar[i].Predictions(), batched[i].Predictions())
+		}
+		sr, br := scalar[i].MissRates(), batched[i].MissRates()
+		for j := range sr {
+			if sr[j] != br[j] {
+				t.Fatalf("%s length %d: RecordAll miss rate %v, Record %v",
+					scalar[i].Name(), scalar[i].Lengths()[j], br[j], sr[j])
+			}
+		}
+	}
+}
+
+// TestGroupResetIsolation verifies the epoch-based Reset: a group reused
+// across many Reset cycles must produce exactly the results of a fresh
+// group on every interval, i.e. no state can leak through the epoch
+// stamps.
+func TestGroupResetIsolation(t *testing.T) {
+	reused := StandardGroups()
+	for round := 0; round < 5; round++ {
+		stream := outcomeStream(uint64(round)*77+1, 3000)
+		fresh := StandardGroups()
+		for i := range reused {
+			reused[i].Reset()
+			reused[i].RecordAll(stream)
+			fresh[i].RecordAll(stream)
+			rr, fr := reused[i].MissRates(), fresh[i].MissRates()
+			for j := range rr {
+				if rr[j] != fr[j] {
+					t.Fatalf("round %d %s length %d: reused %v, fresh %v",
+						round, reused[i].Name(), reused[i].Lengths()[j], rr[j], fr[j])
+				}
+			}
+		}
 	}
 }
 
@@ -254,5 +325,70 @@ func TestGroupName(t *testing.T) {
 	}
 	if g.Name() != "PAg" {
 		t.Fatalf("group name = %q", g.Name())
+	}
+}
+
+// TestGroupSpillMatchesReference forces the entry map to spill into the
+// direct-mapped slab mid-interval and checks the results stay identical
+// to the reference predictors, including across a Reset and a second
+// spilled interval.
+func TestGroupSpillMatchesReference(t *testing.T) {
+	// A wide PC range accumulates distinct entries quickly.
+	n := 6000
+	outs := make([]Outcome, n)
+	x := uint64(7)
+	for i := range outs {
+		x = x*6364136223846793005 + 1442695040888963407
+		outs[i] = Outcome{
+			PC:    0x400000 + (x>>40)%4096*4,
+			Taken: (x>>62)&1 == 1 || x%3 == 0,
+		}
+	}
+	newPreds := func() []*Predictor {
+		var preds []*Predictor
+		for _, cfg := range StandardConfigs() {
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds = append(preds, p)
+		}
+		return preds
+	}
+	groups := StandardGroups()
+	for gi := range groups {
+		groups[gi].slots = make([]uint64, 1<<8)
+		groups[gi].maxSlots = 1 << 9
+	}
+	for round := 0; round < 2; round++ {
+		preds := newPreds()
+		for gi := range groups {
+			if round > 0 {
+				groups[gi].Reset()
+			}
+			groups[gi].RecordAll(outs)
+		}
+		for _, o := range outs {
+			for _, p := range preds {
+				p.Record(o.PC, o.Taken)
+			}
+		}
+		spilled := 0
+		i := 0
+		for gi := range groups {
+			if groups[gi].inSlab {
+				spilled++
+			}
+			for _, rate := range groups[gi].MissRates() {
+				if rate != preds[i].MissRate() {
+					t.Fatalf("round %d %s: miss rate %v, reference %v",
+						round, groups[gi].Name(), rate, preds[i].MissRate())
+				}
+				i++
+			}
+		}
+		if spilled == 0 {
+			t.Fatalf("round %d: no group spilled; test is vacuous", round)
+		}
 	}
 }

@@ -1,0 +1,204 @@
+package mica
+
+// Open-addressing uint64 hash structures for the analyzer hot path. The
+// seven Go maps the analyzer previously kept (footprint sets, per-PC stride
+// tables, per-branch outcome table) cost a hash-function call, bucket
+// walk and write barrier per touch; these replace them with linear-probe
+// tables over power-of-two []uint64 slabs that are cleared in place on
+// Reset — capacity survives across intervals, so a long-running worker
+// stops allocating entirely once its tables have grown to the workload's
+// footprint.
+//
+// Key 0 is a legal key (instruction block 0, PC 0) and is tracked out of
+// band, so slot value 0 can mean "empty".
+
+// tableHash mixes a key before probing (splitmix64 finalizer, the same
+// mixer the trace package uses for its deterministic parameters).
+func tableHash(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// maxLoad is the numerator of the grow threshold: tables double when
+// n >= cap*maxLoad/maxLoadDen, keeping probe chains short.
+const (
+	maxLoad    = 3
+	maxLoadDen = 4
+)
+
+// u64Set is an open-addressing set of uint64 keys.
+type u64Set struct {
+	slots []uint64 // 0 = empty
+	mask  uint64
+	n     int // stored non-zero keys
+	zero  bool
+	limit int // grow when n reaches this
+}
+
+// initSet readies the set with capacity 1<<logCap.
+func (s *u64Set) initSet(logCap uint) {
+	s.slots = make([]uint64, 1<<logCap)
+	s.mask = uint64(len(s.slots) - 1)
+	s.limit = len(s.slots) * maxLoad / maxLoadDen
+	s.n = 0
+	s.zero = false
+}
+
+// Add inserts k if absent.
+func (s *u64Set) Add(k uint64) {
+	if k == 0 {
+		s.zero = true
+		return
+	}
+	i := tableHash(k) & s.mask
+	for {
+		v := s.slots[i]
+		if v == k {
+			return
+		}
+		if v == 0 {
+			s.slots[i] = k
+			s.n++
+			if s.n >= s.limit {
+				s.grow()
+			}
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *u64Set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	s.limit = len(s.slots) * maxLoad / maxLoadDen
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := tableHash(k) & s.mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = k
+	}
+}
+
+// Len returns the number of distinct keys added.
+func (s *u64Set) Len() int {
+	if s.zero {
+		return s.n + 1
+	}
+	return s.n
+}
+
+// Clear empties the set in place, keeping its capacity.
+func (s *u64Set) Clear() {
+	clear(s.slots)
+	s.n = 0
+	s.zero = false
+}
+
+// FillShifted rebuilds dst as the set of this set's keys right-shifted by
+// shift bits. It is how the analyzer derives the page footprint from the
+// block footprint at Vector time instead of maintaining both online.
+func (s *u64Set) FillShifted(dst *u64Set, shift uint) {
+	dst.Clear()
+	if s.zero {
+		dst.Add(0)
+	}
+	for _, k := range s.slots {
+		if k != 0 {
+			dst.Add(k >> shift)
+		}
+	}
+}
+
+// u64Map is an open-addressing uint64 → uint64 table.
+type u64Map struct {
+	keys    []uint64 // 0 = empty
+	vals    []uint64
+	mask    uint64
+	n       int
+	zero    bool
+	zeroVal uint64
+	limit   int
+}
+
+// initMap readies the map with capacity 1<<logCap.
+func (m *u64Map) initMap(logCap uint) {
+	m.keys = make([]uint64, 1<<logCap)
+	m.vals = make([]uint64, 1<<logCap)
+	m.mask = uint64(len(m.keys) - 1)
+	m.limit = len(m.keys) * maxLoad / maxLoadDen
+	m.n = 0
+	m.zero = false
+}
+
+// Swap stores k → v and returns the previous value, if any. It is the
+// fused Get+Put the stride and branch-outcome paths need: one probe chain
+// instead of two.
+func (m *u64Map) Swap(k, v uint64) (prev uint64, ok bool) {
+	if k == 0 {
+		prev, ok = m.zeroVal, m.zero
+		m.zero, m.zeroVal = true, v
+		return prev, ok
+	}
+	i := tableHash(k) & m.mask
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			prev = m.vals[i]
+			m.vals[i] = v
+			return prev, true
+		}
+		if kk == 0 {
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			if m.n >= m.limit {
+				m.grow()
+			}
+			return 0, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+func (m *u64Map) grow() {
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]uint64, 2*len(oldK))
+	m.vals = make([]uint64, 2*len(oldV))
+	m.mask = uint64(len(m.keys) - 1)
+	m.limit = len(m.keys) * maxLoad / maxLoadDen
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		i := tableHash(k) & m.mask
+		for m.keys[i] != 0 {
+			i = (i + 1) & m.mask
+		}
+		m.keys[i] = k
+		m.vals[i] = oldV[j]
+	}
+}
+
+// Len returns the number of stored keys.
+func (m *u64Map) Len() int {
+	if m.zero {
+		return m.n + 1
+	}
+	return m.n
+}
+
+// Clear empties the map in place, keeping its capacity. Values need no
+// clearing: a slot is only read after its key matches, and any insert
+// overwrites the value first.
+func (m *u64Map) Clear() {
+	clear(m.keys)
+	m.n = 0
+	m.zero = false
+}

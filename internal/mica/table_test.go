@@ -1,0 +1,134 @@
+package mica
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestU64SetMatchesMap drives the open-addressing set and a Go map with
+// the same key stream — including key 0 and enough distinct keys to force
+// several growths — and requires identical membership counts.
+func TestU64SetMatchesMap(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		var s u64Set
+		s.initSet(3) // tiny, so growth paths are exercised
+		ref := make(map[uint64]struct{})
+		x := seed
+		for i := 0; i < int(n); i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			k := x >> 48 // narrow range: lots of duplicates
+			if i%97 == 0 {
+				k = 0
+			}
+			s.Add(k)
+			ref[k] = struct{}{}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestU64MapMatchesMap drives Swap against a Go map reference model.
+func TestU64MapMatchesMap(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		var m u64Map
+		m.initMap(3)
+		ref := make(map[uint64]uint64)
+		x := seed
+		for i := 0; i < int(n); i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			k := x >> 50
+			if i%89 == 0 {
+				k = 0
+			}
+			v := x
+			prev, ok := m.Swap(k, v)
+			refPrev, refOK := ref[k]
+			ref[k] = v
+			if ok != refOK || (ok && prev != refPrev) {
+				return false
+			}
+			if m.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepBinMatchesBounds pins the closed-form depBin to the linear scan
+// over DepDistBounds it replaced.
+func TestDepBinMatchesBounds(t *testing.T) {
+	ref := func(d uint64) int {
+		for i, b := range DepDistBounds {
+			if d <= uint64(b) {
+				return i
+			}
+		}
+		return len(DepDistBounds)
+	}
+	for d := uint64(0); d < 300; d++ {
+		if got, want := depBin(d), ref(d); got != want {
+			t.Fatalf("depBin(%d) = %d, want %d", d, got, want)
+		}
+	}
+	for _, d := range []uint64{1 << 20, 1 << 40, ^uint64(0)} {
+		if got, want := depBin(d), ref(d); got != want {
+			t.Fatalf("depBin(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+// TestTableClearKeepsCapacity verifies Clear empties in place without
+// shrinking, and that a cleared table behaves like a fresh one.
+func TestTableClearKeepsCapacity(t *testing.T) {
+	var s u64Set
+	s.initSet(3)
+	for k := uint64(0); k < 100; k++ {
+		s.Add(k)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("set len = %d, want 100", s.Len())
+	}
+	capBefore := len(s.slots)
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("cleared set len = %d", s.Len())
+	}
+	if len(s.slots) != capBefore {
+		t.Fatalf("Clear changed capacity: %d -> %d", capBefore, len(s.slots))
+	}
+	s.Add(7)
+	s.Add(7)
+	if s.Len() != 1 {
+		t.Fatalf("set len after re-add = %d, want 1", s.Len())
+	}
+
+	var m u64Map
+	m.initMap(3)
+	for k := uint64(0); k < 100; k++ {
+		m.Swap(k, k*3)
+	}
+	capBefore = len(m.keys)
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("cleared map len = %d", m.Len())
+	}
+	if len(m.keys) != capBefore {
+		t.Fatalf("Clear changed capacity: %d -> %d", capBefore, len(m.keys))
+	}
+	if _, ok := m.Swap(42, 1); ok {
+		t.Fatal("cleared map still holds key 42")
+	}
+	if prev, ok := m.Swap(42, 2); !ok || prev != 1 {
+		t.Fatalf("Swap after Clear: prev=%d ok=%v, want 1 true", prev, ok)
+	}
+}

@@ -292,6 +292,44 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
+// BehaviorHash folds EVERY stream-affecting parameter of the behaviour
+// into one 64-bit value: two behaviours with equal hashes produce (with
+// the same seed and length) the identical instruction stream, because the
+// generator's output is a pure function of exactly these fields. Unlike
+// paramHash below — which deliberately drops data-side parameters to model
+// cross-benchmark code sharing — this hash must change whenever any knob
+// that can alter a single generated instruction changes. Name is excluded:
+// it never reaches the generator. It is the behaviour component of the
+// interval-vector cache key (internal/fcache).
+func (b *PhaseBehavior) BehaviorHash() uint64 {
+	h := uint64(0xa0761d6478bd642f)
+	mix := func(v uint64) {
+		h = Hash64(h ^ v)
+	}
+	f := func(v float64) { mix(math.Float64bits(v)) }
+	for _, w := range b.Mix {
+		f(w)
+	}
+	mix(uint64(b.CodeSize))
+	f(b.Branch.TakenBias)
+	mix(uint64(b.Branch.PatternPeriod))
+	f(b.Branch.NoiseLevel)
+	f(b.Reg.MeanDepDist)
+	f(b.Reg.AvgSrcRegs)
+	f(b.Reg.WriteFraction)
+	for _, ps := range [][]AccessPattern{b.Loads, b.Stores} {
+		mix(uint64(len(ps)))
+		for _, p := range ps {
+			mix(uint64(p.Kind))
+			f(p.Weight)
+			mix(p.Region)
+			mix(p.Stride)
+		}
+	}
+	f(b.Jitter)
+	return h
+}
+
 // paramHash folds the CODE-shaped behavioural parameters into one 64-bit
 // value: instruction mix, code size, branch behaviour, register structure,
 // and the memory-pattern kinds. Two phases with identical code-shaped

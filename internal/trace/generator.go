@@ -44,6 +44,17 @@ type Generator struct {
 	ring    [depRingSize]uint8
 	ringPos int
 
+	// Hoisted register-spec quantities (constant per generator).
+	srcBase int     // integer part of AvgSrcRegs
+	srcFrac float64 // fractional part of AvgSrcRegs
+
+	// Memoized op classes: opClassAt is a pure function of the PC index,
+	// and hot loops revisit the same few PCs, so a one-byte-per-static-
+	// instruction cache removes the float low-discrepancy computation from
+	// the steady state. 255 marks an unfilled slot (real classes are
+	// < isa.NumOpClasses).
+	opCache []uint8
+
 	// Per-static-branch pattern state.
 	branches map[int]*branchState
 
@@ -109,6 +120,12 @@ func NewGenerator(b *PhaseBehavior, seed uint64) (*Generator, error) {
 	if g.numFuncs < 1 {
 		g.numFuncs = 1
 	}
+	g.srcBase = int(jb.Reg.AvgSrcRegs)
+	g.srcFrac = jb.Reg.AvgSrcRegs - float64(g.srcBase)
+	g.opCache = make([]uint8, g.codeSize)
+	for i := range g.opCache {
+		g.opCache[i] = 255
+	}
 	g.loadPats, g.loadCum = makePatternStates(jb.Loads, 0)
 	g.storePats, g.storeCum = makePatternStates(jb.Stores, len(jb.Loads))
 	return g, nil
@@ -170,6 +187,15 @@ func pickCum(cum []float64, x float64) int {
 // discrepancy, so even small hot loops execute the phase's intended
 // instruction mix instead of a lumpy sample of it.
 func (g *Generator) opClassAt(pcIdx int) isa.OpClass {
+	if c := g.opCache[pcIdx]; c != 255 {
+		return isa.OpClass(c)
+	}
+	c := g.opClassSlow(pcIdx)
+	g.opCache[pcIdx] = uint8(c)
+	return c
+}
+
+func (g *Generator) opClassSlow(pcIdx int) isa.OpClass {
 	const phi = 0.61803398874989484820
 	x := float64(pcIdx)*phi + g.staticPhase
 	x -= math.Floor(x)
@@ -206,8 +232,9 @@ func (g *Generator) Next(ins *isa.Instruction) {
 		g.advancePC(pcIdx + 1)
 	}
 
-	// Record the register write for future dependences.
-	g.ringPos = (g.ringPos + 1) % depRingSize
+	// Record the register write for future dependences (depRingSize is a
+	// power of two, so the mask is the modulus).
+	g.ringPos = (g.ringPos + 1) & (depRingSize - 1)
 	g.ring[g.ringPos] = ins.Dst
 	g.emitted++
 }
@@ -228,9 +255,8 @@ func (g *Generator) fillRegs(ins *isa.Instruction) {
 	if op == isa.OpNop {
 		return
 	}
-	n := int(spec.AvgSrcRegs)
-	frac := spec.AvgSrcRegs - float64(n)
-	if g.rng.Bernoulli(frac) {
+	n := g.srcBase
+	if g.rng.Bernoulli(g.srcFrac) {
 		n++
 	}
 	if n > isa.MaxSrcRegs {
@@ -270,13 +296,16 @@ func (g *Generator) sampleDepDist() int {
 // instructions ago, searching a little further back if that slot wrote
 // nothing, and falling back to a random register.
 func (g *Generator) sourceAtDistance(d int) uint8 {
-	for probe := 0; probe < 16; probe++ {
-		back := d + probe
-		if back >= depRingSize {
-			break
-		}
-		idx := (g.ringPos - back + 8*depRingSize) % depRingSize
-		if r := g.ring[idx]; r != 0 {
+	// The ring size is a power of two, so masking the (possibly negative)
+	// index is exactly the old non-negative modulus; each probe steps one
+	// slot further back.
+	limit := 16
+	if rest := depRingSize - d; rest < limit {
+		limit = rest
+	}
+	idx := g.ringPos - d
+	for probe := 0; probe < limit; probe++ {
+		if r := g.ring[(idx-probe)&(depRingSize-1)]; r != 0 {
 			return r
 		}
 	}
@@ -429,9 +458,55 @@ func (g *Generator) advancePC(next int) {
 // Emitted reports how many instructions the generator has produced.
 func (g *Generator) Emitted() uint64 { return g.emitted }
 
+// NextBatch fills batch with the next len(batch) instructions of the
+// stream. It is the block-granularity form of Next: the stream contents are
+// identical for any batching of the same generator.
+func (g *Generator) NextBatch(batch []isa.Instruction) {
+	for i := range batch {
+		g.Next(&batch[i])
+	}
+}
+
+// DefaultBatchSize is the block size the batched generate→measure kernel
+// uses by default: large enough to amortize per-block overhead to nothing,
+// small enough that a block of instructions stays resident in L2 while the
+// analyzer's per-subsystem passes sweep it.
+const DefaultBatchSize = 4096
+
+// GenerateIntervalBatches runs a fresh generator for b with the given seed
+// over length instructions, filling buf repeatedly and invoking consume for
+// each filled block (the final block may be shorter). buf is reused between
+// calls — consume must not retain it. A nil or empty buf allocates a
+// DefaultBatchSize buffer. The same (b, seed, length) always produce the
+// identical stream, for any buffer size.
+func GenerateIntervalBatches(b *PhaseBehavior, seed uint64, length int, buf []isa.Instruction, consume func(batch []isa.Instruction)) error {
+	if length <= 0 {
+		return fmt.Errorf("trace: non-positive interval length %d", length)
+	}
+	g, err := NewGenerator(b, seed)
+	if err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		buf = make([]isa.Instruction, DefaultBatchSize)
+	}
+	for length > 0 {
+		n := len(buf)
+		if n > length {
+			n = length
+		}
+		g.NextBatch(buf[:n])
+		consume(buf[:n])
+		length -= n
+	}
+	return nil
+}
+
 // GenerateInterval runs a fresh generator for b with the given seed over
 // length instructions, invoking visit for each. The same arguments always
-// produce the identical stream.
+// produce the identical stream. It is the per-instruction convenience form
+// of GenerateIntervalBatches; hot paths should use the block API with
+// mica.Analyzer.RecordBatch instead.
 func GenerateInterval(b *PhaseBehavior, seed uint64, length int, visit func(*isa.Instruction)) error {
 	if length <= 0 {
 		return fmt.Errorf("trace: non-positive interval length %d", length)

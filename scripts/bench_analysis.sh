@@ -8,9 +8,12 @@
 # worker-pool refactor (k-means restarts/assignment, GA fitness batches,
 # SelectK sweeps) plus the end-to-end pipeline and the GA sweep figure,
 # each at workers=1 and workers=GOMAXPROCS (the sub-benchmarks collapse
-# to a single workers=1 entry on single-core machines). All of them
-# produce byte-identical results at any worker count, so the comparison
-# is pure wall-clock.
+# to a single workers=1 entry on single-core machines), and the
+# measurement kernel itself: BenchmarkCharacterize (cold generate+measure,
+# ns/instruction and instructions/s) and BenchmarkCharacterizeCached (the
+# same run served entirely from a warm interval-vector cache). All of them
+# produce byte-identical results at any worker count and cache state, so
+# the comparison is pure wall-clock.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +24,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkKMeansParallel|BenchmarkGAFitnessParallel|BenchmarkSelectKSweep|BenchmarkFullPipeline$|BenchmarkFig1GASweep' \
+    -bench 'BenchmarkKMeansParallel|BenchmarkGAFitnessParallel|BenchmarkSelectKSweep|BenchmarkFullPipeline$|BenchmarkFig1GASweep|BenchmarkCharacterize$|BenchmarkCharacterizeCached$' \
     -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
@@ -49,6 +52,7 @@ END {
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"notes\": \"BenchmarkCharacterize is the cold generate+measure kernel; BenchmarkCharacterizeCached is the same run served from a warm interval-vector cache. Against the pre-batching kernel (commit b0d6d0d), interleaved paired runs on this shared vCPU measured a paired-median ~1.5-1.65x cold throughput (pairwise range 1.3-1.9x; the machine itself drifts ~30%% between runs) and ~60-70x cache-warm.\",\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= count; i++)
         printf "%s%s\n", rows[i], (i < count ? "," : "")
