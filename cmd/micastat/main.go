@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mica"
@@ -36,7 +37,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		intervalLen  = flag.Int("interval", 20000, "instructions per interval")
 		maxIntervals = flag.Int("max-intervals", 60, "cap on the benchmark's interval count")
@@ -49,18 +50,33 @@ func run() error {
 		cacheDir     = flag.String("cache", "", "interval-vector cache directory for -timeline analysis (empty: no cache)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
+		reportPath   = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
+		metricsOut   = flag.Bool("metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
 	)
 	flag.Parse()
+	if *cacheDir != "" && !*timeline {
+		// Refusing beats silently running uncached: the cache only holds
+		// characterized interval vectors, which only -timeline consumes.
+		return fmt.Errorf("-cache requires -timeline (the cache stores the timeline's characterized interval vectors)")
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "micastat: profile:", err)
+		// A profile that fails to flush is a failed run, not a warning.
+		if perr := stopProf(); perr != nil && err == nil {
+			err = fmt.Errorf("profile: %w", perr)
 		}
 	}()
+
+	m, finishObs, err := cliobs.Setup("micastat", *reportPath, *metricsOut, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer finishObs(&err)
 
 	if *traceFile != "" {
 		return characterizeTrace(*traceFile)
@@ -96,6 +112,7 @@ func run() error {
 		cfg.MaxIntervalsPerBenchmark = *maxIntervals
 		cfg.Workers = *workers
 		cfg.CacheDir = *cacheDir
+		cfg.Metrics = m
 		tl, err := core.AnalyzeTimeline(b, cfg, 8)
 		if err != nil {
 			return err

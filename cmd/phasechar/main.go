@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/prof"
@@ -34,22 +35,25 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
-		out        = flag.String("out", "", "directory for SVG/CSV artifacts (empty: text output only)")
-		interval   = flag.Int("interval", 0, "instructions per interval (0: default)")
-		samples    = flag.Int("samples", 0, "sampled intervals per benchmark (0: default)")
-		clusters   = flag.Int("clusters", 0, "number of k-means clusters (0: default 300)")
-		prominent  = flag.Int("prominent", 0, "number of prominent phases (0: default 100)")
-		key        = flag.Int("key", 0, "number of GA-selected key characteristics (0: default 12)")
-		seed       = flag.Int64("seed", 1, "pipeline seed")
-		workers    = flag.Int("workers", 0, "parallel workers for every stage — characterization, k-means, GA, distance kernels (0: GOMAXPROCS; results are worker-count independent)")
-		paperScale = flag.Bool("paper-scale", false, "use larger, closer-to-paper parameters (slower)")
-		quick      = flag.Bool("quick", false, "use small, fast parameters (for smoke runs)")
-		quiet      = flag.Bool("quiet", false, "suppress progress logging")
-		cacheDir   = flag.String("cache", "", "interval-vector cache directory: characterized vectors persist across runs and matching intervals skip regeneration entirely (empty: no cache)")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
+		out         = flag.String("out", "", "directory for SVG/CSV artifacts (empty: text output only)")
+		interval    = flag.Int("interval", 0, "instructions per interval (0: default)")
+		samples     = flag.Int("samples", 0, "sampled intervals per benchmark (0: default)")
+		clusters    = flag.Int("clusters", 0, "number of k-means clusters (0: default 300)")
+		prominent   = flag.Int("prominent", 0, "number of prominent phases (0: default 100)")
+		key         = flag.Int("key", 0, "number of GA-selected key characteristics (0: default 12)")
+		seed        = flag.Int64("seed", 1, "pipeline seed")
+		workers     = flag.Int("workers", 0, "parallel workers for every stage — characterization, k-means, GA, distance kernels (0: GOMAXPROCS; results are worker-count independent)")
+		paperScale  = flag.Bool("paper-scale", false, "use larger, closer-to-paper parameters (slower)")
+		quick       = flag.Bool("quick", false, "use small, fast parameters (for smoke runs)")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+		cacheDir    = flag.String("cache", "", "interval-vector cache directory: characterized vectors persist across runs and matching intervals skip regeneration entirely (empty: no cache)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
+		reportPath  = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
+		metricsOut  = flag.Bool("metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
 	)
 	flag.Parse()
 
@@ -58,10 +62,19 @@ func run() error {
 		return err
 	}
 	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "phasechar: profile:", err)
+		// A profile that fails to flush is a failed run, not a warning:
+		// the caller asked for the file and must not get a bad one with
+		// exit status 0.
+		if perr := stopProf(); perr != nil && err == nil {
+			err = fmt.Errorf("profile: %w", perr)
 		}
 	}()
+
+	m, finishObs, err := cliobs.Setup("phasechar", *reportPath, *metricsOut, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer finishObs(&err)
 	if flag.NArg() < 1 {
 		flag.Usage()
 		return fmt.Errorf("expected an experiment id (or 'all' / 'list' / 'export' / 'simpoints <benchmark>')")
@@ -100,6 +113,11 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.CacheDir = *cacheDir
+	cfg.Metrics = m
+	// Run writes the report when the pipeline completes; the deferred
+	// finish rewrites it at exit with the post-pipeline stages (GA
+	// selection, sweeps) included.
+	cfg.ReportPath = *reportPath
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)

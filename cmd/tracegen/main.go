@@ -22,10 +22,12 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/fcache"
 	"repro/internal/isa"
 	"repro/internal/mica"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/trace"
 )
@@ -37,7 +39,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		n            = flag.Int("n", 50, "number of instructions to dump (per interval with -all)")
 		intervalIdx  = flag.Int("interval-index", 0, "which interval of the benchmark to generate")
@@ -46,12 +48,22 @@ func run() error {
 		workers      = flag.Int("workers", 0, "parallel workers for -all generation (0: GOMAXPROCS; output is worker-count independent)")
 		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
 		cacheDir     = flag.String("cache", "", "with -all: also characterize each interval and store its vector in this cache directory, pre-warming later phasechar/micastat runs")
+		reportPath   = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
+		metricsOut   = flag.Bool("metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return fmt.Errorf("expected one benchmark name")
 	}
+
+	m, finishObs, err := cliobs.Setup("tracegen", *reportPath, *metricsOut, *metricsAddr)
+	if err != nil {
+		return err
+	}
+	defer finishObs(&err)
+
 	reg, err := bench.StandardRegistry()
 	if err != nil {
 		return err
@@ -66,7 +78,7 @@ func run() error {
 		if *outFile == "" {
 			return fmt.Errorf("-all requires -o (binary traces only)")
 		}
-		return writeAllIntervals(b, total, *n, *workers, *outFile, *cacheDir)
+		return writeAllIntervals(b, total, *n, *workers, *outFile, *cacheDir, m)
 	}
 	if *cacheDir != "" {
 		return fmt.Errorf("-cache requires -all (it caches whole characterized intervals)")
@@ -117,18 +129,20 @@ func run() error {
 // worker count. With a cache directory, each interval is additionally run
 // through the MICA analyzer and its 69-dim vector stored under the same
 // key core.Characterize uses, so later pipeline runs start cache-warm.
-func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path, cacheDir string) error {
+func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path, cacheDir string, m *obs.Metrics) error {
 	var cache *fcache.Cache
 	if cacheDir != "" {
 		var err error
 		if cache, err = fcache.Open(cacheDir); err != nil {
 			return err
 		}
+		cache.SetMetrics(m)
 	}
 	bufs := make([]bytes.Buffer, total)
 	counts := make([]uint64, total)
 	errs := make([]error, total)
 	nw := par.Workers(workers)
+	span := m.StartSpan("generate").SetRows(total).SetWorkers(nw)
 	analyzers := make([]*mica.Analyzer, nw)
 	par.ForWorker(nw, total, func(w, i int) {
 		var analyzer *mica.Analyzer
@@ -167,6 +181,7 @@ func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path
 			}
 		}
 	})
+	span.End()
 	if err := par.FirstError(errs); err != nil {
 		return err
 	}

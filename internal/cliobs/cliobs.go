@@ -1,0 +1,57 @@
+// Package cliobs wires the observability layer into the command-line
+// tools: one call turns the -report / -metrics / -metrics-addr flags into
+// a configured obs.Metrics collector, installs the worker-pool hook, and
+// returns the teardown that emits the requested artifacts at exit.
+//
+// It exists so the three CLIs (phasechar, micastat, tracegen) share one
+// flag contract and one failure policy: a report or summary the user
+// asked for that cannot be produced is an error and a nonzero exit,
+// never a silent degradation.
+package cliobs
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Setup builds the CLI's metrics collector from its observability flags.
+// When none of the flags are set it returns a nil collector (the
+// disabled, near-zero-overhead path) and a no-op finish.
+//
+// Otherwise it returns a live collector — already labelled with the tool
+// name, installed as the par worker-pool sink, and served on addr if one
+// was given — plus a finish func to defer: finish writes the JSON report
+// to reportPath, prints the human-readable summary to stderr when
+// summary is set, and promotes a report-write failure into *errp (unless
+// an earlier error is already there) so the process exits nonzero.
+func Setup(tool, reportPath string, summary bool, addr string) (*obs.Metrics, func(errp *error), error) {
+	if reportPath == "" && !summary && addr == "" {
+		return nil, func(*error) {}, nil
+	}
+	m := obs.New()
+	m.SetTool(tool)
+	par.Instrument(m)
+	if addr != "" {
+		bound, err := m.Serve(addr)
+		if err != nil {
+			par.Instrument(nil)
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: serving metrics at http://%s/metrics (and /debug/pprof)\n", tool, bound)
+	}
+	finish := func(errp *error) {
+		par.Instrument(nil)
+		if reportPath != "" {
+			if werr := m.WriteReport(reportPath); werr != nil && *errp == nil {
+				*errp = werr
+			}
+		}
+		if summary {
+			fmt.Fprint(os.Stderr, m.Summary())
+		}
+	}
+	return m, finish, nil
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stats"
 )
@@ -37,6 +38,10 @@ type Options struct {
 	// Workers bounds clustering parallelism; values < 1 mean GOMAXPROCS.
 	// The result is identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, receives clustering counters
+	// (kmeans.restarts, kmeans.lloyd_iters, kmeans.selectk_fits).
+	// Metrics never influence the fit, so determinism is unaffected.
+	Metrics *obs.Metrics `json:"-"`
 }
 
 func (o *Options) withDefaults() Options {
@@ -81,10 +86,12 @@ func KMeans(data *stats.Matrix, k int, opts Options) (*Result, error) {
 	}
 	o := opts.withDefaults()
 
+	o.Metrics.Add("kmeans.restarts", int64(o.Restarts))
+	iters := o.Metrics.Counter("kmeans.lloyd_iters")
 	results := make([]*Result, o.Restarts)
 	par.For(o.Workers, o.Restarts, func(r int) {
 		rng := rand.New(rand.NewSource(par.DeriveSeed(o.Seed, uint64(r))))
-		res := lloyd(data, k, o.MaxIters, o.Workers, rng)
+		res := lloyd(data, k, o.MaxIters, o.Workers, rng, iters)
 		res.BIC = bic(data, res)
 		results[r] = res
 	})
@@ -161,8 +168,9 @@ func assignRows(data, centers *stats.Matrix, dataNorm, centerNorm []float64, ass
 // lloyd runs one k-means fit with k-means++ seeding. Seeding and center
 // updates are serial (they are O(n·d), dwarfed by the O(n·k·d) assignment
 // passes, and seeding is inherently sequential in rng consumption); the
-// assignment and inertia passes fan out over workers.
-func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand) *Result {
+// assignment and inertia passes fan out over workers. iters (possibly a
+// nil no-op sink) receives the number of Lloyd iterations executed.
+func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand, iters *obs.Counter) *Result {
 	n, d := data.Rows, data.Cols
 	centers := seedPlusPlus(data, k, rng)
 	assign := make([]int, n)
@@ -188,6 +196,7 @@ func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand) *Result
 	for iter := 0; iter < maxIters; iter++ {
 		updateCenterNorms()
 		changed := assignRows(data, centers, dataNorm, centerNorm, assign, dist2, workers)
+		iters.Inc()
 		if changed == 0 && iter > 0 {
 			break
 		}
@@ -366,7 +375,16 @@ func (r *Result) ByWeight() []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return r.Sizes[idx[a]] > r.Sizes[idx[b]] })
+	// sort.Slice is unstable, so equal-size clusters need an explicit
+	// tie-break on the cluster index to keep the prominent-phase order
+	// (and everything derived from it) deterministic.
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := r.Sizes[idx[a]], r.Sizes[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
 	return idx
 }
 
@@ -409,6 +427,7 @@ func SelectK(data *stats.Matrix, kmin, kmax int, frac float64, opts Options) (*R
 	}
 	results := make([]*Result, kmax-kmin+1)
 	errs := make([]error, len(results))
+	opts.Metrics.Add("kmeans.selectk_fits", int64(len(results)))
 	par.For(par.Workers(opts.Workers), len(results), func(i int) {
 		results[i], errs[i] = KMeans(data, kmin+i, opts)
 	})

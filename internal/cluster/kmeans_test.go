@@ -364,3 +364,31 @@ func TestSelectKValidation(t *testing.T) {
 		t.Fatalf("SelectK returned k=%d for %d rows", res.K, data.Rows)
 	}
 }
+
+// TestByWeightTieBreak builds a clustering with one dominant cluster and
+// many exactly equal-size ones. sort.Slice is unstable, so without the
+// explicit index tie-break the tied clusters could order arbitrarily; the
+// contract is descending size, then ascending cluster index.
+func TestByWeightTieBreak(t *testing.T) {
+	const k = 16
+	sizes := make([]int, k)
+	for c := range sizes {
+		sizes[c] = 5
+	}
+	sizes[9] = 50
+	r := &Result{K: k, Sizes: sizes}
+	order := r.ByWeight()
+	if order[0] != 9 {
+		t.Fatalf("heaviest cluster = %d, want 9", order[0])
+	}
+	next := 0
+	for _, c := range order[1:] {
+		if c == 9 {
+			t.Fatal("cluster 9 listed twice")
+		}
+		if c < next {
+			t.Fatalf("tied clusters out of index order: %v", order)
+		}
+		next = c
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // cacheTestSetup builds a small sample over the standard registry.
@@ -66,6 +67,7 @@ func TestCharacterizeCacheBitIdentical(t *testing.T) {
 	if cold.CacheHits != 0 {
 		t.Fatalf("cold cache run reported %d hits", cold.CacheHits)
 	}
+	cfg.Metrics = obs.New()
 	warm, err := Characterize(refs, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +75,12 @@ func TestCharacterizeCacheBitIdentical(t *testing.T) {
 	if warm.CacheHits != warm.UniqueIntervals {
 		t.Fatalf("warm run hit %d of %d unique intervals", warm.CacheHits, warm.UniqueIntervals)
 	}
+	// The observability layer must agree with the Dataset's own
+	// accounting, hit for hit.
+	if got := cfg.Metrics.Counter("fcache.hits").Value(); got != int64(warm.CacheHits) {
+		t.Fatalf("fcache.hits counter = %d, want CacheHits = %d", got, warm.CacheHits)
+	}
+	cfg.Metrics = nil
 
 	datasetsBitIdentical(t, plain, cold, "plain vs cold")
 	datasetsBitIdentical(t, plain, warm, "plain vs warm")
@@ -112,6 +120,7 @@ func TestCharacterizeCorruptCacheRegenerates(t *testing.T) {
 		}
 	}
 
+	cfg.Metrics = obs.New()
 	damaged, err := Characterize(refs, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +128,11 @@ func TestCharacterizeCorruptCacheRegenerates(t *testing.T) {
 	if damaged.CacheHits != 0 {
 		t.Fatalf("corrupt cache produced %d hits — corrupt entries were trusted", damaged.CacheHits)
 	}
+	// Every damaged entry's deletion must be visible, not silent.
+	if got := cfg.Metrics.Counter("fcache.corrupt_deleted").Value(); got != int64(len(entries)) {
+		t.Fatalf("fcache.corrupt_deleted = %d, want %d damaged entries", got, len(entries))
+	}
+	cfg.Metrics = nil
 	datasetsBitIdentical(t, cold, damaged, "cold vs regenerated")
 
 	// The regenerating run must also have healed the cache.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/ga"
+	"repro/internal/obs"
 )
 
 // Config holds every knob of the pipeline. DefaultConfig returns the
@@ -49,6 +50,18 @@ type Config struct {
 	Workers int
 	// Seed makes the whole pipeline deterministic.
 	Seed int64
+	// Metrics, when non-nil, receives the run's observability data:
+	// per-stage spans (characterize, pca, kmeans, prominent, ga.select,
+	// timeline.*) and the cache/pool/cluster/GA counters documented in
+	// DESIGN.md. Nil disables observability at near-zero cost; metrics
+	// never feed back into the pipeline, so results stay byte-identical
+	// either way.
+	Metrics *obs.Metrics `json:"-"`
+	// ReportPath, when non-empty, makes Run write the machine-readable
+	// JSON run report (obs.Report: spans + counters) to this file when
+	// the run completes. If Metrics is nil, Validate creates a collector
+	// so the report has something to say.
+	ReportPath string
 	// CacheDir, when non-empty, enables the persistent interval-vector
 	// cache (internal/fcache) rooted at that directory: characterized
 	// interval vectors are stored keyed by (behavior hash, seed, length,
@@ -129,9 +142,18 @@ func (c *Config) Validate() error {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.ReportPath != "" && c.Metrics == nil {
+		c.Metrics = obs.New()
+	}
 	// Resolve the documented zero-field inheritance of the per-stage
 	// knobs: clustering and GA follow the pipeline seed and worker count
-	// unless explicitly overridden.
+	// (and the observability collector) unless explicitly overridden.
+	if c.KMeans.Metrics == nil {
+		c.KMeans.Metrics = c.Metrics
+	}
+	if c.GA.Metrics == nil {
+		c.GA.Metrics = c.Metrics
+	}
 	if c.KMeans.Seed == 0 {
 		c.KMeans.Seed = c.Seed
 	}

@@ -119,7 +119,10 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		if cache, err = fcache.Open(cfg.CacheDir); err != nil {
 			return nil, err
 		}
+		cache.SetMetrics(cfg.Metrics)
 	}
+	span := cfg.Metrics.StartSpan("characterize").SetRows(len(work)).SetWorkers(par.Workers(cfg.Workers))
+	defer span.End()
 
 	// Fan the unique intervals out over the par worker pool. Analyzers
 	// are heavy, so each worker keeps one (plus a reusable generation

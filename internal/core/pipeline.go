@@ -115,6 +115,7 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 	}
 	logf("characterized %d unique intervals (%d instructions total)", ds.UniqueIntervals, ds.Instructions)
 
+	span := cfg.Metrics.StartSpan("pca").SetRows(ds.Raw.Rows)
 	pca, err := stats.ComputePCA(ds.Raw, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: PCA: %w", err)
@@ -122,6 +123,7 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 	numPCs := pca.NumRetained(cfg.MinPCStd)
 	logf("PCA: retaining %d components (%.1f%% of variance)", numPCs, 100*pca.ExplainedVariance(numPCs))
 	scores, err := pca.RescaledScores(ds.Raw, numPCs)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: rescaled scores: %w", err)
 	}
@@ -134,7 +136,9 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 	// count (Validate resolved them above).
 	logf("k-means: k=%d over %d intervals in %d dimensions (%d restarts, %d workers)...",
 		k, scores.Rows, scores.Cols, max(1, cfg.KMeans.Restarts), cfg.Workers)
+	span = cfg.Metrics.StartSpan("kmeans").SetRows(scores.Rows).SetWorkers(cfg.Workers)
 	cl, err := cluster.KMeans(scores, k, cfg.KMeans)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -149,10 +153,18 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 		Scores:   scores,
 		Clusters: cl,
 	}
+	span = cfg.Metrics.StartSpan("prominent").SetRows(len(cl.Assignments))
 	res.Prominent = res.summarizeProminent(cfg.NumProminent)
+	span.End()
 	res.Elapsed = time.Since(start)
 	logf("top-%d prominent phases cover %.1f%% of the workload (%.1fs)",
 		len(res.Prominent), 100*res.ProminentCoverage(), res.Elapsed.Seconds())
+	if cfg.ReportPath != "" {
+		if err := cfg.Metrics.WriteReport(cfg.ReportPath); err != nil {
+			return nil, fmt.Errorf("core: run report: %w", err)
+		}
+		logf("wrote run report %s", cfg.ReportPath)
+	}
 	return res, nil
 }
 
@@ -258,10 +270,13 @@ func (r *Result) SelectKeyCharacteristics(count int) (ga.Selection, error) {
 		return ga.Selection{}, err
 	}
 	// r.Config was validated by Run, so cfg already carries the
-	// inherited pipeline seed and worker count.
+	// inherited pipeline seed, worker count and metrics collector.
 	cfg := r.Config.GA
 	cfg.TargetCount = count
-	return ga.Run(r.Dataset.Raw.Cols, fitness, cfg)
+	span := r.Config.Metrics.StartSpan("ga.select").SetRows(len(r.Prominent)).SetWorkers(cfg.Workers)
+	sel, err := ga.Run(r.Dataset.Raw.Cols, fitness, cfg)
+	span.End()
+	return sel, err
 }
 
 // SweepKeyCharacteristics reproduces Figure 1: the best distance
@@ -271,7 +286,10 @@ func (r *Result) SweepKeyCharacteristics(counts []int) ([]ga.SweepResult, error)
 	if err != nil {
 		return nil, err
 	}
-	return ga.Sweep(r.Dataset.Raw.Cols, fitness, counts, r.Config.GA)
+	span := r.Config.Metrics.StartSpan("ga.sweep").SetRows(len(counts)).SetWorkers(r.Config.GA.Workers)
+	out, err := ga.Sweep(r.Dataset.Raw.Cols, fitness, counts, r.Config.GA)
+	span.End()
+	return out, err
 }
 
 func max(a, b int) int {

@@ -50,6 +50,7 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 		if cache, err = fcache.Open(cfg.CacheDir); err != nil {
 			return nil, err
 		}
+		cache.SetMetrics(cfg.Metrics)
 	}
 	// Characterize the intervals over the worker pool (one analyzer per
 	// worker, one matrix row per interval — worker-count deterministic),
@@ -57,6 +58,7 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 	total := b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
 	vectors := stats.NewMatrix(total, mica.NumMetrics)
 	workers := par.Workers(cfg.Workers)
+	span := cfg.Metrics.StartSpan("timeline.characterize").SetRows(total).SetWorkers(workers)
 	analyzers := make([]*mica.Analyzer, workers)
 	buffers := make([][]isa.Instruction, workers)
 	errs := make([]error, total)
@@ -87,11 +89,14 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 			_ = cache.PutVector(key, vectors.Row(i))
 		}
 	})
+	span.End()
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}
 
+	span = cfg.Metrics.StartSpan("timeline.pca").SetRows(total)
 	pca, err := stats.ComputePCA(vectors, true)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +112,10 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 
 	// SimPoint-style model selection: smallest k reaching 90% of the
 	// BIC range.
+	span = cfg.Metrics.StartSpan("timeline.selectk").SetRows(total).SetWorkers(workers)
 	best, err := cluster.SelectK(scores, 1, maxPhases, 0.9,
-		cluster.Options{Seed: cfg.Seed, Restarts: 2, MaxIters: 50, Workers: cfg.Workers})
+		cluster.Options{Seed: cfg.Seed, Restarts: 2, MaxIters: 50, Workers: cfg.Workers, Metrics: cfg.Metrics})
+	span.End()
 	if err != nil {
 		return nil, err
 	}

@@ -25,9 +25,14 @@ package fcache
 import (
 	"encoding/binary"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Artifact kinds. The kind participates in the key, so distinct artifact
@@ -78,9 +83,31 @@ func (k Key) hash() uint64 {
 // use Open.
 type Cache struct {
 	dir string
+
+	// Observability sinks, installed by SetMetrics. All are nil (no-op)
+	// by default, so the uninstrumented hot path pays only nil checks.
+	hits         *obs.Counter
+	misses       *obs.Counter
+	corrupt      *obs.Counter
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+
+	// swept counts stale temp files removed at Open, held until a
+	// collector is installed (SetMetrics flushes it).
+	swept int64
 }
 
-// Open prepares a cache rooted at dir, creating it if needed.
+// tempPrefix marks in-flight Put files; see Put and sweepStaleTemps.
+const tempPrefix = ".put-"
+
+// staleTempAge is how old a temp file must be before Open reclaims it. A
+// live Put holds its temp file for milliseconds; anything this old is an
+// orphan from a process that died between CreateTemp and rename.
+const staleTempAge = time.Hour
+
+// Open prepares a cache rooted at dir, creating it if needed. Orphaned
+// Put temp files older than an hour are swept best-effort, so a crashed
+// writer cannot leak disk forever.
 func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("fcache: empty cache directory")
@@ -88,7 +115,46 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fcache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir}
+	c.swept = sweepStaleTemps(dir)
+	return c, nil
+}
+
+// SetMetrics installs an observability collector: cache traffic is
+// recorded under the counters fcache.hits, fcache.misses,
+// fcache.corrupt_deleted, fcache.bytes_read, fcache.bytes_written and
+// fcache.temps_swept. A nil collector (the default) keeps every sink a
+// no-op.
+func (c *Cache) SetMetrics(m *obs.Metrics) {
+	c.hits = m.Counter("fcache.hits")
+	c.misses = m.Counter("fcache.misses")
+	c.corrupt = m.Counter("fcache.corrupt_deleted")
+	c.bytesRead = m.Counter("fcache.bytes_read")
+	c.bytesWritten = m.Counter("fcache.bytes_written")
+	m.Counter("fcache.temps_swept").Add(c.swept)
+}
+
+// sweepStaleTemps removes orphaned Put temp files under dir, best-effort
+// (a cache must never fail a run over janitorial work), and returns how
+// many it reclaimed. Fresh temp files are left alone: they may belong to
+// a concurrent writer in another process.
+func sweepStaleTemps(dir string) int64 {
+	cutoff := time.Now().Add(-staleTempAge)
+	var swept int64
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), tempPrefix) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil || !info.ModTime().Before(cutoff) {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			swept++
+		}
+		return nil
+	})
+	return swept
 }
 
 // Dir returns the cache's root directory.
@@ -164,16 +230,32 @@ func decode(k Key, buf []byte) ([]byte, error) {
 
 // Get returns the cached payload for k, or ok=false on any miss —
 // absence, truncation, corruption, or a key/version mismatch. Invalid
-// entries are removed best-effort so they are rebuilt cleanly.
+// entries are removed best-effort so they are rebuilt cleanly; with a
+// collector installed the removal is visible as fcache.corrupt_deleted
+// rather than silent.
 func (c *Cache) Get(k Key) (payload []byte, ok bool) {
+	payload, ok = c.get(k)
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
+	return payload, ok
+}
+
+// get is Get without the hit/miss accounting, shared with GetVector
+// (which has its own extra validity check and counts on its own).
+func (c *Cache) get(k Key) (payload []byte, ok bool) {
 	p := c.path(k)
 	buf, err := os.ReadFile(p)
 	if err != nil {
 		return nil, false
 	}
+	c.bytesRead.Add(int64(len(buf)))
 	payload, err = decode(k, buf)
 	if err != nil {
 		os.Remove(p) // never trust it again
+		c.corrupt.Inc()
 		return nil, false
 	}
 	return payload, true
@@ -188,7 +270,7 @@ func (c *Cache) Put(k Key, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("fcache: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	tmp, err := os.CreateTemp(filepath.Dir(p), tempPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("fcache: %w", err)
 	}
@@ -203,20 +285,25 @@ func (c *Cache) Put(k Key, payload []byte) error {
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		return fmt.Errorf("fcache: %w", err)
 	}
+	c.bytesWritten.Add(int64(headerSize + len(payload) + 8))
 	return nil
 }
 
 // GetVector fetches a cached float64 vector of exactly want elements.
 // A stored vector of any other size is treated as corrupt (miss).
 func (c *Cache) GetVector(k Key, want int) ([]float64, bool) {
-	payload, ok := c.Get(k)
+	payload, ok := c.get(k)
 	if !ok {
+		c.misses.Inc()
 		return nil, false
 	}
 	if len(payload) != 8*want {
 		os.Remove(c.path(k))
+		c.corrupt.Inc()
+		c.misses.Inc()
 		return nil, false
 	}
+	c.hits.Inc()
 	v := make([]float64, want)
 	for i := range v {
 		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))

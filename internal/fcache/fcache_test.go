@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func testCache(t *testing.T) *Cache {
@@ -175,5 +178,131 @@ func TestPutIsAtomicallyVisible(t *testing.T) {
 	})
 	if len(stray) != 0 {
 		t.Fatalf("stray files after Put: %v", stray)
+	}
+}
+
+// TestOpenSweepsStaleTemps plants one stale and one fresh orphaned Put
+// temp file and verifies Open reclaims exactly the stale one — a crashed
+// writer's litter is cleaned up, a live concurrent writer's file is not.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey(), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Dir(c.path(testKey()))
+	stale := filepath.Join(sub, tempPrefix+"stale123")
+	fresh := filepath.Join(sub, tempPrefix+"fresh456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial write"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file was swept: %v", err)
+	}
+	// The real entry is untouched and the sweep is visible once a
+	// collector is installed.
+	if _, ok := c2.Get(testKey()); !ok {
+		t.Fatal("sweep damaged a valid entry")
+	}
+	m := obs.New()
+	c2.SetMetrics(m)
+	if got := m.Counter("fcache.temps_swept").Value(); got != 1 {
+		t.Fatalf("fcache.temps_swept = %d, want 1", got)
+	}
+}
+
+// TestMetricsCounters pins the full counter contract: hits, misses,
+// corrupt-entry deletions and byte traffic, through both Get and
+// GetVector.
+func TestMetricsCounters(t *testing.T) {
+	c := testCache(t)
+	m := obs.New()
+	c.SetMetrics(m)
+	val := func(name string) int64 { return m.Counter(name).Value() }
+	k := testKey()
+
+	if _, ok := c.Get(k); ok {
+		t.Fatal("unexpected hit")
+	}
+	if val("fcache.misses") != 1 || val("fcache.hits") != 0 {
+		t.Fatalf("after absent Get: hits=%d misses=%d", val("fcache.hits"), val("fcache.misses"))
+	}
+
+	payload := []byte("0123456789abcdef")
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := int64(headerSize + len(payload) + 8)
+	if got := val("fcache.bytes_written"); got != entrySize {
+		t.Fatalf("bytes_written = %d, want %d", got, entrySize)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("stored entry missed")
+	}
+	if val("fcache.hits") != 1 || val("fcache.bytes_read") != entrySize {
+		t.Fatalf("after hit: hits=%d bytes_read=%d", val("fcache.hits"), val("fcache.bytes_read"))
+	}
+
+	// Corrupt the entry: the deletion must be counted, not silent.
+	p := c.path(k)
+	buf, _ := os.ReadFile(p)
+	buf[headerSize] ^= 0xff
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("corrupt entry hit")
+	}
+	if val("fcache.corrupt_deleted") != 1 || val("fcache.misses") != 2 {
+		t.Fatalf("after corrupt Get: corrupt_deleted=%d misses=%d",
+			val("fcache.corrupt_deleted"), val("fcache.misses"))
+	}
+
+	// A size-mismatched vector is corruption through the GetVector path.
+	kv := k
+	kv.Seed++
+	if err := c.PutVector(kv, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.GetVector(kv, 3); !ok || len(v) != 3 {
+		t.Fatal("vector missed")
+	}
+	if val("fcache.hits") != 2 {
+		t.Fatalf("vector hit not counted: hits=%d", val("fcache.hits"))
+	}
+	if err := c.PutVector(kv, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetVector(kv, 4); ok {
+		t.Fatal("wrong-size vector hit")
+	}
+	if val("fcache.corrupt_deleted") != 2 {
+		t.Fatalf("size-mismatch deletion not counted: corrupt_deleted=%d", val("fcache.corrupt_deleted"))
+	}
+
+	// Without a collector, the same paths still work (no-op sinks).
+	c2 := testCache(t)
+	if err := c2.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("uninstrumented cache broken")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	// Workers bounds fitness-evaluation parallelism; values < 1 mean
 	// GOMAXPROCS. The search result is identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, receives search counters (ga.runs,
+	// ga.generations, ga.evaluations). Metrics never influence the
+	// search, so determinism is unaffected.
+	Metrics *obs.Metrics `json:"-"`
 }
 
 func (c *Config) withDefaults(numFeatures int) (Config, error) {
@@ -261,6 +266,9 @@ func Run(numFeatures int, fitness Fitness, cfg Config) (Selection, error) {
 		Evaluations: mm.evals,
 	}
 	sort.Ints(sel.Selected)
+	c.Metrics.Add("ga.runs", 1)
+	c.Metrics.Add("ga.generations", int64(gen))
+	c.Metrics.Add("ga.evaluations", int64(mm.evals))
 	return sel, nil
 }
 

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve exposes the collector on an HTTP endpoint for long runs:
+//
+//	/metrics      the live run report (Snapshot) as JSON
+//	/debug/vars   the process's expvar variables
+//	/debug/pprof  the standard pprof index (profile, heap, trace, ...)
+//
+// It listens on addr (e.g. "localhost:6060"; ":0" picks a free port),
+// serves in a background goroutine for the life of the process, and
+// returns the bound address. Nil receiver is an error — the caller asked
+// for an endpoint.
+func (m *Metrics) Serve(addr string) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("obs: no metrics collector to serve (observability disabled)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: metrics endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // endpoint dies with the process
+	return ln.Addr().String(), nil
+}

@@ -28,6 +28,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a worker-count knob: values < 1 mean GOMAXPROCS.
@@ -36,6 +39,31 @@ func Workers(n int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return n
+}
+
+// sink is the process-wide observability hook. Pool metrics are global
+// rather than per-call because every parallel stage in the repository
+// funnels through these helpers with a plain (workers, n, fn) signature;
+// threading a collector through each call site would put an obs parameter
+// on every hot kernel for the benefit of exactly one consumer (the CLIs'
+// -report/-metrics flags).
+var sink atomic.Pointer[obs.Metrics]
+
+// Instrument installs m as the process-wide pool-metrics sink and returns
+// the previous one (nil disables). While installed, every dispatch adds to
+// the counters
+//
+//	par.dispatches      parallel loops entered
+//	par.tasks           individual fn invocations completed
+//	par.worker_busy_ns  summed per-worker busy wall time, in nanoseconds
+//
+// Counting is per worker, not per task: one timestamp pair and three
+// atomic adds per worker lifetime, so instrumentation cannot slow the
+// task loop. The disabled path costs one atomic pointer load per
+// dispatch. Metrics never influence scheduling, so results stay
+// worker-count deterministic with or without a sink.
+func Instrument(m *obs.Metrics) *obs.Metrics {
+	return sink.Swap(m)
 }
 
 // For runs fn(i) for every i in [0, n), spread over up to workers
@@ -60,10 +88,21 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 	if w > n {
 		w = n
 	}
+	m := sink.Load()
 	if w == 1 {
+		if m == nil {
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+			return
+		}
+		t0 := time.Now()
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
+		m.Add("par.dispatches", 1)
+		m.Add("par.tasks", int64(n))
+		m.Add("par.worker_busy_ns", time.Since(t0).Nanoseconds())
 		return
 	}
 	var next atomic.Int64
@@ -74,16 +113,29 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 		go func(worker int) {
 			defer wg.Done()
 			defer capturePanic(&panicked)
+			var t0 time.Time
+			if m != nil {
+				t0 = time.Now()
+			}
+			tasks := int64(0)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
 				fn(worker, i)
+				tasks++
+			}
+			if m != nil {
+				m.Add("par.tasks", tasks)
+				m.Add("par.worker_busy_ns", time.Since(t0).Nanoseconds())
 			}
 		}(id)
 	}
 	wg.Wait()
+	if m != nil {
+		m.Add("par.dispatches", 1)
+	}
 	rethrow(&panicked)
 }
 

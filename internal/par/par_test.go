@@ -2,8 +2,11 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -172,4 +175,42 @@ func TestForPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// TestInstrumentCountsTasks installs a metrics sink, runs loops at
+// several worker counts, and checks the task/dispatch accounting; it then
+// removes the sink and confirms the uninstrumented path still works.
+func TestInstrumentCountsTasks(t *testing.T) {
+	m := obs.New()
+	prev := Instrument(m)
+	defer Instrument(prev)
+
+	const n = 100
+	total := 0
+	var mu sync.Mutex
+	for _, w := range []int{1, 4} {
+		For(w, n, func(i int) {
+			mu.Lock()
+			total++
+			mu.Unlock()
+		})
+	}
+	if total != 2*n {
+		t.Fatalf("ran %d tasks, want %d", total, 2*n)
+	}
+	if got := m.Counter("par.tasks").Value(); got != 2*n {
+		t.Fatalf("par.tasks = %d, want %d", got, 2*n)
+	}
+	if got := m.Counter("par.dispatches").Value(); got != 2 {
+		t.Fatalf("par.dispatches = %d, want 2", got)
+	}
+	if got := m.Counter("par.worker_busy_ns").Value(); got <= 0 {
+		t.Fatalf("par.worker_busy_ns = %d, want > 0", got)
+	}
+
+	Instrument(nil)
+	For(4, n, func(i int) {})
+	if got := m.Counter("par.tasks").Value(); got != 2*n {
+		t.Fatalf("uninstrumented loop still counted: par.tasks = %d", got)
+	}
 }

@@ -66,7 +66,16 @@ func ComputePCA(data *Matrix, normalize bool) (*PCA, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	// sort.Slice is unstable, so exactly equal eigenvalues (rank-deficient
+	// or symmetric data) need an explicit tie-break on the original
+	// eigenpair index to keep the component order deterministic.
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := vals[order[a]], vals[order[b]]
+		if va != vb {
+			return va > vb
+		}
+		return order[a] < order[b]
+	})
 
 	pca := &PCA{
 		Components: NewMatrix(p, p),

@@ -237,3 +237,57 @@ func TestExplainedVarianceClamps(t *testing.T) {
 		t.Fatalf("explained variance over all components = %v", got)
 	}
 }
+
+// TestPCAEigenvalueTieBreak feeds ComputePCA data whose covariance is
+// diagonal with one dominant eigenvalue and fifteen exactly equal ones.
+// sort.Slice is unstable, so without the explicit index tie-break the
+// tied components could land in any order; the contract is original
+// eigenpair (dimension) order. On a diagonal covariance Jacobi performs
+// no rotations, so each component must be exactly a basis vector.
+func TestPCAEigenvalueTieBreak(t *testing.T) {
+	const p = 16
+	// Rows ±c_j·e_j give a centered dataset with covariance
+	// diag(2c_j²/(2p-1)): dimension 0 dominant, the rest exactly tied.
+	data := NewMatrix(2*p, p)
+	for j := 0; j < p; j++ {
+		c := 1.0
+		if j == 0 {
+			c = 3.0
+		}
+		data.Set(2*j, j, c)
+		data.Set(2*j+1, j, -c)
+	}
+	run := func() *PCA {
+		pca, err := ComputePCA(data, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pca
+	}
+	pca := run()
+	for k := 1; k < p-1; k++ {
+		if pca.Variances[k] != pca.Variances[k+1] {
+			t.Fatalf("expected tied eigenvalues, got Variances[%d]=%v != Variances[%d]=%v",
+				k, pca.Variances[k], k+1, pca.Variances[k+1])
+		}
+	}
+	for k := 0; k < p; k++ {
+		for j := 0; j < p; j++ {
+			want := 0.0
+			if j == k {
+				want = 1.0
+			}
+			if got := math.Abs(pca.Components.At(k, j)); got != want {
+				t.Fatalf("component %d is not basis vector e%d: |C[%d,%d]| = %v",
+					k, k, k, j, pca.Components.At(k, j))
+			}
+		}
+	}
+	// And the whole analysis must be bit-identical across repeats.
+	again := run()
+	for i := range pca.Components.Data {
+		if math.Float64bits(pca.Components.Data[i]) != math.Float64bits(again.Components.Data[i]) {
+			t.Fatalf("repeated PCA differs at component element %d", i)
+		}
+	}
+}

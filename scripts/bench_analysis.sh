@@ -1,6 +1,8 @@
 #!/bin/sh
 # Benchmark the parallelized analysis stages and record the numbers in
-# BENCH_analysis.json at the repo root.
+# BENCH_analysis.json at the repo root, plus an instrumented quick-pipeline
+# run report (stage spans + cache/worker counters) in
+# BENCH_analysis_report.json beside it.
 #
 # Usage: scripts/bench_analysis.sh [benchtime]
 #
@@ -61,3 +63,11 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Capture a run report for the same machine: where the quick pipeline's
+# wall time actually goes (per-stage spans, worker-pool and cache
+# counters). The pipeline output itself is discarded — only the report
+# matters here.
+REPORT="BENCH_analysis_report.json"
+go run ./cmd/phasechar -quick -quiet -report "$REPORT" export > /dev/null
+echo "wrote $REPORT"

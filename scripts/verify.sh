@@ -1,7 +1,6 @@
 #!/bin/sh
 # Repo verification gate: build, vet, the full test suite, and the race
-# detector over every package that spawns goroutines (the worker pool and
-# the analysis stages driven through it). Run before every merge.
+# detector over every package. Run before every merge.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,12 +14,7 @@ go vet ./...
 echo "== go test ./... (tier-1)"
 go test ./...
 
-echo "== go test -race (concurrent analysis stages)"
-go test -race -count=1 \
-    ./internal/par/ \
-    ./internal/cluster/ \
-    ./internal/ga/ \
-    ./internal/stats/ \
-    ./internal/core/
+echo "== go test -race ./..."
+go test -race -count=1 ./...
 
 echo "verify: OK"
