@@ -48,6 +48,7 @@ func run() (err error) {
 		traceFile    = flag.String("trace", "", "characterize a binary trace file instead of a benchmark model")
 		list         = flag.Bool("list", false, "list available benchmarks and exit")
 		cacheDir     = flag.String("cache", "", "interval-vector cache directory for -timeline analysis (empty: no cache)")
+		resume       = flag.Bool("resume", false, "serve the whole -timeline analysis from its cached stage artifact when present and valid (requires -cache)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
 		reportPath   = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
@@ -59,6 +60,9 @@ func run() (err error) {
 		// Refusing beats silently running uncached: the cache only holds
 		// characterized interval vectors, which only -timeline consumes.
 		return fmt.Errorf("-cache requires -timeline (the cache stores the timeline's characterized interval vectors)")
+	}
+	if *resume && *cacheDir == "" {
+		return fmt.Errorf("-resume requires -cache (the timeline stage artifact is stored there)")
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -112,6 +116,7 @@ func run() (err error) {
 		cfg.MaxIntervalsPerBenchmark = *maxIntervals
 		cfg.Workers = *workers
 		cfg.CacheDir = *cacheDir
+		cfg.Resume = *resume
 		cfg.Metrics = m
 		tl, err := core.AnalyzeTimeline(b, cfg, 8)
 		if err != nil {

@@ -14,6 +14,15 @@
 //	phasechar list
 //	phasechar -out results fig4
 //	phasechar -paper-scale -out results all
+//
+// The characterization stage can be split across processes and the
+// analysis resumed from persisted stage artifacts:
+//
+//	phasechar -cache .cache -shard 0/3 shard     # one worker per shard
+//	phasechar -cache .cache -shard 1/3 shard
+//	phasechar -cache .cache -shard 2/3 shard
+//	phasechar -cache .cache -merge 3 export      # merge + analysis
+//	phasechar -cache .cache -resume export       # rerun: recomputes nothing
 package main
 
 import (
@@ -49,6 +58,9 @@ func run() (err error) {
 		quick       = flag.Bool("quick", false, "use small, fast parameters (for smoke runs)")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 		cacheDir    = flag.String("cache", "", "interval-vector cache directory: characterized vectors persist across runs and matching intervals skip regeneration entirely (empty: no cache)")
+		shardSpec   = flag.String("shard", "", "with the 'shard' target: characterize only shard i/n of the benchmarks (e.g. 0/3) and persist it as a shard artifact in -cache")
+		mergeN      = flag.Int("merge", 0, "assemble the characterization from n shard artifacts in -cache (computing any missing shard locally) before the analysis stages")
+		resume      = flag.Bool("resume", false, "skip every pipeline stage whose artifact is already in -cache and valid (a rerun with the same config recomputes nothing)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
 		reportPath  = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
@@ -56,6 +68,18 @@ func run() (err error) {
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	// The shard/merge/resume workflow lives in the cache; refusing early
+	// beats a misleading in-memory run that persists nothing.
+	if *shardSpec != "" && *mergeN > 0 {
+		return fmt.Errorf("-shard and -merge are different halves of the workflow: shard in worker runs, merge in the final run")
+	}
+	if (*shardSpec != "" || *mergeN > 0 || *resume) && *cacheDir == "" {
+		return fmt.Errorf("-shard, -merge and -resume need -cache (shard and stage artifacts are stored there)")
+	}
+	if *mergeN < 0 {
+		return fmt.Errorf("-merge %d: shard count must be positive", *mergeN)
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -80,6 +104,9 @@ func run() (err error) {
 		return fmt.Errorf("expected an experiment id (or 'all' / 'list' / 'export' / 'simpoints <benchmark>')")
 	}
 	target := flag.Arg(0)
+	if *shardSpec != "" && target != "shard" {
+		return fmt.Errorf("-shard only characterizes (target 'shard'); run the analysis over the shards with -merge %s", *shardSpec)
+	}
 
 	cfg := core.DefaultConfig()
 	switch {
@@ -113,6 +140,10 @@ func run() (err error) {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.CacheDir = *cacheDir
+	cfg.Resume = *resume
+	if *mergeN > 0 {
+		cfg.Shard = core.ShardSpec{Index: 0, Count: *mergeN}
+	}
 	cfg.Metrics = m
 	// Run writes the report when the pipeline completes; the deferred
 	// finish rewrites it at exit with the post-pipeline stages (GA
@@ -132,6 +163,7 @@ func run() (err error) {
 		}
 		fmt.Printf("  %-19s %s\n", "export", "run the pipeline and dump a JSON summary to stdout")
 		fmt.Printf("  %-19s %s\n", "simpoints <bench>", "select weighted simulation points for one benchmark (section 5.3)")
+		fmt.Printf("  %-19s %s\n", "shard", "characterize one shard of the benchmarks (-shard i/n, requires -cache)")
 		return nil
 	}
 
@@ -142,6 +174,26 @@ func run() (err error) {
 	env := experiments.NewEnv(reg, cfg, *out, logf)
 
 	switch target {
+	case "shard":
+		if *shardSpec == "" {
+			return fmt.Errorf("the shard target needs -shard i/n to pick which shard to characterize")
+		}
+		index, count, err := cliobs.ParseShard(*shardSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Shard = core.ShardSpec{Index: index, Count: count}
+		info, err := core.CharacterizeShard(reg, cfg, logf)
+		if err != nil {
+			return err
+		}
+		state := "characterized"
+		if info.Resumed {
+			state = "already present"
+		}
+		fmt.Printf("shard %d/%d %s: %d benchmarks, %d sampled rows, %d unique intervals, %d instructions\n",
+			info.Index, info.Count, state, info.Benchmarks, info.Refs, info.UniqueIntervals, info.Instructions)
+		return nil
 	case "export":
 		res, err := env.Result()
 		if err != nil {

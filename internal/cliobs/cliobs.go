@@ -12,10 +12,37 @@ package cliobs
 import (
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/par"
 )
+
+// ParseShard parses a -shard "i/n" specification into a shard index and
+// count, rejecting anything but 0 <= i < n with n >= 1. It lives here so
+// every CLI that grows sharding shares one spelling and one error text.
+func ParseShard(spec string) (index, count int, err error) {
+	idx, cnt, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard spec %q is not of the form i/n", spec)
+	}
+	index, err = strconv.Atoi(idx)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard spec %q: bad index: %v", spec, err)
+	}
+	count, err = strconv.Atoi(cnt)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard spec %q: bad count: %v", spec, err)
+	}
+	if count < 1 {
+		return 0, 0, fmt.Errorf("shard spec %q: count %d < 1", spec, count)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("shard spec %q: index %d outside [0,%d)", spec, index, count)
+	}
+	return index, count, nil
+}
 
 // Setup builds the CLI's metrics collector from its observability flags.
 // When none of the flags are set it returns a nil collector (the

@@ -1,0 +1,31 @@
+package cliobs
+
+import "testing"
+
+func TestParseShard(t *testing.T) {
+	good := []struct {
+		spec         string
+		index, count int
+	}{
+		{"0/1", 0, 1},
+		{"0/3", 0, 3},
+		{"2/3", 2, 3},
+		{"15/16", 15, 16},
+	}
+	for _, tt := range good {
+		index, count, err := ParseShard(tt.spec)
+		if err != nil {
+			t.Fatalf("ParseShard(%q): %v", tt.spec, err)
+		}
+		if index != tt.index || count != tt.count {
+			t.Fatalf("ParseShard(%q) = %d/%d, want %d/%d", tt.spec, index, count, tt.index, tt.count)
+		}
+	}
+
+	bad := []string{"", "3", "a/b", "1/", "/3", "1/0", "3/3", "-1/3", "1/-3", "0/3/1 "}
+	for _, spec := range bad {
+		if _, _, err := ParseShard(spec); err == nil {
+			t.Fatalf("ParseShard(%q) accepted", spec)
+		}
+	}
+}

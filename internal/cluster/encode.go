@@ -1,0 +1,76 @@
+package cluster
+
+// Binary serialization for fitted clustering results, so the k-means
+// stage of the pipeline engine can persist and resume its output
+// bit-identically. Integrity is the storage layer's job (internal/fcache
+// checksums every entry); this decoder rejects structurally inconsistent
+// payloads.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// MarshalBinary encodes the clustering result (encoding.BinaryMarshaler):
+// k, assignments, centers, sizes, inertia and BIC, floats bit-exact.
+func (r *Result) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4+4*len(r.Assignments)+8+8*len(r.Centers.Data)+4*len(r.Sizes)+16)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.K))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Assignments)))
+	for _, a := range r.Assignments {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+	}
+	buf = r.Centers.AppendBinary(buf)
+	for _, s := range r.Sizes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Inertia))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.BIC))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a result encoded by MarshalBinary
+// (encoding.BinaryUnmarshaler).
+func (r *Result) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("cluster: result header truncated (%d bytes)", len(data))
+	}
+	k := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	if k < 1 || len(data) < 4*n {
+		return fmt.Errorf("cluster: result with k=%d, %d assignments does not fit payload", k, n)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		a := int(binary.LittleEndian.Uint32(data[4*i:]))
+		if a < 0 || a >= k {
+			return fmt.Errorf("cluster: assignment %d = %d out of [0,%d)", i, a, k)
+		}
+		assign[i] = a
+	}
+	centers, rest, err := stats.DecodeMatrix(data[4*n:])
+	if err != nil {
+		return fmt.Errorf("cluster: centers: %w", err)
+	}
+	if centers.Rows != k {
+		return fmt.Errorf("cluster: %d centers for k=%d", centers.Rows, k)
+	}
+	if len(rest) != 4*k+16 {
+		return fmt.Errorf("cluster: result tail is %d bytes, want %d", len(rest), 4*k+16)
+	}
+	sizes := make([]int, k)
+	for c := range sizes {
+		sizes[c] = int(binary.LittleEndian.Uint32(rest[4*c:]))
+	}
+	r.K = k
+	r.Assignments = assign
+	r.Centers = centers
+	r.Sizes = sizes
+	r.Inertia = math.Float64frombits(binary.LittleEndian.Uint64(rest[4*k:]))
+	r.BIC = math.Float64frombits(binary.LittleEndian.Uint64(rest[4*k+8:]))
+	return nil
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func fittedResult(t *testing.T) *Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	m := stats.NewMatrix(30, 3)
+	for i := 0; i < m.Rows; i++ {
+		center := float64(i % 3 * 10)
+		for j := 0; j < m.Cols; j++ {
+			m.Row(i)[j] = center + rng.NormFloat64()
+		}
+	}
+	r, err := KMeans(m, 3, Options{Seed: 1, Restarts: 2, MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestResultBinaryRoundTripBitExact(t *testing.T) {
+	r := fittedResult(t)
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("clustering result does not round-trip byte-identically")
+	}
+	if got.K != r.K || len(got.Assignments) != len(r.Assignments) {
+		t.Fatalf("shape k=%d/%d assignments, want k=%d/%d", got.K, len(got.Assignments), r.K, len(r.Assignments))
+	}
+	for i := range r.Assignments {
+		if got.Assignments[i] != r.Assignments[i] {
+			t.Fatalf("assignment %d: %d != %d", i, got.Assignments[i], r.Assignments[i])
+		}
+	}
+	for i := range r.Centers.Data {
+		if math.Float64bits(got.Centers.Data[i]) != math.Float64bits(r.Centers.Data[i]) {
+			t.Fatalf("center element %d differs", i)
+		}
+	}
+	if math.Float64bits(got.Inertia) != math.Float64bits(r.Inertia) ||
+		math.Float64bits(got.BIC) != math.Float64bits(r.BIC) {
+		t.Fatal("inertia/BIC not bit-exact")
+	}
+}
+
+func TestResultDecodeRejectsDamage(t *testing.T) {
+	r := fittedResult(t)
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	for _, n := range []int{0, 7, len(buf) / 2, len(buf) - 1} {
+		if err := got.UnmarshalBinary(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+	if err := got.UnmarshalBinary(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+
+	// An out-of-range assignment must be rejected, not clustered.
+	bad := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(bad[8:], uint32(r.K)) // first assignment = k
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("assignment >= k accepted")
+	}
+
+	// k = 0 is structurally impossible for a fitted result.
+	bad = append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(bad[0:], 0)
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -15,6 +15,19 @@ import (
 	"repro/internal/obs"
 )
 
+// ShardSpec splits the characterization stage across processes: shard
+// Index of Count characterizes the benchmarks whose registry position i
+// satisfies i % Count == Index, and persists the resulting vectors as one
+// shard artifact in the cache. The partition depends only on the registry
+// order and Count, so any process can compute any shard independently and
+// a merge run reassembles the exact single-process dataset.
+type ShardSpec struct {
+	// Index is the shard's 0-based index in [0, Count).
+	Index int
+	// Count is the total number of shards; 0 or 1 means unsharded.
+	Count int
+}
+
 // Config holds every knob of the pipeline. DefaultConfig returns the
 // scaled-down equivalents of the paper's settings (see DESIGN.md for the
 // mapping); zero-valued fields of a hand-built Config are filled with the
@@ -69,6 +82,20 @@ type Config struct {
 	// regenerating the interval, with bit-identical results. Empty
 	// disables caching.
 	CacheDir string
+	// Shard, when Count > 1, makes Run a merge run: instead of
+	// characterizing everything in-process, each shard's dataset artifact
+	// is loaded from the cache (shards computed elsewhere via
+	// CharacterizeShard / `phasechar -shard i/n`), any missing shard is
+	// characterized locally, and the analysis stages run over the merged
+	// dataset. Requires CacheDir. The merged result is byte-identical to
+	// the single-process run at any worker count and any cache state.
+	Shard ShardSpec
+	// Resume, when true (requires CacheDir), makes every pipeline stage
+	// check the cache for its own output artifact first: a rerun with the
+	// same config skips each completed stage and recomputes only what is
+	// missing or fails validation. Off by default so cache counters keep
+	// their cold/warm interval-vector semantics.
+	Resume bool
 	// KMeans configures the clustering step. A zero KMeans.Seed means
 	// "inherit Config.Seed" and a zero KMeans.Workers means "inherit
 	// Config.Workers" — Validate resolves both, so a caller who wants
@@ -177,6 +204,18 @@ func (c *Config) Validate() error {
 	}
 	if c.MinPCStd < 0 {
 		return fmt.Errorf("core: negative PC retention threshold")
+	}
+	if c.Shard.Count < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shard.Count)
+	}
+	if c.Shard.Count > 1 && (c.Shard.Index < 0 || c.Shard.Index >= c.Shard.Count) {
+		return fmt.Errorf("core: shard index %d outside [0,%d)", c.Shard.Index, c.Shard.Count)
+	}
+	if c.Shard.Count > 1 && c.CacheDir == "" {
+		return fmt.Errorf("core: sharded runs need a cache directory (shard artifacts live there)")
+	}
+	if c.Resume && c.CacheDir == "" {
+		return fmt.Errorf("core: resume needs a cache directory (stage artifacts live there)")
 	}
 	return nil
 }

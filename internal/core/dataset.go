@@ -121,6 +121,30 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		}
 		cache.SetMetrics(cfg.Metrics)
 	}
+	vectors, instructions, cacheHits, err := characterizeUnique(work, cfg, cache)
+	if err != nil {
+		return nil, err
+	}
+
+	raw := stats.NewMatrix(len(refs), mica.NumMetrics)
+	for i, r := range refs {
+		copy(raw.Row(i), vectors[unique[key{r.Bench.ID(), r.Index}]])
+	}
+	return &Dataset{
+		Refs:            append([]IntervalRef(nil), refs...),
+		Raw:             raw,
+		UniqueIntervals: len(work),
+		Instructions:    instructions,
+		CacheHits:       cacheHits,
+	}, nil
+}
+
+// characterizeUnique is the characterization kernel shared by the
+// whole-dataset path (Characterize) and the engine's shard path: it
+// generates and measures the given already-deduplicated intervals and
+// returns one vector per interval, the instruction total, and the
+// vector-cache hit count.
+func characterizeUnique(work []IntervalRef, cfg Config, cache *fcache.Cache) ([][]float64, uint64, int, error) {
 	span := cfg.Metrics.StartSpan("characterize").SetRows(len(work)).SetWorkers(par.Workers(cfg.Workers))
 	defer span.End()
 
@@ -172,7 +196,7 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		}
 	})
 	if err := par.FirstError(errs); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	var instructions uint64
 	var cacheHits int
@@ -180,16 +204,5 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		instructions += instrParts[w]
 		cacheHits += hitParts[w]
 	}
-
-	raw := stats.NewMatrix(len(refs), mica.NumMetrics)
-	for i, r := range refs {
-		copy(raw.Row(i), vectors[unique[key{r.Bench.ID(), r.Index}]])
-	}
-	return &Dataset{
-		Refs:            append([]IntervalRef(nil), refs...),
-		Raw:             raw,
-		UniqueIntervals: len(work),
-		Instructions:    instructions,
-		CacheHits:       cacheHits,
-	}, nil
+	return vectors, instructions, cacheHits, nil
 }

@@ -92,8 +92,13 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Run executes the full methodology over the registry's benchmarks.
-// logf, if non-nil, receives progress lines.
+// Run executes the full methodology over the registry's benchmarks as a
+// sequence of engine stages (sample → characterize → pca → scores →
+// kmeans → prominent; see engine.go). logf, if non-nil, receives
+// progress lines. With cfg.Shard.Count > 1 the characterize stage merges
+// per-shard dataset artifacts; with cfg.Resume every stage whose
+// artifact is present and valid is loaded instead of recomputed. Both
+// paths produce results byte-identical to the plain in-process run.
 func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any)) (*Result, error) {
 	start := time.Now()
 	if logf == nil {
@@ -106,56 +111,94 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 		return nil, fmt.Errorf("core: empty benchmark registry")
 	}
 
+	span := cfg.Metrics.StartSpan("sample")
 	refs := SampleRefs(reg, cfg)
+	span.SetRows(len(refs)).End()
+	if cfg.NumClusters >= len(refs) {
+		return nil, fmt.Errorf("core: %d clusters need more than %d intervals", cfg.NumClusters, len(refs))
+	}
+	eng, err := newEngine(reg, cfg, refs, logf)
+	if err != nil {
+		return nil, err
+	}
+
 	logf("characterizing %d sampled intervals (%d benchmarks, %d instructions each)...",
 		len(refs), reg.Len(), cfg.IntervalLength)
-	ds, err := Characterize(refs, cfg)
+	ds, _, err := eng.characterize(refs)
 	if err != nil {
 		return nil, err
 	}
 	logf("characterized %d unique intervals (%d instructions total)", ds.UniqueIntervals, ds.Instructions)
 
-	span := cfg.Metrics.StartSpan("pca").SetRows(ds.Raw.Rows)
-	pca, err := stats.ComputePCA(ds.Raw, true)
-	if err != nil {
-		return nil, fmt.Errorf("core: PCA: %w", err)
-	}
-	numPCs := pca.NumRetained(cfg.MinPCStd)
-	logf("PCA: retaining %d components (%.1f%% of variance)", numPCs, 100*pca.ExplainedVariance(numPCs))
-	scores, err := pca.RescaledScores(ds.Raw, numPCs)
-	span.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: rescaled scores: %w", err)
+	var pca stats.PCA
+	if _, err := eng.stage("pca", eng.pcaKey(), &pca, ds.Raw.Rows, func() error {
+		span := cfg.Metrics.StartSpan("pca").SetRows(ds.Raw.Rows)
+		defer span.End()
+		p, err := stats.ComputePCA(ds.Raw, true)
+		if err != nil {
+			return fmt.Errorf("core: PCA: %w", err)
+		}
+		pca = *p
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	k := cfg.NumClusters
-	if k >= scores.Rows {
-		return nil, fmt.Errorf("core: %d clusters need more than %d intervals", k, scores.Rows)
+	var scores stats.Matrix
+	if _, err := eng.stage("scores", eng.scoresKey(), &scores, ds.Raw.Rows, func() error {
+		span := cfg.Metrics.StartSpan("scores").SetRows(ds.Raw.Rows)
+		defer span.End()
+		s, err := pca.RescaledScores(ds.Raw, pca.NumRetained(cfg.MinPCStd))
+		if err != nil {
+			return fmt.Errorf("core: rescaled scores: %w", err)
+		}
+		scores = *s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	numPCs := scores.Cols
+	logf("PCA: retaining %d components (%.1f%% of variance)", numPCs, 100*pca.ExplainedVariance(numPCs))
+
 	// cfg.KMeans already carries the inherited pipeline seed and worker
 	// count (Validate resolved them above).
-	logf("k-means: k=%d over %d intervals in %d dimensions (%d restarts, %d workers)...",
-		k, scores.Rows, scores.Cols, max(1, cfg.KMeans.Restarts), cfg.Workers)
-	span = cfg.Metrics.StartSpan("kmeans").SetRows(scores.Rows).SetWorkers(cfg.Workers)
-	cl, err := cluster.KMeans(scores, k, cfg.KMeans)
-	span.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: clustering: %w", err)
+	k := cfg.NumClusters
+	var cl cluster.Result
+	if _, err := eng.stage("kmeans", eng.clusterKey(), &cl, scores.Rows, func() error {
+		logf("k-means: k=%d over %d intervals in %d dimensions (%d restarts, %d workers)...",
+			k, scores.Rows, scores.Cols, max(1, cfg.KMeans.Restarts), cfg.Workers)
+		span := cfg.Metrics.StartSpan("kmeans").SetRows(scores.Rows).SetWorkers(cfg.Workers)
+		defer span.End()
+		c, err := cluster.KMeans(&scores, k, cfg.KMeans)
+		if err != nil {
+			return fmt.Errorf("core: clustering: %w", err)
+		}
+		cl = *c
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	logf("clustering BIC %.1f, avg within-cluster distance %.3f", cl.BIC, cl.AvgWithinClusterDistance(scores))
+	logf("clustering BIC %.1f, avg within-cluster distance %.3f", cl.BIC, cl.AvgWithinClusterDistance(&scores))
 
 	res := &Result{
 		Config:   cfg,
 		Registry: reg,
 		Dataset:  ds,
-		PCA:      pca,
+		PCA:      &pca,
 		NumPCs:   numPCs,
-		Scores:   scores,
-		Clusters: cl,
+		Scores:   &scores,
+		Clusters: &cl,
 	}
-	span = cfg.Metrics.StartSpan("prominent").SetRows(len(cl.Assignments))
-	res.Prominent = res.summarizeProminent(cfg.NumProminent)
-	span.End()
+	sum := &summaryArtifact{reg: reg}
+	if _, err := eng.stage("prominent", eng.summaryKey(), sum, len(cl.Assignments), func() error {
+		span := cfg.Metrics.StartSpan("prominent").SetRows(len(cl.Assignments))
+		defer span.End()
+		sum.phases = res.summarizeProminent(cfg.NumProminent)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Prominent = sum.phases
 	res.Elapsed = time.Since(start)
 	logf("top-%d prominent phases cover %.1f%% of the workload (%.1fs)",
 		len(res.Prominent), 100*res.ProminentCoverage(), res.Elapsed.Seconds())
@@ -169,7 +212,9 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 }
 
 // summarizeProminent builds PhaseSummary values for the n heaviest
-// clusters.
+// clusters. All per-cluster compositions come from a single pass over
+// the assignments (one K x B count table), instead of rescanning every
+// dataset row once per prominent cluster.
 func (r *Result) summarizeProminent(n int) []PhaseSummary {
 	order := r.Clusters.ByWeight()
 	if n > len(order) {
@@ -178,48 +223,72 @@ func (r *Result) summarizeProminent(n int) []PhaseSummary {
 	reps := r.Clusters.Representatives(r.Scores)
 	weights := r.Clusters.Weights()
 
-	// Per-benchmark sampled row counts, for BenchmarkFraction.
-	benchRows := map[string]int{}
-	for _, ref := range r.Dataset.Refs {
-		benchRows[ref.Bench.ID()]++
+	// Dense benchmark indices in first-appearance order over Refs.
+	benchIdx := make(map[string]int)
+	var benchIDs []string
+	var benchSuites []bench.Suite
+	rowBench := make([]int, len(r.Dataset.Refs))
+	for i, ref := range r.Dataset.Refs {
+		id := ref.Bench.ID()
+		bi, ok := benchIdx[id]
+		if !ok {
+			bi = len(benchIDs)
+			benchIdx[id] = bi
+			benchIDs = append(benchIDs, id)
+			benchSuites = append(benchSuites, ref.Bench.Suite)
+		}
+		rowBench[i] = bi
+	}
+	// cells[c*B+b] counts cluster c's rows from benchmark b; benchRows[b]
+	// is benchmark b's sampled row total (for BenchmarkFraction).
+	nb := len(benchIDs)
+	cells := make([]int, r.Clusters.K*nb)
+	benchRows := make([]int, nb)
+	for i, c := range r.Clusters.Assignments {
+		cells[c*nb+rowBench[i]]++
+		benchRows[rowBench[i]]++
 	}
 
 	out := make([]PhaseSummary, 0, n)
 	for _, c := range order[:n] {
-		out = append(out, r.summarizeCluster(c, weights[c], reps[c], benchRows))
+		out = append(out, r.summarizeCluster(c, weights[c], reps[c],
+			cells[c*nb:(c+1)*nb], benchIDs, benchSuites, benchRows))
 	}
 	return out
 }
 
-func (r *Result) summarizeCluster(c int, weight float64, rep int, benchRows map[string]int) PhaseSummary {
-	counts := map[string]int{}
-	suites := map[bench.Suite]bool{}
-	suiteOf := map[string]bench.Suite{}
+// summarizeCluster renders one cluster's summary from its row of the
+// precomputed composition table (counts[b] = rows from benchmark b).
+func (r *Result) summarizeCluster(c int, weight float64, rep int, counts []int,
+	benchIDs []string, benchSuites []bench.Suite, benchRows []int) PhaseSummary {
 	total := 0
-	for i, ref := range r.Dataset.Refs {
-		if r.Clusters.Assignments[i] != c {
+	members := 0
+	suites := map[bench.Suite]bool{}
+	for bi, cnt := range counts {
+		if cnt == 0 {
 			continue
 		}
-		id := ref.Bench.ID()
-		counts[id]++
-		suites[ref.Bench.Suite] = true
-		suiteOf[id] = ref.Bench.Suite
-		total++
+		total += cnt
+		members++
+		suites[benchSuites[bi]] = true
 	}
 	kind := Mixed
 	switch {
-	case len(counts) == 1:
+	case members == 1:
 		kind = BenchmarkSpecific
 	case len(suites) == 1:
 		kind = SuiteSpecific
 	}
-	var comp []BenchShare
-	for id, cnt := range counts {
+	comp := make([]BenchShare, 0, members)
+	for bi, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
 		comp = append(comp, BenchShare{
-			BenchID:           id,
-			Suite:             suiteOf[id],
+			BenchID:           benchIDs[bi],
+			Suite:             benchSuites[bi],
 			ClusterShare:      float64(cnt) / float64(max(total, 1)),
-			BenchmarkFraction: float64(cnt) / float64(max(benchRows[id], 1)),
+			BenchmarkFraction: float64(cnt) / float64(max(benchRows[bi], 1)),
 		})
 	}
 	sort.Slice(comp, func(a, b int) bool {
@@ -290,11 +359,4 @@ func (r *Result) SweepKeyCharacteristics(counts []int) ([]ga.SweepResult, error)
 	out, err := ga.Sweep(r.Dataset.Raw.Cols, fitness, counts, r.Config.GA)
 	span.End()
 	return out, err
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

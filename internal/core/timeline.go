@@ -52,10 +52,24 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 		}
 		cache.SetMetrics(cfg.Metrics)
 	}
+	total := b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
+	var tKey fcache.Key
+	if cache != nil {
+		tKey = timelineKey(b, cfg, maxPhases, total)
+		if cfg.Resume {
+			// Resume: the whole analysis is one persisted artifact. A
+			// corrupt or missing entry just falls through to recompute.
+			art := &timelineArtifact{}
+			if cache.GetBinary(tKey, art) {
+				cfg.Metrics.StartSpan("timeline.resume").SetRows(total).SetResumed(true).End()
+				cfg.Metrics.Add("engine.resumed.timeline", 1)
+				return &art.t, nil
+			}
+		}
+	}
 	// Characterize the intervals over the worker pool (one analyzer per
 	// worker, one matrix row per interval — worker-count deterministic),
 	// reusing cached interval vectors when a cache is configured.
-	total := b.ScaledIntervals(cfg.MaxIntervalsPerBenchmark)
 	vectors := stats.NewMatrix(total, mica.NumMetrics)
 	workers := par.Workers(cfg.Workers)
 	span := cfg.Metrics.StartSpan("timeline.characterize").SetRows(total).SetWorkers(workers)
@@ -135,13 +149,19 @@ func AnalyzeTimeline(b *bench.Benchmark, cfg Config, maxPhases int) (*Timeline, 
 			transitions++
 		}
 	}
-	return &Timeline{
+	tl := &Timeline{
 		BenchID:     b.ID(),
 		Phases:      phases,
 		NumPhases:   len(relabel),
 		Transitions: transitions,
 		Vectors:     vectors,
-	}, nil
+	}
+	if cache != nil {
+		// Best-effort, like every artifact write: a failure only costs a
+		// future recompute.
+		_ = cache.PutBinary(tKey, &timelineArtifact{t: *tl})
+	}
+	return tl, nil
 }
 
 // Strip renders the timeline as a one-character-per-interval strip, e.g.

@@ -178,13 +178,6 @@ func AblationSampling(e *Env) (string, error) {
 	return b.String(), nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // AblationGranularity reproduces the section 2.9 claim that the
 // methodology applies at any interval granularity: it re-runs a reduced
 // pipeline at three interval lengths and shows the headline orderings

@@ -265,13 +265,6 @@ func ValidationPhases(e *Env) (string, error) {
 	return b.String(), nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ValidationGenerator checks the measurement substrate itself: for every
 // phase of every benchmark model, it generates one interval and compares
 // the realized instruction mix and branch taken rate against the phase's

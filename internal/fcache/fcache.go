@@ -1,7 +1,9 @@
 // Package fcache is a content-addressed on-disk cache for expensive
-// derived artifacts of the synthetic-workload pipeline — primarily the
-// 69-element MICA interval vectors, whose generation dominates the
-// pipeline's runtime, and encoded interval traces.
+// derived artifacts of the synthetic-workload pipeline — the 69-element
+// MICA interval vectors, whose generation dominates the pipeline's
+// runtime, encoded interval traces, and the stage artifacts of the
+// pipeline engine (dataset shards, PCA models, score matrices, clustering
+// results, stage summaries, per-benchmark timelines).
 //
 // Entries are keyed by everything that determines the artifact bit for
 // bit: the artifact kind, a schema version (bumped whenever the producing
@@ -23,6 +25,7 @@
 package fcache
 
 import (
+	"encoding"
 	"encoding/binary"
 	"fmt"
 	"io/fs"
@@ -42,7 +45,48 @@ const (
 	KindVector uint16 = 1
 	// KindTrace is an encoded binary instruction trace.
 	KindTrace uint16 = 2
+	// KindShard is a characterized dataset shard: the unique interval
+	// vectors of one deterministic subset of the benchmark registry.
+	KindShard uint16 = 3
+	// KindPCA is a fitted principal-components model.
+	KindPCA uint16 = 4
+	// KindScores is a rescaled-PCA score matrix.
+	KindScores uint16 = 5
+	// KindCluster is a fitted k-means clustering result.
+	KindCluster uint16 = 6
+	// KindSummary is the prominent-phase summary of a pipeline run.
+	KindSummary uint16 = 7
+	// KindTimeline is a per-benchmark phase-timeline analysis.
+	KindTimeline uint16 = 8
+
+	// maxKind bounds the per-kind counter table; bump alongside new kinds.
+	maxKind = KindTimeline
 )
+
+// KindName returns the short lower-case name of an artifact kind, used to
+// label the per-kind cache counters (fcache.hits.<name>, ...).
+func KindName(kind uint16) string {
+	switch kind {
+	case KindVector:
+		return "vector"
+	case KindTrace:
+		return "trace"
+	case KindShard:
+		return "shard"
+	case KindPCA:
+		return "pca"
+	case KindScores:
+		return "scores"
+	case KindCluster:
+		return "cluster"
+	case KindSummary:
+		return "summary"
+	case KindTimeline:
+		return "timeline"
+	default:
+		return fmt.Sprintf("kind%d", kind)
+	}
+}
 
 // magic identifies fcache entry files ("FCH1").
 const magic = 0x46434831
@@ -91,6 +135,10 @@ type Cache struct {
 	corrupt      *obs.Counter
 	bytesRead    *obs.Counter
 	bytesWritten *obs.Counter
+	// kindHits/kindMisses split the traffic per artifact kind
+	// (fcache.hits.vector, fcache.misses.shard, ...), indexed by Kind.
+	kindHits   [maxKind + 1]*obs.Counter
+	kindMisses [maxKind + 1]*obs.Counter
 
 	// swept counts stale temp files removed at Open, held until a
 	// collector is installed (SetMetrics flushes it).
@@ -123,7 +171,8 @@ func Open(dir string) (*Cache, error) {
 // SetMetrics installs an observability collector: cache traffic is
 // recorded under the counters fcache.hits, fcache.misses,
 // fcache.corrupt_deleted, fcache.bytes_read, fcache.bytes_written and
-// fcache.temps_swept. A nil collector (the default) keeps every sink a
+// fcache.temps_swept, plus the per-kind splits fcache.hits.<kind> and
+// fcache.misses.<kind>. A nil collector (the default) keeps every sink a
 // no-op.
 func (c *Cache) SetMetrics(m *obs.Metrics) {
 	c.hits = m.Counter("fcache.hits")
@@ -131,7 +180,27 @@ func (c *Cache) SetMetrics(m *obs.Metrics) {
 	c.corrupt = m.Counter("fcache.corrupt_deleted")
 	c.bytesRead = m.Counter("fcache.bytes_read")
 	c.bytesWritten = m.Counter("fcache.bytes_written")
+	for kind := uint16(1); kind <= maxKind; kind++ {
+		c.kindHits[kind] = m.Counter("fcache.hits." + KindName(kind))
+		c.kindMisses[kind] = m.Counter("fcache.misses." + KindName(kind))
+	}
 	m.Counter("fcache.temps_swept").Add(c.swept)
+}
+
+// countHit/countMiss record one Get outcome on the global and per-kind
+// counters (all nil-safe no-ops without a collector).
+func (c *Cache) countHit(kind uint16) {
+	c.hits.Inc()
+	if kind <= maxKind {
+		c.kindHits[kind].Inc()
+	}
+}
+
+func (c *Cache) countMiss(kind uint16) {
+	c.misses.Inc()
+	if kind <= maxKind {
+		c.kindMisses[kind].Inc()
+	}
 }
 
 // sweepStaleTemps removes orphaned Put temp files under dir, best-effort
@@ -236,9 +305,9 @@ func decode(k Key, buf []byte) ([]byte, error) {
 func (c *Cache) Get(k Key) (payload []byte, ok bool) {
 	payload, ok = c.get(k)
 	if ok {
-		c.hits.Inc()
+		c.countHit(k.Kind)
 	} else {
-		c.misses.Inc()
+		c.countMiss(k.Kind)
 	}
 	return payload, ok
 }
@@ -294,16 +363,16 @@ func (c *Cache) Put(k Key, payload []byte) error {
 func (c *Cache) GetVector(k Key, want int) ([]float64, bool) {
 	payload, ok := c.get(k)
 	if !ok {
-		c.misses.Inc()
+		c.countMiss(k.Kind)
 		return nil, false
 	}
 	if len(payload) != 8*want {
 		os.Remove(c.path(k))
 		c.corrupt.Inc()
-		c.misses.Inc()
+		c.countMiss(k.Kind)
 		return nil, false
 	}
-	c.hits.Inc()
+	c.countHit(k.Kind)
 	v := make([]float64, want)
 	for i := range v {
 		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
@@ -319,4 +388,37 @@ func (c *Cache) PutVector(k Key, v []float64) error {
 		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(x))
 	}
 	return c.Put(k, payload)
+}
+
+// PutBinary stores a structured artifact (a matrix, a PCA model, a
+// clustering result, a stage summary) through its binary marshalling,
+// under the same checksummed, atomically-written entry format as every
+// other kind.
+func (c *Cache) PutBinary(k Key, v encoding.BinaryMarshaler) error {
+	payload, err := v.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("fcache: encoding %s artifact: %w", KindName(k.Kind), err)
+	}
+	return c.Put(k, payload)
+}
+
+// GetBinary fetches a structured artifact into v. Any failure — absence,
+// truncation, checksum or key mismatch, or a payload v refuses to
+// unmarshal — is a miss; undecodable entries are deleted (and counted as
+// fcache.corrupt_deleted) so the producing stage regenerates them instead
+// of failing.
+func (c *Cache) GetBinary(k Key, v encoding.BinaryUnmarshaler) bool {
+	payload, ok := c.get(k)
+	if !ok {
+		c.countMiss(k.Kind)
+		return false
+	}
+	if err := v.UnmarshalBinary(payload); err != nil {
+		os.Remove(c.path(k))
+		c.corrupt.Inc()
+		c.countMiss(k.Kind)
+		return false
+	}
+	c.countHit(k.Kind)
+	return true
 }

@@ -70,6 +70,9 @@ type SpanRecord struct {
 	Rows int `json:"rows,omitempty"`
 	// Workers is the stage's resolved worker count (0 if untracked).
 	Workers int `json:"workers,omitempty"`
+	// Resumed marks a stage that was served from a persisted artifact
+	// instead of being computed (the pipeline engine's resume path).
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // Metrics collects one run's counters and spans. Use New; a nil *Metrics
@@ -135,6 +138,7 @@ type Span struct {
 	t0      time.Time
 	rows    int
 	workers int
+	resumed bool
 }
 
 // StartSpan begins timing a named stage. End records it.
@@ -162,6 +166,15 @@ func (s *Span) SetWorkers(n int) *Span {
 	return s
 }
 
+// SetResumed marks the span's stage as served from a persisted artifact
+// rather than computed.
+func (s *Span) SetResumed(resumed bool) *Span {
+	if s != nil {
+		s.resumed = resumed
+	}
+	return s
+}
+
 // End completes the span and appends it to the run's span list. Calling
 // End more than once records the span more than once; don't.
 func (s *Span) End() {
@@ -175,6 +188,7 @@ func (s *Span) End() {
 		WallSeconds:  now.Sub(s.t0).Seconds(),
 		Rows:         s.rows,
 		Workers:      s.workers,
+		Resumed:      s.resumed,
 	}
 	s.m.mu.Lock()
 	s.m.spans = append(s.m.spans, rec)
@@ -254,6 +268,9 @@ func (m *Metrics) Summary() string {
 		}
 		if s.Workers > 0 {
 			fmt.Fprintf(&b, "  workers=%d", s.Workers)
+		}
+		if s.Resumed {
+			b.WriteString("  (resumed)")
 		}
 		b.WriteByte('\n')
 	}

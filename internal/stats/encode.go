@@ -1,0 +1,134 @@
+package stats
+
+// Binary serialization for the persistable analysis artifacts. Every
+// float64 round-trips through its IEEE-754 bits, so a decoded matrix or
+// PCA model is bit-identical to the encoded one — the property the
+// pipeline's resume guarantee rests on. Integrity (checksums, truncation
+// detection) is the storage layer's job (internal/fcache); these decoders
+// only have to reject structurally inconsistent payloads.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// matrixEncodingSize is the encoded size of a matrix: rows, cols (u32
+// each) plus the row-major float64 data.
+func matrixEncodingSize(m *Matrix) int { return 8 + 8*len(m.Data) }
+
+// AppendBinary appends m's encoding to buf and returns the extended
+// slice, for callers composing a matrix into a larger artifact.
+func (m *Matrix) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+	for _, v := range m.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// MarshalBinary encodes the matrix (encoding.BinaryMarshaler).
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, matrixEncodingSize(m))), nil
+}
+
+// DecodeMatrix consumes one encoded matrix from the front of buf and
+// returns it with the remaining bytes, for callers decoding composed
+// artifacts.
+func DecodeMatrix(buf []byte) (*Matrix, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("stats: matrix header truncated (%d bytes)", len(buf))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf))
+	cols := int(binary.LittleEndian.Uint32(buf[4:]))
+	n := rows * cols
+	if rows < 0 || cols < 0 || len(buf) < 8+8*n {
+		return nil, nil, fmt.Errorf("stats: %dx%d matrix needs %d bytes, have %d", rows, cols, 8+8*n, len(buf))
+	}
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8+8*i:]))
+	}
+	return m, buf[8+8*n:], nil
+}
+
+// UnmarshalBinary decodes the matrix (encoding.BinaryUnmarshaler),
+// rejecting trailing garbage.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	dec, rest, err := DecodeMatrix(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("stats: %d trailing bytes after matrix", len(rest))
+	}
+	*m = *dec
+	return nil
+}
+
+// appendF64s appends a length-prefixed float64 slice.
+func appendF64s(buf []byte, xs []float64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
+	for _, v := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeF64s consumes a length-prefixed float64 slice.
+func decodeF64s(buf []byte) ([]float64, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("stats: slice header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n < 0 || len(buf) < 4+8*n {
+		return nil, nil, fmt.Errorf("stats: %d-element slice needs %d bytes, have %d", n, 4+8*n, len(buf))
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[4+8*i:]))
+	}
+	return xs, buf[4+8*n:], nil
+}
+
+// MarshalBinary encodes the fitted PCA model: components, variances,
+// input statistics and total variance (encoding.BinaryMarshaler).
+func (p *PCA) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, matrixEncodingSize(p.Components)+8*(len(p.Variances)+len(p.InputStats.Mean)+len(p.InputStats.Std))+32)
+	buf = p.Components.AppendBinary(buf)
+	buf = appendF64s(buf, p.Variances)
+	buf = appendF64s(buf, p.InputStats.Mean)
+	buf = appendF64s(buf, p.InputStats.Std)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.TotalVariance))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a PCA model encoded by MarshalBinary
+// (encoding.BinaryUnmarshaler).
+func (p *PCA) UnmarshalBinary(data []byte) error {
+	comp, rest, err := DecodeMatrix(data)
+	if err != nil {
+		return fmt.Errorf("stats: PCA components: %w", err)
+	}
+	variances, rest, err := decodeF64s(rest)
+	if err != nil {
+		return fmt.Errorf("stats: PCA variances: %w", err)
+	}
+	mean, rest, err := decodeF64s(rest)
+	if err != nil {
+		return fmt.Errorf("stats: PCA means: %w", err)
+	}
+	std, rest, err := decodeF64s(rest)
+	if err != nil {
+		return fmt.Errorf("stats: PCA stds: %w", err)
+	}
+	if len(rest) != 8 {
+		return fmt.Errorf("stats: PCA total variance: %d trailing bytes, want 8", len(rest))
+	}
+	p.Components = comp
+	p.Variances = variances
+	p.InputStats = ColumnStats{Mean: mean, Std: std}
+	p.TotalVariance = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	return nil
+}

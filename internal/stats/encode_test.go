@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return m
+}
+
+func TestMatrixBinaryRoundTripBitExact(t *testing.T) {
+	m := testMatrix(7, 5, 1)
+	// Exercise the bit-exactness claim on the awkward values too.
+	m.Data[0] = math.Copysign(0, -1)
+	m.Data[1] = math.Inf(1)
+	m.Data[2] = math.NaN()
+	m.Data[3] = 5e-324 // smallest subnormal
+
+	buf, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Matrix
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, m.Rows, m.Cols)
+	}
+	for i := range m.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(m.Data[i]) {
+			t.Fatalf("element %d: %x != %x", i, math.Float64bits(got.Data[i]), math.Float64bits(m.Data[i]))
+		}
+	}
+}
+
+func TestMatrixDecodeRejectsDamage(t *testing.T) {
+	m := testMatrix(3, 4, 2)
+	buf, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Matrix
+	for _, n := range []int{0, 4, 7, len(buf) - 1} {
+		if err := got.UnmarshalBinary(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+	if err := got.UnmarshalBinary(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// DecodeMatrix (the composing form) must hand trailing bytes back.
+	tail := []byte{1, 2, 3}
+	dec, rest, err := DecodeMatrix(append(append([]byte(nil), buf...), tail...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rows != m.Rows || !bytes.Equal(rest, tail) {
+		t.Fatalf("DecodeMatrix rest = %v, want %v", rest, tail)
+	}
+}
+
+func TestPCABinaryRoundTripBitExact(t *testing.T) {
+	p, err := ComputePCA(testMatrix(20, 6, 3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PCA
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("PCA model does not round-trip byte-identically")
+	}
+	if math.Float64bits(got.TotalVariance) != math.Float64bits(p.TotalVariance) {
+		t.Fatalf("total variance %v != %v", got.TotalVariance, p.TotalVariance)
+	}
+	// A resumed model must project exactly like the fitted one.
+	in := testMatrix(4, 6, 4)
+	a, err := p.Project(in, p.NumRetained(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Project(in, got.NumRetained(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("projection element %d differs after round trip", i)
+		}
+	}
+
+	for _, n := range []int{0, 9, len(buf) / 2, len(buf) - 1} {
+		if err := got.UnmarshalBinary(buf[:n]); err == nil {
+			t.Fatalf("PCA truncation to %d bytes decoded", n)
+		}
+	}
+	if err := got.UnmarshalBinary(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("PCA trailing byte accepted")
+	}
+}

@@ -341,7 +341,7 @@ func (c *LineChart) ASCII(width int) (string, error) {
 		line := make([]rune, width)
 		for i := range line {
 			// Sample the series at this column.
-			idx := i * (len(s.Y) - 1) / maxInt(width-1, 1)
+			idx := i * (len(s.Y) - 1) / max(width-1, 1)
 			frac := s.Y[idx] / ymax
 			if frac < 0 {
 				frac = 0
@@ -354,11 +354,4 @@ func (c *LineChart) ASCII(width int) (string, error) {
 		fmt.Fprintf(&b, "  %-*s |%s| max %.4g\n", nameW, s.Name, string(line), s.Y[len(s.Y)-1])
 	}
 	return b.String(), nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

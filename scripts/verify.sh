@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repo verification gate: build, vet, the full test suite, and the race
-# detector over every package. Run before every merge.
+# Repo verification gate: build, vet, the full test suite, the race
+# detector over every package, and the shard-merge/resume equivalence
+# check on the quick pipeline. Run before every merge.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,5 +17,22 @@ go test ./...
 
 echo "== go test -race ./..."
 go test -race -count=1 ./...
+
+echo "== shard-merge + resume equivalence (quick pipeline)"
+# The engine's load-bearing invariant, end to end through the CLI: a
+# 3-shard characterization merged by the analysis run, and a resumed
+# rerun over the same cache, must both export byte-identically to the
+# plain single-process run.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/phasechar" ./cmd/phasechar
+"$tmp/phasechar" -quick -quiet export > "$tmp/single.json"
+for i in 0 1 2; do
+  "$tmp/phasechar" -quick -quiet -cache "$tmp/cache" -shard "$i/3" shard > /dev/null
+done
+"$tmp/phasechar" -quick -quiet -cache "$tmp/cache" -merge 3 export > "$tmp/merged.json"
+cmp "$tmp/single.json" "$tmp/merged.json"
+"$tmp/phasechar" -quick -quiet -cache "$tmp/cache" -resume export > "$tmp/resumed.json"
+cmp "$tmp/single.json" "$tmp/resumed.json"
 
 echo "verify: OK"
