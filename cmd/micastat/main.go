@@ -51,9 +51,7 @@ func run() (err error) {
 		resume       = flag.Bool("resume", false, "serve the whole -timeline analysis from its cached stage artifact when present and valid (requires -cache)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
-		reportPath   = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
-		metricsOut   = flag.Bool("metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
-		metricsAddr  = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
+		obsFlags     = cliobs.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if *cacheDir != "" && !*timeline {
@@ -76,7 +74,7 @@ func run() (err error) {
 		}
 	}()
 
-	m, finishObs, err := cliobs.Setup("micastat", *reportPath, *metricsOut, *metricsAddr)
+	m, finishObs, err := obsFlags.Setup("micastat")
 	if err != nil {
 		return err
 	}

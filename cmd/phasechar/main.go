@@ -23,18 +23,31 @@
 //	phasechar -cache .cache -shard 2/3 shard
 //	phasechar -cache .cache -merge 3 export      # merge + analysis
 //	phasechar -cache .cache -resume export       # rerun: recomputes nothing
+//
+// Or split across machines with no shared filesystem: each worker runs a
+// shard server, and the coordinator ships shards over HTTP (the result is
+// byte-identical to a single-process run, whatever workers or faults the
+// run sees):
+//
+//	phasechar -addr 10.0.0.2:8421 serve          # on each worker machine
+//	phasechar -cache .cache \
+//	    -workers-addr 10.0.0.2:8421,10.0.0.3:8421 export
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/prof"
+	"repro/internal/shardnet"
 )
 
 func main() {
@@ -63,9 +76,12 @@ func run() (err error) {
 		resume      = flag.Bool("resume", false, "skip every pipeline stage whose artifact is already in -cache and valid (a rerun with the same config recomputes nothing)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
-		reportPath  = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
-		metricsOut  = flag.Bool("metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
+		serveAddr   = flag.String("addr", "127.0.0.1:0", "with the 'serve' target: address to serve shard requests on (port 0: ephemeral)")
+		workersAddr = flag.String("workers-addr", "", "comma-separated shard-worker addresses (host:port): distribute the characterization shards over HTTP before the analysis (requires -cache; default shard count: one per worker)")
+		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "per-shard-request deadline for -workers-addr runs")
+		rpcRetries  = flag.Int("rpc-retries", 2, "extra attempts per worker per shard before the worker is declared dead")
+		rpcFaults   = flag.String("rpc-faults", "", "inject transport faults into -workers-addr runs, e.g. '0:5xx,corrupt;2:down' (workerIndex:kinds; kinds: drop delay corrupt 5xx hang down) — for testing; never changes results")
+		obsFlags    = cliobs.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -79,6 +95,12 @@ func run() (err error) {
 	}
 	if *mergeN < 0 {
 		return fmt.Errorf("-merge %d: shard count must be positive", *mergeN)
+	}
+	if *workersAddr != "" && *shardSpec != "" {
+		return fmt.Errorf("-workers-addr and -shard are different roles: the coordinator distributes shards, a worker serves or computes one")
+	}
+	if *workersAddr != "" && *cacheDir == "" {
+		return fmt.Errorf("-workers-addr needs -cache (fetched shard artifacts are stored there for the merge)")
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -94,7 +116,7 @@ func run() (err error) {
 		}
 	}()
 
-	m, finishObs, err := cliobs.Setup("phasechar", *reportPath, *metricsOut, *metricsAddr)
+	m, finishObs, err := obsFlags.Setup("phasechar")
 	if err != nil {
 		return err
 	}
@@ -148,7 +170,7 @@ func run() (err error) {
 	// Run writes the report when the pipeline completes; the deferred
 	// finish rewrites it at exit with the post-pipeline stages (GA
 	// selection, sweeps) included.
-	cfg.ReportPath = *reportPath
+	cfg.ReportPath = obsFlags.Report
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -164,6 +186,7 @@ func run() (err error) {
 		fmt.Printf("  %-19s %s\n", "export", "run the pipeline and dump a JSON summary to stdout")
 		fmt.Printf("  %-19s %s\n", "simpoints <bench>", "select weighted simulation points for one benchmark (section 5.3)")
 		fmt.Printf("  %-19s %s\n", "shard", "characterize one shard of the benchmarks (-shard i/n, requires -cache)")
+		fmt.Printf("  %-19s %s\n", "serve", "serve shard computations over HTTP for a -workers-addr coordinator (-addr host:port)")
 		return nil
 	}
 
@@ -171,6 +194,54 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+
+	if target == "serve" {
+		srv := &shardnet.Server{Reg: reg, Workers: *workers, CacheDir: *cacheDir, Metrics: m, Logf: logf}
+		return srv.ListenAndServe(*serveAddr, func(a net.Addr) {
+			// The bound address goes to stdout so scripts starting workers on
+			// ephemeral ports (-addr host:0) can scrape where to reach them.
+			fmt.Printf("phasechar: listening at http://%s\n", a)
+		})
+	}
+
+	if *workersAddr != "" {
+		urls, err := cliobs.ParseWorkers(*workersAddr)
+		if err != nil {
+			return err
+		}
+		if cfg.Shard.Count < 1 {
+			// One shard per worker unless -merge chose a finer split.
+			cfg.Shard = core.ShardSpec{Index: 0, Count: len(urls)}
+		}
+		coord := &shardnet.Coordinator{
+			Workers: urls,
+			Timeout: *rpcTimeout,
+			Retries: *rpcRetries,
+			Seed:    *seed,
+			Metrics: m,
+			Logf:    logf,
+		}
+		if *rpcFaults != "" {
+			hosts := make([]string, len(urls))
+			for i, u := range urls {
+				_, hosts[i], _ = strings.Cut(u, "://")
+			}
+			faults := shardnet.NewFaults(nil, *seed)
+			if err := faults.AddSpec(*rpcFaults, hosts); err != nil {
+				return err
+			}
+			coord.Transport = faults
+		}
+		stats, err := coord.Distribute(reg, cfg)
+		if err != nil {
+			return err
+		}
+		if logf != nil {
+			logf("distributed: %d/%d shards remote, %d local, %d retries, %d reassigned, %d dead workers",
+				stats.Remote, stats.Shards, stats.Local, stats.Retries, stats.Reassigned, stats.DeadWorkers)
+		}
+	}
+
 	env := experiments.NewEnv(reg, cfg, *out, logf)
 
 	switch target {

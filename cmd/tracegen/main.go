@@ -48,9 +48,7 @@ func run() (err error) {
 		workers      = flag.Int("workers", 0, "parallel workers for -all generation (0: GOMAXPROCS; output is worker-count independent)")
 		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
 		cacheDir     = flag.String("cache", "", "with -all: also characterize each interval and store its vector in this cache directory, pre-warming later phasechar/micastat runs")
-		reportPath   = flag.String("report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
-		metricsOut   = flag.Bool("metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
-		metricsAddr  = flag.String("metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
+		obsFlags     = cliobs.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +56,7 @@ func run() (err error) {
 		return fmt.Errorf("expected one benchmark name")
 	}
 
-	m, finishObs, err := cliobs.Setup("tracegen", *reportPath, *metricsOut, *metricsAddr)
+	m, finishObs, err := obsFlags.Setup("tracegen")
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package cliobs
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -18,6 +19,56 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 )
+
+// ObsFlags carries the values of the shared observability flags. Every
+// CLI registers them through RegisterObsFlags so the three tools cannot
+// drift apart in spelling, defaults or help text.
+type ObsFlags struct {
+	// Report is -report: the JSON run-report path.
+	Report string
+	// Summary is -metrics: print the human-readable summary at exit.
+	Summary bool
+	// Addr is -metrics-addr: serve live metrics for the run's duration.
+	Addr string
+}
+
+// RegisterObsFlags registers the shared -report / -metrics /
+// -metrics-addr flags on fs and returns the value struct to read after
+// parsing.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	f := &ObsFlags{}
+	fs.StringVar(&f.Report, "report", "", "write a machine-readable JSON run report (stage spans + counters) to this file at exit")
+	fs.BoolVar(&f.Summary, "metrics", false, "print the run-metrics summary (stage spans + counters) to stderr at exit")
+	fs.StringVar(&f.Addr, "metrics-addr", "", "serve live /metrics (JSON report), /debug/vars and /debug/pprof on this address for the duration of the run, e.g. localhost:6060")
+	return f
+}
+
+// Setup is Setup(tool, f.Report, f.Summary, f.Addr).
+func (f *ObsFlags) Setup(tool string) (*obs.Metrics, func(errp *error), error) {
+	return Setup(tool, f.Report, f.Summary, f.Addr)
+}
+
+// ParseWorkers parses a -workers-addr comma-separated worker list into
+// normalized base URLs ("http://host:port"); a bare host:port gets the
+// http scheme. Empty entries are rejected rather than skipped — a stray
+// comma more likely means a mangled host list than an intentional gap.
+func ParseWorkers(list string) ([]string, error) {
+	var urls []string
+	for _, w := range strings.Split(list, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			return nil, fmt.Errorf("worker list %q has an empty entry", list)
+		}
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		urls = append(urls, strings.TrimRight(w, "/"))
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("worker list is empty")
+	}
+	return urls, nil
+}
 
 // ParseShard parses a -shard "i/n" specification into a shard index and
 // count, rejecting anything but 0 <= i < n with n >= 1. It lives here so

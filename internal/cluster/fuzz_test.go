@@ -1,0 +1,75 @@
+package cluster
+
+// Fuzz target for the clustering-result decoder: arbitrary bytes must
+// error, never panic or over-allocate, and accepted payloads must
+// round-trip (the k-means resume path depends on it).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func fuzzSeeds() map[string][][]byte {
+	centers := stats.NewMatrix(2, 3)
+	for i := range centers.Data {
+		centers.Data[i] = float64(i)
+	}
+	r := &Result{
+		K:           2,
+		Assignments: []int{0, 1, 1},
+		Centers:     centers,
+		Sizes:       []int{1, 2},
+		Inertia:     1.5,
+		BIC:         -2,
+	}
+	good, _ := r.MarshalBinary()
+	// Hostile assignment count far beyond the payload.
+	bomb := []byte{2, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 1, 2, 3}
+	return map[string][][]byte{
+		"FuzzDecodeResult": {good, good[:9], bomb, {}},
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Run with WRITE_FUZZ_CORPUS=1 after changing the codec.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for target, entries := range fuzzSeeds() {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range entries {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	for _, s := range fuzzSeeds()["FuzzDecodeResult"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Result
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if err := new(Result).UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

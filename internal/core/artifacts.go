@@ -27,7 +27,11 @@ import (
 // engineSchemaVersion versions the stage decomposition and the artifact
 // encodings. Bump it whenever a stage's output format or semantics
 // change, so stale artifacts miss instead of decoding into garbage.
-const engineSchemaVersion = 1
+// v2: shard artifacts carry their producing artifactVersion in the
+// payload itself, so a shard produced under a different schema is
+// rejected by the decoder even when it arrives outside the keyed cache
+// (e.g. over the shardnet wire).
+const engineSchemaVersion = 2
 
 // artifactVersion combines the measurement-kernel schema with the engine
 // schema: a change to either invalidates every stage artifact.
@@ -258,13 +262,17 @@ func (a *shardArtifact) uniqueCount() int {
 	return n
 }
 
-// MarshalBinary encodes the shard (encoding.BinaryMarshaler).
+// MarshalBinary encodes the shard (encoding.BinaryMarshaler). The
+// payload leads with the producing artifactVersion: a shard artifact is
+// the one artifact that crosses process (and machine) boundaries, so it
+// must be rejectable on version skew even without its cache key.
 func (a *shardArtifact) MarshalBinary() ([]byte, error) {
-	size := 4 + 8
+	size := 4 + 4 + 8
 	for i := range a.benches {
 		size += 8 + len(a.benches[i].id) + 4*len(a.benches[i].indices) + 8 + 8*len(a.benches[i].vectors.Data)
 	}
 	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, artifactVersion())
 	buf = appendU32(buf, len(a.benches))
 	for i := range a.benches {
 		sb := &a.benches[i]
@@ -280,14 +288,25 @@ func (a *shardArtifact) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary decodes a shard encoded by MarshalBinary
-// (encoding.BinaryUnmarshaler).
+// (encoding.BinaryUnmarshaler), rejecting payloads produced under any
+// other artifact schema version.
 func (a *shardArtifact) UnmarshalBinary(data []byte) error {
+	ver, data, err := decodeU32(data)
+	if err != nil {
+		return err
+	}
+	if uint32(ver) != artifactVersion() {
+		return fmt.Errorf("core: shard artifact schema version %#x, want %#x", ver, artifactVersion())
+	}
 	nb, data, err := decodeU32(data)
 	if err != nil {
 		return err
 	}
-	if nb < 0 {
-		return fmt.Errorf("core: shard with %d benchmarks", nb)
+	// Each benchmark needs at least its id length, index count and matrix
+	// header; a count that cannot fit the payload is rejected before the
+	// slice allocation, not after it OOMs.
+	if nb < 0 || nb > len(data)/16 {
+		return fmt.Errorf("core: shard with %d benchmarks does not fit %d bytes", nb, len(data))
 	}
 	benches := make([]shardBench, nb)
 	for i := range benches {
@@ -371,8 +390,11 @@ func (a *summaryArtifact) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if n < 0 {
-		return fmt.Errorf("core: summary with %d phases", n)
+	// A phase needs at least its fixed fields (cluster, weight, kind,
+	// rep id/index/total, two counts); bound the allocation by the bytes
+	// actually present.
+	if n < 0 || n > len(data)/29 {
+		return fmt.Errorf("core: summary with %d phases does not fit %d bytes", n, len(data))
 	}
 	phases := make([]PhaseSummary, n)
 	for i := range phases {
@@ -424,8 +446,8 @@ func (a *summaryArtifact) UnmarshalBinary(data []byte) error {
 		if nc, data, err = decodeU32(data); err != nil {
 			return fmt.Errorf("core: summary phase %d: %w", i, err)
 		}
-		if nc < 0 {
-			return fmt.Errorf("core: summary phase %d: %d composition entries", i, nc)
+		if nc < 0 || nc > len(data)/24 {
+			return fmt.Errorf("core: summary phase %d: %d composition entries do not fit %d bytes", i, nc, len(data))
 		}
 		if nc > 0 {
 			p.Composition = make([]BenchShare, nc)

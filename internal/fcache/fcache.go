@@ -27,6 +27,7 @@ package fcache
 import (
 	"encoding"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io/fs"
 	"math"
@@ -37,6 +38,15 @@ import (
 
 	"repro/internal/obs"
 )
+
+// ErrVersionSkew marks an entry that is internally consistent but was
+// produced under a different schema version than the reader expects — a
+// cache shared between binaries built at different schema revisions, or
+// an artifact planted by an out-of-date worker. Version skew is a miss
+// like any other corruption (the entry is deleted and the artifact
+// regenerated), but it is counted separately (fcache.version_skew) so an
+// operator can tell a fleet-wide schema rollout from disk rot.
+var ErrVersionSkew = errors.New("fcache: entry schema version mismatch")
 
 // Artifact kinds. The kind participates in the key, so distinct artifact
 // types for the same (behavior, seed, length) never collide.
@@ -133,6 +143,7 @@ type Cache struct {
 	hits         *obs.Counter
 	misses       *obs.Counter
 	corrupt      *obs.Counter
+	skew         *obs.Counter
 	bytesRead    *obs.Counter
 	bytesWritten *obs.Counter
 	// kindHits/kindMisses split the traffic per artifact kind
@@ -178,6 +189,7 @@ func (c *Cache) SetMetrics(m *obs.Metrics) {
 	c.hits = m.Counter("fcache.hits")
 	c.misses = m.Counter("fcache.misses")
 	c.corrupt = m.Counter("fcache.corrupt_deleted")
+	c.skew = m.Counter("fcache.version_skew")
 	c.bytesRead = m.Counter("fcache.bytes_read")
 	c.bytesWritten = m.Counter("fcache.bytes_written")
 	for kind := uint16(1); kind <= maxKind; kind++ {
@@ -283,6 +295,12 @@ func decode(k Key, buf []byte) ([]byte, error) {
 		Seed:     le.Uint64(buf[20:]),
 		Length:   int64(le.Uint64(buf[28:])),
 	}
+	// The version is compared explicitly, not just as part of the whole
+	// key: an artifact produced under another schema version must never be
+	// decoded as if it were current, and the skew is reported distinctly.
+	if got.Version != k.Version {
+		return nil, fmt.Errorf("%w (stored %d, want %d)", ErrVersionSkew, got.Version, k.Version)
+	}
 	if got != k {
 		return nil, fmt.Errorf("fcache: key mismatch (stored %+v, want %+v)", got, k)
 	}
@@ -325,6 +343,9 @@ func (c *Cache) get(k Key) (payload []byte, ok bool) {
 	if err != nil {
 		os.Remove(p) // never trust it again
 		c.corrupt.Inc()
+		if errors.Is(err, ErrVersionSkew) {
+			c.skew.Inc()
+		}
 		return nil, false
 	}
 	return payload, true

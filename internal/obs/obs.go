@@ -70,6 +70,9 @@ type SpanRecord struct {
 	Rows int `json:"rows,omitempty"`
 	// Workers is the stage's resolved worker count (0 if untracked).
 	Workers int `json:"workers,omitempty"`
+	// Bytes is how many payload bytes the stage moved (0 if untracked) —
+	// the network volume for RPC stages like shardnet's distribute.
+	Bytes int64 `json:"bytes,omitempty"`
 	// Resumed marks a stage that was served from a persisted artifact
 	// instead of being computed (the pipeline engine's resume path).
 	Resumed bool `json:"resumed,omitempty"`
@@ -138,6 +141,7 @@ type Span struct {
 	t0      time.Time
 	rows    int
 	workers int
+	bytes   int64
 	resumed bool
 }
 
@@ -166,6 +170,14 @@ func (s *Span) SetWorkers(n int) *Span {
 	return s
 }
 
+// SetBytes annotates the span with the payload bytes the stage moved.
+func (s *Span) SetBytes(n int64) *Span {
+	if s != nil {
+		s.bytes = n
+	}
+	return s
+}
+
 // SetResumed marks the span's stage as served from a persisted artifact
 // rather than computed.
 func (s *Span) SetResumed(resumed bool) *Span {
@@ -188,6 +200,7 @@ func (s *Span) End() {
 		WallSeconds:  now.Sub(s.t0).Seconds(),
 		Rows:         s.rows,
 		Workers:      s.workers,
+		Bytes:        s.bytes,
 		Resumed:      s.resumed,
 	}
 	s.m.mu.Lock()
@@ -268,6 +281,9 @@ func (m *Metrics) Summary() string {
 		}
 		if s.Workers > 0 {
 			fmt.Fprintf(&b, "  workers=%d", s.Workers)
+		}
+		if s.Bytes > 0 {
+			fmt.Fprintf(&b, "  bytes=%d", s.Bytes)
 		}
 		if s.Resumed {
 			b.WriteString("  (resumed)")

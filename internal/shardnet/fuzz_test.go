@@ -1,0 +1,105 @@
+package shardnet
+
+// Fuzz targets for the wire-frame decoders: frames arrive off the
+// network, so arbitrary bytes must produce an error, never a panic or an
+// oversized allocation, and accepted frames must round-trip.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func wireFuzzSeeds() map[string][][]byte {
+	req := ShardRequest{
+		ArtifactVersion: core.ShardArtifactVersion(),
+		Index:           1, Count: 3,
+		IntervalLength: 1500, SamplesPerBenchmark: 10, MaxIntervalsPerBenchmark: 12,
+		SampleByBenchmark: true, Seed: 1, DatasetHash: 0x1234,
+	}
+	reqBytes, _ := req.MarshalBinary()
+	resp := ShardResponse{
+		ArtifactVersion: core.ShardArtifactVersion(),
+		Index:           1, Count: 3, DatasetHash: 0x1234,
+		Payload: []byte("payload"),
+	}
+	respBytes, _ := resp.MarshalBinary()
+	// Response header claiming a giant payload over a tiny frame.
+	lying := append([]byte(nil), respBytes[:respHeaderSize-8]...)
+	lying = append(lying, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	return map[string][][]byte{
+		"FuzzShardRequest":  {reqBytes, reqBytes[:10], {}},
+		"FuzzShardResponse": {respBytes, respBytes[:respHeaderSize], lying, {}},
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Run with WRITE_FUZZ_CORPUS=1 after changing the codecs.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for target, entries := range wireFuzzSeeds() {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range entries {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func FuzzShardRequest(f *testing.F) {
+	for _, s := range wireFuzzSeeds()["FuzzShardRequest"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ShardRequest
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var again ShardRequest
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again != r {
+			t.Fatalf("round trip changed frame: %+v != %+v", again, r)
+		}
+	})
+}
+
+func FuzzShardResponse(f *testing.F) {
+	for _, s := range wireFuzzSeeds()["FuzzShardResponse"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ShardResponse
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var again ShardResponse
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !bytes.Equal(again.Payload, r.Payload) {
+			t.Fatal("round trip changed payload")
+		}
+	})
+}

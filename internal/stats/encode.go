@@ -42,8 +42,16 @@ func DecodeMatrix(buf []byte) (*Matrix, []byte, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(buf))
 	cols := int(binary.LittleEndian.Uint32(buf[4:]))
+	// Bound rows*cols by the bytes actually present before multiplying:
+	// two hostile u32 dimensions can overflow the product (and a huge
+	// honest product would be an allocation bomb), so an undersized
+	// payload must be rejected without ever computing rows*cols.
+	avail := (len(buf) - 8) / 8
+	if rows < 0 || cols < 0 || (cols > 0 && rows > avail/cols) {
+		return nil, nil, fmt.Errorf("stats: %dx%d matrix does not fit %d bytes", rows, cols, len(buf))
+	}
 	n := rows * cols
-	if rows < 0 || cols < 0 || len(buf) < 8+8*n {
+	if len(buf) < 8+8*n {
 		return nil, nil, fmt.Errorf("stats: %dx%d matrix needs %d bytes, have %d", rows, cols, 8+8*n, len(buf))
 	}
 	m := NewMatrix(rows, cols)

@@ -1,0 +1,109 @@
+package stats
+
+// Native fuzz targets for the binary decoders. The contract under test:
+// arbitrary bytes must produce an error or a value, never a panic or an
+// unbounded allocation — cache entries and shard RPC payloads cross
+// trust boundaries (disk damage, network corruption) before they reach
+// these decoders. Accepted payloads must also re-encode and re-decode
+// cleanly (the resume path depends on that round trip).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeeds returns the per-target seed corpus: one honest encoding plus
+// truncations and a few structurally hostile headers.
+func fuzzSeeds() map[string][][]byte {
+	m := NewMatrix(2, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i) / 2
+	}
+	mat, _ := m.MarshalBinary()
+	p := &PCA{
+		Components:    m,
+		Variances:     []float64{1, 0.5},
+		InputStats:    ColumnStats{Mean: []float64{0, 1, 2}, Std: []float64{1, 1, 2}},
+		TotalVariance: 1.5,
+	}
+	pca, _ := p.MarshalBinary()
+	// 0x40000000 x 0x40000000 rows*cols overflows 32-bit and lands on a
+	// small positive int64 product — the classic decoder bomb.
+	bomb := []byte{0, 0, 0, 0x40, 0, 0, 0, 0x40, 1, 2, 3}
+	return map[string][][]byte{
+		"FuzzDecodeMatrix": {mat, mat[:5], bomb, {}},
+		"FuzzDecodePCA":    {pca, pca[:len(pca)-4], bomb, {}},
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Run with WRITE_FUZZ_CORPUS=1 after changing a codec.
+func TestWriteFuzzCorpus(t *testing.T) {
+	writeFuzzCorpus(t, fuzzSeeds())
+}
+
+// writeFuzzCorpus is shared by every package's corpus test (duplicated
+// locally; test helpers cannot be imported across packages).
+func writeFuzzCorpus(t *testing.T, seeds map[string][][]byte) {
+	t.Helper()
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for target, entries := range seeds {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range entries {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func FuzzDecodeMatrix(f *testing.F) {
+	for _, s := range fuzzSeeds()["FuzzDecodeMatrix"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, rest, err := DecodeMatrix(data)
+		if err != nil {
+			return
+		}
+		if len(m.Data) != m.Rows*m.Cols {
+			t.Fatalf("accepted %dx%d matrix with %d values", m.Rows, m.Cols, len(m.Data))
+		}
+		out, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if err := new(Matrix).UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		_ = rest
+	})
+}
+
+func FuzzDecodePCA(f *testing.F) {
+	for _, s := range fuzzSeeds()["FuzzDecodePCA"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p PCA
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if err := new(PCA).UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

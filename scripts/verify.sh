@@ -1,10 +1,21 @@
 #!/bin/sh
 # Repo verification gate: build, vet, the full test suite, the race
-# detector over every package, and the shard-merge/resume equivalence
-# check on the quick pipeline. Run before every merge.
+# detector over every package, short fuzz runs over every binary
+# decoder, the shard-merge/resume equivalence check on the quick
+# pipeline, and the distributed loopback gate (networked workers with
+# injected faults and a mid-run worker kill). Run before every merge.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+WORKER_PIDS=""
+cleanup() {
+  # shellcheck disable=SC2086
+  [ -n "$WORKER_PIDS" ] && kill $WORKER_PIDS 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
 
 echo "== go build ./..."
 go build ./...
@@ -18,13 +29,33 @@ go test ./...
 echo "== go test -race ./..."
 go test -race -count=1 ./...
 
+echo "== shardnet -race at pinned worker counts"
+# The distributed invariant must hold at any compute parallelism; pin it
+# at serial and at 4 workers explicitly.
+SHARDNET_TEST_WORKERS=1 go test -race -count=1 ./internal/shardnet/
+SHARDNET_TEST_WORKERS=4 go test -race -count=1 ./internal/shardnet/
+
+echo "== fuzz decoders (${FUZZ_BUDGET:-2s} each)"
+# Every decoder that reads bytes from disk or the network: errors, never
+# panics. FUZZ_BUDGET raises the per-target budget for deeper local runs.
+while read -r target pkg; do
+  go test -run='^$' -fuzz="^${target}\$" -fuzztime="${FUZZ_BUDGET:-2s}" "$pkg" > /dev/null
+done <<'EOF'
+FuzzDecodeMatrix ./internal/stats/
+FuzzDecodePCA ./internal/stats/
+FuzzDecodeResult ./internal/cluster/
+FuzzShardArtifact ./internal/core/
+FuzzSummaryArtifact ./internal/core/
+FuzzTimelineArtifact ./internal/core/
+FuzzShardRequest ./internal/shardnet/
+FuzzShardResponse ./internal/shardnet/
+EOF
+
 echo "== shard-merge + resume equivalence (quick pipeline)"
 # The engine's load-bearing invariant, end to end through the CLI: a
 # 3-shard characterization merged by the analysis run, and a resumed
 # rerun over the same cache, must both export byte-identically to the
 # plain single-process run.
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/phasechar" ./cmd/phasechar
 "$tmp/phasechar" -quick -quiet export > "$tmp/single.json"
 for i in 0 1 2; do
@@ -34,5 +65,40 @@ done
 cmp "$tmp/single.json" "$tmp/merged.json"
 "$tmp/phasechar" -quick -quiet -cache "$tmp/cache" -resume export > "$tmp/resumed.json"
 cmp "$tmp/single.json" "$tmp/resumed.json"
+
+echo "== distributed loopback gate (3 workers, injected faults, mid-run kill)"
+# The same invariant across real process and network boundaries: three
+# loopback shard servers, a fault schedule (a 503 then a corrupted frame
+# on worker 0, injected latency on worker 2), and worker 1 killed while
+# the run is in flight. The coordinator must retry, reassign and degrade
+# as needed — and the export must still be byte-identical.
+for i in 0 1 2; do
+  "$tmp/phasechar" -quiet -addr 127.0.0.1:0 serve > "$tmp/worker$i.out" 2>&1 &
+  WORKER_PIDS="$WORKER_PIDS $!"
+done
+addrs=""
+for i in 0 1 2; do
+  addr=""
+  tries=0
+  while [ -z "$addr" ]; do
+    addr="$(sed -n 's|^phasechar: listening at http://||p' "$tmp/worker$i.out")"
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "worker $i never reported its address" >&2
+      cat "$tmp/worker$i.out" >&2
+      exit 1
+    fi
+    [ -z "$addr" ] && sleep 0.1
+  done
+  addrs="$addrs,$addr"
+done
+addrs="${addrs#,}"
+victim="$(echo "$WORKER_PIDS" | awk '{print $2}')"
+( sleep 1; kill "$victim" 2>/dev/null ) &
+"$tmp/phasechar" -quick -quiet -cache "$tmp/dcache" \
+  -workers-addr "$addrs" -merge 6 -rpc-retries 2 \
+  -rpc-faults "0:5xx,corrupt;2:delay" \
+  -report distributed_report.json export > "$tmp/distributed.json"
+cmp "$tmp/single.json" "$tmp/distributed.json"
 
 echo "verify: OK"
