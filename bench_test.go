@@ -25,6 +25,7 @@ import (
 	"repro/internal/mica"
 	"repro/internal/mica/ilp"
 	"repro/internal/mica/ppm"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/uarch"
@@ -366,6 +367,10 @@ func BenchmarkCharacterize(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := benchConfig()
+	// An installed collector keeps every iteration on the real cold
+	// path: observed runs bypass the in-process dataset memo, and this
+	// benchmark exists to price the generate+measure substrate.
+	cfg.Metrics = obs.New()
 	if err := cfg.Validate(); err != nil {
 		b.Fatal(err)
 	}
@@ -424,6 +429,8 @@ func BenchmarkFullPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := benchConfig()
+	// Keep each iteration a true end-to-end run (see BenchmarkCharacterize).
+	cfg.Metrics = obs.New()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Run(reg, cfg, nil)

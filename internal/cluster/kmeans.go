@@ -8,6 +8,16 @@
 // with per-restart seeds derived by hashing (never a shared *rand.Rand)
 // and floating-point reductions performed in a fixed chunk order, so the
 // Result is byte-identical whether Options.Workers is 1 or 64.
+//
+// The assignment inner loop — the O(n·k·d) cost center of the whole
+// analysis — runs on the shared internal/kernel primitives and a
+// Hamerly-style bounded Lloyd iteration: each row carries an upper bound
+// on the distance to its assigned center and a lower bound on the
+// distance to every other center, both widened by how far the centers
+// moved, and rows whose bounds prove the assignment unchanged skip the
+// scan over centers entirely. Bound decisions are per-row (never shared
+// across rows or workers) and the first and final passes are always
+// exact full scans, so the fit stays deterministic at any worker count.
 package cluster
 
 import (
@@ -15,7 +25,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stats"
@@ -73,6 +85,86 @@ type Result struct {
 	BIC float64
 }
 
+// lloydScratch is the pooled per-restart working set: assignment and
+// bound arrays, the center matrices and the accumulator matrix. Every
+// field is fully (re)initialized by lloyd before it is read, so a
+// recycled scratch can never leak state between restarts — which is
+// what keeps pooled runs bit-identical to fresh-allocation runs.
+type lloydScratch struct {
+	assign     []int
+	dist2      []float64 // exact d² to the assigned center where known
+	upper      []float64 // Hamerly upper bound on d(x, assigned center)
+	lower      []float64 // Hamerly lower bound on d(x, any other center)
+	centerNorm []float64
+	delta      []float64 // per-center move distance of the last update
+	centersT   []float64 // centers transposed to column-major for DotCols
+	sizes      []int
+	sums       *stats.Matrix
+	centers    *stats.Matrix
+	prev       *stats.Matrix // centers before the last update
+}
+
+var scratchPool sync.Pool
+
+// dotsPool recycles the k-sized per-worker dot-product scratch used by
+// the column scans; each ForChunks chunk takes one for its rows. The
+// pool stores *dotsBuf so the Get/Put round trip never allocates.
+var dotsPool sync.Pool
+
+type dotsBuf struct{ s []float64 }
+
+func getDots(k int) *dotsBuf {
+	db, _ := dotsPool.Get().(*dotsBuf)
+	if db == nil {
+		db = &dotsBuf{}
+	}
+	db.s = growF64(db.s, k)
+	return db
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growMatrix(m *stats.Matrix, rows, cols int) *stats.Matrix {
+	if m == nil || cap(m.Data) < rows*cols {
+		return stats.NewMatrix(rows, cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
+	return m
+}
+
+// getScratch returns a pooled scratch resized for an (n rows, k
+// clusters, d dims) restart. Contents are unspecified.
+func getScratch(n, k, d int) *lloydScratch {
+	sc, _ := scratchPool.Get().(*lloydScratch)
+	if sc == nil {
+		sc = &lloydScratch{}
+	}
+	sc.assign = growInts(sc.assign, n)
+	sc.dist2 = growF64(sc.dist2, n)
+	sc.upper = growF64(sc.upper, n)
+	sc.lower = growF64(sc.lower, n)
+	sc.centerNorm = growF64(sc.centerNorm, k)
+	sc.delta = growF64(sc.delta, k)
+	sc.centersT = growF64(sc.centersT, k*d)
+	sc.sizes = growInts(sc.sizes, k)
+	sc.sums = growMatrix(sc.sums, k, d)
+	sc.centers = growMatrix(sc.centers, k, d)
+	sc.prev = growMatrix(sc.prev, k, d)
+	return sc
+}
+
 // KMeans clusters the rows of data into k clusters. Restarts run
 // concurrently, each on a sub-seed derived from Options.Seed, and the
 // best-BIC restart wins with ties broken by restart index — so the result
@@ -88,10 +180,19 @@ func KMeans(data *stats.Matrix, k int, opts Options) (*Result, error) {
 
 	o.Metrics.Add("kmeans.restarts", int64(o.Restarts))
 	iters := o.Metrics.Counter("kmeans.lloyd_iters")
+
+	// |x|² per data row, identical across restarts: computed once and
+	// shared read-only by every restart's assignment passes.
+	dataNorm := make([]float64, data.Rows)
+	kernel.RowSquaredNorms(data.Data, data.Rows, data.Cols, dataNorm)
+
 	results := make([]*Result, o.Restarts)
+	scratches := make([]*lloydScratch, o.Restarts)
 	par.For(o.Workers, o.Restarts, func(r int) {
 		rng := rand.New(rand.NewSource(par.DeriveSeed(o.Seed, uint64(r))))
-		res := lloyd(data, k, o.MaxIters, o.Workers, rng, iters)
+		sc := getScratch(data.Rows, k, data.Cols)
+		scratches[r] = sc
+		res := lloyd(data, k, o.MaxIters, o.Workers, rng, iters, dataNorm, sc)
 		res.BIC = bic(data, res)
 		results[r] = res
 	})
@@ -102,61 +203,59 @@ func KMeans(data *stats.Matrix, k int, opts Options) (*Result, error) {
 			best = res
 		}
 	}
-	return best, nil
-}
-
-// rowNorms caches the squared L2 norm of every row of m, the |x|² term of
-// the expansion |x-c|² = |x|² - 2·x·c + |c|² used by the assignment kernel.
-func rowNorms(m *stats.Matrix) []float64 {
-	out := make([]float64, m.Rows)
-	for i := range out {
-		row := m.Row(i)
-		var s float64
-		for _, v := range row {
-			s += v * v
-		}
-		out[i] = s
+	// The winning restart's buffers belong to a pooled scratch; copy them
+	// out before every scratch goes back to the pool.
+	out := &Result{
+		K:           best.K,
+		Assignments: append([]int(nil), best.Assignments...),
+		Centers:     best.Centers.Clone(),
+		Sizes:       append([]int(nil), best.Sizes...),
+		Inertia:     best.Inertia,
+		BIC:         best.BIC,
 	}
-	return out
+	for _, sc := range scratches {
+		scratchPool.Put(sc)
+	}
+	return out, nil
 }
 
-// assignRows is the parallel Lloyd assignment kernel: for every row it
-// finds the nearest center (cached-squared-norms fast path, first center
-// wins ties) and records the squared distance to it. It returns how many
-// assignments changed. Rows are processed in fixed-grain chunks, each row
-// writing only its own assign/dist2 slot, so the output is identical for
-// any worker count.
-func assignRows(data, centers *stats.Matrix, dataNorm, centerNorm []float64, assign []int, dist2 []float64, workers int) int {
+// assignFull is the exact Lloyd assignment pass: every row scans every
+// center (kernel.Nearest2Centers, first center wins ties), records its
+// assignment, exact squared distance, and the Hamerly bounds (exact
+// distance to the winner, exact distance to the runner-up). It returns
+// how many assignments changed. Rows are processed in fixed-grain
+// chunks, each row writing only its own slots, so the output is
+// identical for any worker count.
+func assignFull(data, centers *stats.Matrix, dataNorm, centerNorm []float64, sc *lloydScratch, workers int) int {
 	n := data.Rows
 	changedParts := make([]int, par.Chunks(n, 0))
 	par.ForChunks(workers, n, 0, func(chunk, lo, hi int) {
+		db := getDots(len(centerNorm))
 		changed := 0
 		for i := lo; i < hi; i++ {
 			x := data.Row(i)
-			best, bestG := 0, math.Inf(1)
-			for c := 0; c < centers.Rows; c++ {
-				row := centers.Row(c)
-				var dot float64
-				for j, v := range x {
-					dot += v * row[j]
-				}
-				// g differs from |x-c|² by the constant |x|²; the
-				// argmin is the same and the subtraction is deferred.
-				if g := centerNorm[c] - 2*dot; g < bestG {
-					best, bestG = c, g
-				}
-			}
-			if best != assign[i] {
-				assign[i] = best
-				changed++
-			}
+			best, bestG, secondG := kernel.Nearest2CentersCols(x, sc.centersT, centerNorm, db.s)
+			// g differs from |x-c|² by the constant |x|²; the argmin is
+			// the same and the subtraction is deferred. Cancellation can
+			// push an exact 0 slightly negative, hence the clamps.
 			d2 := dataNorm[i] + bestG
 			if d2 < 0 {
-				d2 = 0 // cancellation can push an exact 0 slightly negative
+				d2 = 0
 			}
-			dist2[i] = d2
+			s2 := dataNorm[i] + secondG
+			if s2 < 0 {
+				s2 = 0
+			}
+			if best != sc.assign[i] {
+				sc.assign[i] = best
+				changed++
+			}
+			sc.dist2[i] = d2
+			sc.upper[i] = math.Sqrt(d2)
+			sc.lower[i] = math.Sqrt(s2)
 		}
 		changedParts[chunk] = changed
+		dotsPool.Put(db)
 	})
 	total := 0
 	for _, c := range changedParts {
@@ -165,98 +264,201 @@ func assignRows(data, centers *stats.Matrix, dataNorm, centerNorm []float64, ass
 	return total
 }
 
+// assignBounded is the Hamerly-bounded assignment pass. Each row first
+// widens its bounds by the center movement (upper by the assigned
+// center's move, lower by the largest move anywhere); if the upper
+// bound stays below the lower bound the assignment provably cannot
+// change and the row skips the scan. Otherwise the upper bound is
+// tightened to the exact current distance and re-tested, and only rows
+// that still overlap pay for the full scan. Every decision is a pure
+// per-row function of that row's own state, so the pass is
+// deterministic for any worker count.
+func assignBounded(data, centers *stats.Matrix, dataNorm, centerNorm []float64, sc *lloydScratch, deltaMax float64, workers int) int {
+	n, d := data.Rows, data.Cols
+	changedParts := make([]int, par.Chunks(n, 0))
+	cdata := centers.Data
+	par.ForChunks(workers, n, 0, func(chunk, lo, hi int) {
+		db := getDots(len(centerNorm))
+		changed := 0
+		for i := lo; i < hi; i++ {
+			c := sc.assign[i]
+			u := sc.upper[i] + sc.delta[c]
+			l := sc.lower[i] - deltaMax
+			if u <= l {
+				sc.upper[i], sc.lower[i] = u, l
+				continue
+			}
+			x := data.Row(i)
+			// Tighten the upper bound to the exact distance and re-test.
+			g := centerNorm[c] - 2*kernel.Dot(x, cdata[c*d:(c+1)*d])
+			d2 := dataNorm[i] + g
+			if d2 < 0 {
+				d2 = 0
+			}
+			u = math.Sqrt(d2)
+			if u <= l {
+				sc.upper[i], sc.lower[i] = u, l
+				sc.dist2[i] = d2
+				continue
+			}
+			best, bestG, secondG := kernel.Nearest2CentersCols(x, sc.centersT, centerNorm, db.s)
+			bd2 := dataNorm[i] + bestG
+			if bd2 < 0 {
+				bd2 = 0
+			}
+			s2 := dataNorm[i] + secondG
+			if s2 < 0 {
+				s2 = 0
+			}
+			if best != c {
+				sc.assign[i] = best
+				changed++
+			}
+			sc.dist2[i] = bd2
+			sc.upper[i] = math.Sqrt(bd2)
+			sc.lower[i] = math.Sqrt(s2)
+		}
+		changedParts[chunk] = changed
+		dotsPool.Put(db)
+	})
+	total := 0
+	for _, c := range changedParts {
+		total += c
+	}
+	return total
+}
+
+// exactAssignedDist2 refreshes dist2 with the exact squared distance of
+// every row to its currently assigned center — needed before an
+// empty-cluster reseed, where bounded rows may hold stale values.
+func exactAssignedDist2(data, centers *stats.Matrix, dataNorm, centerNorm []float64, sc *lloydScratch, workers int) {
+	n, d := data.Rows, data.Cols
+	cdata := centers.Data
+	par.ForChunks(workers, n, 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := sc.assign[i]
+			x := data.Row(i)
+			d2 := dataNorm[i] + centerNorm[c] - 2*kernel.Dot(x, cdata[c*d:(c+1)*d])
+			if d2 < 0 {
+				d2 = 0
+			}
+			sc.dist2[i] = d2
+		}
+	})
+}
+
 // lloyd runs one k-means fit with k-means++ seeding. Seeding and center
 // updates are serial (they are O(n·d), dwarfed by the O(n·k·d) assignment
 // passes, and seeding is inherently sequential in rng consumption); the
 // assignment and inertia passes fan out over workers. iters (possibly a
 // nil no-op sink) receives the number of Lloyd iterations executed.
-func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand, iters *obs.Counter) *Result {
+// dataNorm carries the shared row-norm cache; sc supplies every working
+// buffer, and the returned Result aliases sc (KMeans copies the winner
+// out before recycling).
+func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand, iters *obs.Counter, dataNorm []float64, sc *lloydScratch) *Result {
 	n, d := data.Rows, data.Cols
-	centers := seedPlusPlus(data, k, rng)
-	assign := make([]int, n)
-	for i := range assign {
-		assign[i] = -1
+	centers := sc.centers
+	seedPlusPlus(data, k, rng, centers, sc.dist2)
+	for i := range sc.assign {
+		sc.assign[i] = -1
 	}
-	dist2 := make([]float64, n)
-	dataNorm := rowNorms(data)
-	centerNorm := make([]float64, k)
+	centerNorm := sc.centerNorm
+	// The column scans need the centers' norms and the transposed
+	// (column-major) layout refreshed together after every move.
 	updateCenterNorms := func() {
-		for c := 0; c < k; c++ {
-			row := centers.Row(c)
-			var s float64
-			for _, v := range row {
-				s += v * v
-			}
-			centerNorm[c] = s
-		}
+		kernel.RowSquaredNorms(centers.Data, k, d, centerNorm)
+		kernel.Transpose(centers.Data, k, d, sc.centersT)
 	}
-	sizes := make([]int, k)
-	sums := stats.NewMatrix(k, d)
+	updateCenterNorms()
 
+	var deltaMax float64
 	for iter := 0; iter < maxIters; iter++ {
-		updateCenterNorms()
-		changed := assignRows(data, centers, dataNorm, centerNorm, assign, dist2, workers)
+		var changed int
+		if iter == 0 {
+			changed = assignFull(data, centers, dataNorm, centerNorm, sc, workers)
+		} else {
+			changed = assignBounded(data, centers, dataNorm, centerNorm, sc, deltaMax, workers)
+		}
 		iters.Inc()
 		if changed == 0 && iter > 0 {
 			break
 		}
 		// Recompute centers.
-		for i := range sums.Data {
-			sums.Data[i] = 0
+		for i := range sc.sums.Data {
+			sc.sums.Data[i] = 0
 		}
-		for i := range sizes {
-			sizes[i] = 0
+		for i := range sc.sizes {
+			sc.sizes[i] = 0
 		}
 		for i := 0; i < n; i++ {
-			c := assign[i]
-			sizes[c]++
-			row := data.Row(i)
-			dst := sums.Row(c)
-			for j, v := range row {
-				dst[j] += v
+			c := sc.assign[i]
+			sc.sizes[c]++
+			kernel.Add(sc.sums.Row(c), data.Row(i))
+		}
+		hasEmpty := false
+		for _, s := range sc.sizes {
+			if s == 0 {
+				hasEmpty = true
+				break
 			}
 		}
+		if hasEmpty {
+			// Reseeds pick the point farthest from its assigned center;
+			// bounded rows may hold stale distances, so refresh them
+			// against the centers the assignment pass used.
+			exactAssignedDist2(data, centers, dataNorm, centerNorm, sc, workers)
+		}
+		copy(sc.prev.Data, centers.Data)
 		for c := 0; c < k; c++ {
-			if sizes[c] == 0 {
+			if sc.sizes[c] == 0 {
 				// Re-seed an empty cluster at the point farthest from
-				// its assigned center, reusing the assignment pass's
-				// cached distances instead of recomputing n distances
-				// per empty cluster. Zeroing the winner keeps a second
+				// its assigned center. Zeroing the winner keeps a second
 				// empty cluster from grabbing the same point.
 				far, farDist := 0, -1.0
-				for i, dd := range dist2 {
+				for i, dd := range sc.dist2 {
 					if dd > farDist {
 						far, farDist = i, dd
 					}
 				}
 				copy(centers.Row(c), data.Row(far))
-				dist2[far] = 0
+				sc.dist2[far] = 0
 				continue
 			}
-			src := sums.Row(c)
+			src := sc.sums.Row(c)
 			dst := centers.Row(c)
-			inv := 1 / float64(sizes[c])
+			inv := 1 / float64(sc.sizes[c])
 			for j := range dst {
 				dst[j] = src[j] * inv
 			}
 		}
+		// How far every center moved, for the next pass's bound updates.
+		deltaMax = 0
+		for c := 0; c < k; c++ {
+			dc := kernel.Distance(sc.prev.Row(c), centers.Row(c))
+			sc.delta[c] = dc
+			if dc > deltaMax {
+				deltaMax = dc
+			}
+		}
+		updateCenterNorms()
 	}
 
-	// Final assignment pass and inertia, the latter reduced from
-	// per-chunk partials in chunk order (worker-count independent).
-	updateCenterNorms()
-	assignRows(data, centers, dataNorm, centerNorm, assign, dist2, workers)
-	for i := range sizes {
-		sizes[i] = 0
+	// Final exact assignment pass and inertia, the latter reduced from
+	// per-chunk partials in chunk order (worker-count independent). The
+	// full scan also guarantees the returned assignments and distances
+	// are exact regardless of how the bounds steered the iteration.
+	assignFull(data, centers, dataNorm, centerNorm, sc, workers)
+	for i := range sc.sizes {
+		sc.sizes[i] = 0
 	}
-	for _, c := range assign {
-		sizes[c]++
+	for _, c := range sc.assign {
+		sc.sizes[c]++
 	}
 	inertiaParts := make([]float64, par.Chunks(n, 0))
 	par.ForChunks(workers, n, 0, func(chunk, lo, hi int) {
 		var s float64
 		for i := lo; i < hi; i++ {
-			s += dist2[i]
+			s += sc.dist2[i]
 		}
 		inertiaParts[chunk] = s
 	})
@@ -264,30 +466,28 @@ func lloyd(data *stats.Matrix, k, maxIters, workers int, rng *rand.Rand, iters *
 	for _, p := range inertiaParts {
 		inertia += p
 	}
-	return &Result{K: k, Assignments: assign, Centers: centers, Sizes: sizes, Inertia: inertia}
+	return &Result{K: k, Assignments: sc.assign, Centers: centers, Sizes: sc.sizes, Inertia: inertia}
 }
 
-// seedPlusPlus selects k initial centers with the k-means++ D² weighting.
-func seedPlusPlus(data *stats.Matrix, k int, rng *rand.Rand) *stats.Matrix {
-	n, d := data.Rows, data.Cols
-	centers := stats.NewMatrix(k, d)
+// seedPlusPlus selects k initial centers with the k-means++ D² weighting,
+// writing them into centers and using dist2 as its D² working array.
+func seedPlusPlus(data *stats.Matrix, k int, rng *rand.Rand, centers *stats.Matrix, dist2 []float64) {
+	n := data.Rows
 	first := rng.Intn(n)
 	copy(centers.Row(0), data.Row(first))
 
-	dist2 := make([]float64, n)
 	for i := 0; i < n; i++ {
-		dd := stats.EuclideanDistance(data.Row(i), centers.Row(0))
-		dist2[i] = dd * dd
+		dist2[i] = kernel.SquaredDistance(data.Row(i), centers.Row(0))
 	}
 	for c := 1; c < k; c++ {
 		var total float64
-		for _, v := range dist2 {
+		for _, v := range dist2[:n] {
 			total += v
 		}
 		idx := 0
 		if total > 0 {
 			x := rng.Float64() * total
-			for i, v := range dist2 {
+			for i, v := range dist2[:n] {
 				if x < v {
 					idx = i
 					break
@@ -299,13 +499,11 @@ func seedPlusPlus(data *stats.Matrix, k int, rng *rand.Rand) *stats.Matrix {
 		}
 		copy(centers.Row(c), data.Row(idx))
 		for i := 0; i < n; i++ {
-			dd := stats.EuclideanDistance(data.Row(i), centers.Row(c))
-			if d2 := dd * dd; d2 < dist2[i] {
+			if d2 := kernel.SquaredDistance(data.Row(i), centers.Row(c)); d2 < dist2[i] {
 				dist2[i] = d2
 			}
 		}
 	}
-	return centers
 }
 
 // bic scores a clustering with the spherical-Gaussian Bayesian Information
@@ -337,7 +535,9 @@ func bic(data *stats.Matrix, res *Result) float64 {
 
 // Representatives returns, for each cluster, the index of the data row
 // closest to the cluster center — the paper's per-cluster representative
-// instruction interval.
+// instruction interval. It uses the same cached-norm expansion as the
+// assignment kernel (|x-c|² = |x|² - 2·x·c + |c|², squared distances
+// compare monotonically) instead of a per-row euclid call.
 func (r *Result) Representatives(data *stats.Matrix) []int {
 	reps := make([]int, r.K)
 	best := make([]float64, r.K)
@@ -345,11 +545,17 @@ func (r *Result) Representatives(data *stats.Matrix) []int {
 		reps[c] = -1
 		best[c] = math.Inf(1)
 	}
+	centerNorm := make([]float64, r.K)
+	kernel.RowSquaredNorms(r.Centers.Data, r.K, r.Centers.Cols, centerNorm)
 	for i := 0; i < data.Rows; i++ {
 		c := r.Assignments[i]
-		d := stats.EuclideanDistance(data.Row(i), r.Centers.Row(c))
-		if d < best[c] {
-			best[c] = d
+		row := data.Row(i)
+		d2 := kernel.SquaredNorm(row) + centerNorm[c] - 2*kernel.Dot(row, r.Centers.Row(c))
+		if d2 < 0 {
+			d2 = 0
+		}
+		if d2 < best[c] {
+			best[c] = d2
 			reps[c] = i
 		}
 	}
@@ -390,14 +596,23 @@ func (r *Result) ByWeight() []int {
 
 // AvgWithinClusterDistance returns the mean distance of points to their
 // cluster center — the "variability within each cluster" of the paper's
-// coverage/variability trade-off.
+// coverage/variability trade-off. Like Representatives, it reuses cached
+// center norms rather than recomputing a euclid difference per row.
 func (r *Result) AvgWithinClusterDistance(data *stats.Matrix) float64 {
 	if data.Rows == 0 {
 		return 0
 	}
+	centerNorm := make([]float64, r.K)
+	kernel.RowSquaredNorms(r.Centers.Data, r.K, r.Centers.Cols, centerNorm)
 	var total float64
 	for i := 0; i < data.Rows; i++ {
-		total += stats.EuclideanDistance(data.Row(i), r.Centers.Row(r.Assignments[i]))
+		c := r.Assignments[i]
+		row := data.Row(i)
+		d2 := kernel.SquaredNorm(row) + centerNorm[c] - 2*kernel.Dot(row, r.Centers.Row(c))
+		if d2 < 0 {
+			d2 = 0
+		}
+		total += math.Sqrt(d2)
 	}
 	return total / float64(data.Rows)
 }

@@ -31,7 +31,13 @@ import (
 // payload itself, so a shard produced under a different schema is
 // rejected by the decoder even when it arrives outside the keyed cache
 // (e.g. over the shardnet wire).
-const engineSchemaVersion = 2
+// v3: analysis kernels moved to internal/kernel's blocked reductions
+// (fixed four-lane and serial-column orders), which reorders
+// floating-point sums in k-means, PCA projection and distance
+// computations; matrices encode with the self-aligning padded layout.
+// Values derived under v2 are numerically equivalent but not bit-equal,
+// so they must miss.
+const engineSchemaVersion = 3
 
 // artifactVersion combines the measurement-kernel schema with the engine
 // schema: a change to either invalidates every stage artifact.

@@ -99,6 +99,16 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		return nil, fmt.Errorf("core: no intervals to characterize")
 	}
 
+	// Repeat characterizations of the same sample in one process are
+	// served from the in-process memo (see memo.go for what a hit may
+	// and may not shortcut). Observed runs always take the real path.
+	memoKey := datasetKey(refs, cfg)
+	if cfg.Metrics == nil {
+		if ds, ok := lookupDataset(memoKey); ok {
+			return ds, nil
+		}
+	}
+
 	type key struct {
 		id    string
 		index int
@@ -130,13 +140,15 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 	for i, r := range refs {
 		copy(raw.Row(i), vectors[unique[key{r.Bench.ID(), r.Index}]])
 	}
-	return &Dataset{
+	ds := &Dataset{
 		Refs:            append([]IntervalRef(nil), refs...),
 		Raw:             raw,
 		UniqueIntervals: len(work),
 		Instructions:    instructions,
 		CacheHits:       cacheHits,
-	}, nil
+	}
+	storeDataset(memoKey, ds)
+	return ds, nil
 }
 
 // characterizeUnique is the characterization kernel shared by the

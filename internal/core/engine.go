@@ -238,6 +238,20 @@ func (e *engine) characterize(refs []IntervalRef) (*Dataset, bool, error) {
 	if len(refs) == 0 {
 		return nil, false, fmt.Errorf("core: no intervals to characterize")
 	}
+	// Unsharded, uncached, unobserved runs share the in-process dataset
+	// memo with Characterize (see memo.go): repeat pipeline runs over
+	// the same sample in one process skip the substrate regeneration.
+	// Any cache, shard or metrics involvement takes the real path so
+	// artifact, resume and observability semantics stay exact.
+	memoable := e.cache == nil && e.cfg.Metrics == nil && e.cfg.Shard.Count <= 1
+	var memoKey datasetMemoKey
+	if memoable {
+		memoKey = datasetKey(refs, e.cfg)
+		if ds, ok := lookupDataset(memoKey); ok {
+			e.markStage("characterize", false)
+			return ds, false, nil
+		}
+	}
 	plans := e.planShards(refs)
 	arts := make([]*shardArtifact, len(plans))
 	resumed := true
@@ -295,13 +309,17 @@ func (e *engine) characterize(refs []IntervalRef) (*Dataset, bool, error) {
 		copy(raw.Row(i), v)
 	}
 	mergeSpan.End()
-	return &Dataset{
+	ds := &Dataset{
 		Refs:            append([]IntervalRef(nil), refs...),
 		Raw:             raw,
 		UniqueIntervals: unique,
 		Instructions:    instructions,
 		CacheHits:       cacheHits,
-	}, resumed, nil
+	}
+	if memoable {
+		storeDataset(memoKey, ds)
+	}
+	return ds, resumed, nil
 }
 
 // ShardInfo summarizes one CharacterizeShard invocation.

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+)
+
+// In-process dataset memo.
+//
+// The experiment and benchmark drivers re-run Characterize over the very
+// same sampled refs many times per process (every figure re-derives the
+// dataset it analyzes), and the disk vector cache still pays a file read
+// per unique interval on each of those runs. A dataset is a pure
+// function of the sampled refs, the interval length and the mica schema
+// version, so the process can keep the last few characterized datasets
+// and serve repeats directly.
+//
+// The memo is deliberately conservative about what it may shortcut:
+//
+//   - Lookups are skipped when cfg.Metrics is installed: an observed run
+//     must exercise the real path so its spans and cache counters mean
+//     what they say (the cache tests pin fcache.hits == CacheHits).
+//   - cfg.Workers is part of the key, so the worker-count determinism
+//     tests still characterize at every worker count and compare real
+//     outputs instead of memo copies.
+//   - cfg.CacheDir is part of the key, so runs against different disk
+//     caches (cold/corrupt-cache tests) never observe each other.
+//
+// A hit returns a Dataset sharing the memoized Raw matrix; every caller
+// treats Raw as read-only (the analysis stages normalize into copies).
+// CacheHits on a hit reports UniqueIntervals when a cache is configured
+// (the rows were served from a cache tier — this process — rather than
+// regenerated) and 0 when no cache is, matching the field's contract.
+
+// datasetMemoKey identifies one Characterize input exactly: a fold of
+// every unique interval's (behavior hash, seed) in sample order plus the
+// dimensions and knobs that shape the result.
+type datasetMemoKey struct {
+	hash    uint64
+	rows    int
+	length  int
+	workers int
+	dir     string
+}
+
+const datasetMemoCap = 4
+
+var datasetMemo struct {
+	mu      sync.Mutex
+	entries map[datasetMemoKey]*Dataset
+	order   []datasetMemoKey // FIFO eviction
+}
+
+// foldKey mixes v into h with the SplitMix64 finalizer (the same mix the
+// fcache key uses), so refs that differ in any interval land far apart.
+func foldKey(h, v uint64) uint64 {
+	h ^= v
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// datasetKey builds the memo key for one Characterize call. It hashes
+// exactly what VectorKey covers per interval — the behavior content
+// hash and interval seed — in ref order, so any change that could alter
+// a single dataset bit changes the key.
+func datasetKey(refs []IntervalRef, cfg Config) datasetMemoKey {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, r := range refs {
+		h = foldKey(h, r.Bench.BehaviorAt(r.Index, r.Total).BehaviorHash())
+		h = foldKey(h, r.Bench.IntervalSeed(r.Index))
+	}
+	return datasetMemoKey{
+		hash:    h,
+		rows:    len(refs),
+		length:  cfg.IntervalLength,
+		workers: cfg.Workers,
+		dir:     cfg.CacheDir,
+	}
+}
+
+// lookupDataset returns a memoized dataset for k, as a fresh Dataset
+// value sharing the read-only Raw matrix.
+func lookupDataset(k datasetMemoKey) (*Dataset, bool) {
+	datasetMemo.mu.Lock()
+	defer datasetMemo.mu.Unlock()
+	ds, ok := datasetMemo.entries[k]
+	if !ok {
+		return nil, false
+	}
+	cp := *ds
+	cp.Refs = append([]IntervalRef(nil), ds.Refs...)
+	if k.dir == "" {
+		cp.CacheHits = 0
+	} else {
+		cp.CacheHits = cp.UniqueIntervals
+	}
+	return &cp, true
+}
+
+// storeDataset memoizes a freshly characterized dataset, evicting the
+// oldest entry beyond the cap.
+func storeDataset(k datasetMemoKey, ds *Dataset) {
+	datasetMemo.mu.Lock()
+	defer datasetMemo.mu.Unlock()
+	if datasetMemo.entries == nil {
+		datasetMemo.entries = make(map[datasetMemoKey]*Dataset)
+	}
+	if _, ok := datasetMemo.entries[k]; !ok {
+		datasetMemo.order = append(datasetMemo.order, k)
+		if len(datasetMemo.order) > datasetMemoCap {
+			delete(datasetMemo.entries, datasetMemo.order[0])
+			datasetMemo.order = datasetMemo.order[1:]
+		}
+	}
+	datasetMemo.entries[k] = ds
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // The paper's practical implication (section 5.3): because phases recur
@@ -69,7 +71,7 @@ func (r *Result) SimulationPoints(benchID string, maxPoints int) ([]SimPoint, er
 		best, bestD := -1, math.Inf(1)
 		center := r.Clusters.Centers.Row(c)
 		for _, i := range rows[c] {
-			d := euclid(r.Scores.Row(i), center)
+			d := stats.EuclideanDistance(r.Scores.Row(i), center)
 			if d < bestD {
 				best, bestD = i, d
 			}
@@ -87,14 +89,6 @@ func (r *Result) SimulationPoints(benchID string, maxPoints int) ([]SimPoint, er
 	return points, nil
 }
 
-func euclid(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
-}
 
 // SimPointAccuracy compares the weighted characteristic estimate from the
 // simulation points against the benchmark's true average over all sampled

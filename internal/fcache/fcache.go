@@ -30,12 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/kernel"
 	"repro/internal/obs"
 )
 
@@ -98,12 +99,16 @@ func KindName(kind uint16) string {
 	}
 }
 
-// magic identifies fcache entry files ("FCH1").
-const magic = 0x46434831
+// magic identifies fcache entry files ("FCH2"). The v2 format widened
+// the header so the payload starts 8-byte aligned; v1 ("FCH1") entries
+// miss by magic, are deleted as corrupt, and regenerate under v2.
+const magic = 0x46434832
 
 // headerSize is the fixed entry prefix: magic(4) kind(2) pad(2)
-// version(4) behavior(8) seed(8) length(8) payloadLen(8).
-const headerSize = 4 + 2 + 2 + 4 + 8 + 8 + 8 + 8
+// version(4) pad(4) behavior(8) seed(8) length(8) payloadLen(8). The
+// payload begins at a multiple of 8, so an aligned float64 block can be
+// decoded zero-copy by reinterpreting the entry buffer in place.
+const headerSize = 4 + 2 + 2 + 4 + 4 + 8 + 8 + 8 + 8
 
 // Key identifies one cached artifact.
 type Key struct {
@@ -164,9 +169,18 @@ const tempPrefix = ".put-"
 // orphan from a process that died between CreateTemp and rename.
 const staleTempAge = time.Hour
 
+// sweptDirs remembers which directories this process has already swept
+// for stale temp files, so repeated Opens of the same cache (one per
+// Characterize call on the hot path) do not re-walk the whole tree. A
+// stale temp is by definition at least an hour old; once per process is
+// plenty to reclaim it.
+var sweptDirs sync.Map // dir string -> struct{}
+
 // Open prepares a cache rooted at dir, creating it if needed. Orphaned
-// Put temp files older than an hour are swept best-effort, so a crashed
-// writer cannot leak disk forever.
+// Put temp files older than an hour are swept best-effort — at most once
+// per directory per process — so a crashed writer cannot leak disk
+// forever and a hot loop of Opens does not pay a directory walk each
+// time.
 func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("fcache: empty cache directory")
@@ -175,7 +189,9 @@ func Open(dir string) (*Cache, error) {
 		return nil, fmt.Errorf("fcache: %w", err)
 	}
 	c := &Cache{dir: dir}
-	c.swept = sweepStaleTemps(dir)
+	if _, seen := sweptDirs.LoadOrStore(dir, struct{}{}); !seen {
+		c.swept = sweepStaleTemps(dir)
+	}
 	return c, nil
 }
 
@@ -267,12 +283,12 @@ func encode(k Key, payload []byte) []byte {
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], magic)
 	le.PutUint16(buf[4:], k.Kind)
-	// buf[6:8] is zero padding.
+	// buf[6:8] and buf[12:16] are zero padding (payload alignment).
 	le.PutUint32(buf[8:], k.Version)
-	le.PutUint64(buf[12:], k.Behavior)
-	le.PutUint64(buf[20:], k.Seed)
-	le.PutUint64(buf[28:], uint64(k.Length))
-	le.PutUint64(buf[36:], uint64(len(payload)))
+	le.PutUint64(buf[16:], k.Behavior)
+	le.PutUint64(buf[24:], k.Seed)
+	le.PutUint64(buf[32:], uint64(k.Length))
+	le.PutUint64(buf[40:], uint64(len(payload)))
 	copy(buf[headerSize:], payload)
 	le.PutUint64(buf[headerSize+len(payload):], fnv1a(buf[:headerSize+len(payload)]))
 	return buf
@@ -291,9 +307,9 @@ func decode(k Key, buf []byte) ([]byte, error) {
 	got := Key{
 		Kind:     le.Uint16(buf[4:]),
 		Version:  le.Uint32(buf[8:]),
-		Behavior: le.Uint64(buf[12:]),
-		Seed:     le.Uint64(buf[20:]),
-		Length:   int64(le.Uint64(buf[28:])),
+		Behavior: le.Uint64(buf[16:]),
+		Seed:     le.Uint64(buf[24:]),
+		Length:   int64(le.Uint64(buf[32:])),
 	}
 	// The version is compared explicitly, not just as part of the whole
 	// key: an artifact produced under another schema version must never be
@@ -304,7 +320,7 @@ func decode(k Key, buf []byte) ([]byte, error) {
 	if got != k {
 		return nil, fmt.Errorf("fcache: key mismatch (stored %+v, want %+v)", got, k)
 	}
-	n := le.Uint64(buf[36:])
+	n := le.Uint64(buf[40:])
 	if n != uint64(len(buf)-headerSize-8) {
 		return nil, fmt.Errorf("fcache: payload length %d does not match file size", n)
 	}
@@ -395,20 +411,14 @@ func (c *Cache) GetVector(k Key, want int) ([]float64, bool) {
 	}
 	c.countHit(k.Kind)
 	v := make([]float64, want)
-	for i := range v {
-		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
-	}
+	kernel.CopyFloats(v, payload)
 	return v, true
 }
 
 // PutVector stores a float64 vector (bit-exact: values round-trip through
 // their IEEE-754 bits, including negative zero and NaN payloads).
 func (c *Cache) PutVector(k Key, v []float64) error {
-	payload := make([]byte, 8*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(x))
-	}
-	return c.Put(k, payload)
+	return c.Put(k, kernel.AppendFloats(make([]byte, 0, 8*len(v)), v))
 }
 
 // PutBinary stores a structured artifact (a matrix, a PCA model, a

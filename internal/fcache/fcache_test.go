@@ -206,6 +206,9 @@ func TestOpenSweepsStaleTemps(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Open sweeps each directory at most once per process; drop the memo
+	// entry so the second Open behaves like a fresh process.
+	sweptDirs.Delete(dir)
 	c2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/par"
 	"repro/internal/stats"
@@ -18,7 +19,10 @@ import (
 //
 // The returned Fitness is a pure function of its input (it only reads
 // data and the precomputed reference distances), so it is safe for the
-// concurrent evaluation Run performs when Config.Workers allows it.
+// concurrent evaluation Run performs when Config.Workers allows it: each
+// evaluation borrows a pooled stats.PCAWorkspace, so the select -> PCA
+// -> rescale -> distance chain runs on recycled buffers instead of
+// allocating ~15k objects per genome.
 //
 // minPCStd is the retention threshold for principal components (the paper
 // keeps components with standard deviation > 1).
@@ -30,17 +34,36 @@ func DistanceFitness(data *stats.Matrix, minPCStd float64) (Fitness, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ga: reference distances: %w", err)
 	}
+	var pool sync.Pool // *stats.PCAWorkspace
 	return func(selected []int) float64 {
-		reduced, err := data.SelectColumns(selected)
-		if err != nil {
-			return -1
+		ws, _ := pool.Get().(*stats.PCAWorkspace)
+		if ws == nil {
+			ws = new(stats.PCAWorkspace)
 		}
-		dist, err := rescaledDistances(reduced, minPCStd)
-		if err != nil {
-			return -1
-		}
-		return stats.Pearson(ref, dist)
+		score := evalDistanceFitness(ws, data, ref, selected, minPCStd)
+		pool.Put(ws)
+		return score
 	}, nil
+}
+
+// evalDistanceFitness scores one genome on a borrowed workspace. Every
+// intermediate result aliases ws and is fully overwritten on the next
+// evaluation; the only value that escapes is the Pearson score.
+func evalDistanceFitness(ws *stats.PCAWorkspace, data *stats.Matrix, ref []float64, selected []int, minPCStd float64) float64 {
+	reduced, err := ws.SelectColumns(data, selected)
+	if err != nil {
+		return -1
+	}
+	pca, err := ws.ComputePCA(reduced, true)
+	if err != nil {
+		return -1
+	}
+	k := pca.NumRetained(minPCStd)
+	scores, err := ws.RescaledScores(pca, reduced, k)
+	if err != nil {
+		return -1
+	}
+	return stats.Pearson(ref, ws.PairwiseDistances(scores))
 }
 
 // rescaledDistances normalizes the data, runs PCA, retains components with

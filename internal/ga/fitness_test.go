@@ -123,3 +123,35 @@ func TestGAWithDistanceFitnessEndToEnd(t *testing.T) {
 		t.Fatalf("GA-selected subset correlation %v too low (selected %v)", sel.Fitness, sel.Selected)
 	}
 }
+
+// The pooled-workspace fitness must stay within a fixed allocation
+// budget per evaluation: the select -> PCA -> rescale -> distance chain
+// runs entirely on recycled buffers, so steady-state cost is dominated
+// by sort.Slice's small fixed overhead inside ComputePCA. The ceiling
+// has headroom for an occasional GC-cleared pool, but catches any
+// regression back toward the ~15k objects/op the chain used to allocate.
+func TestDistanceFitnessAllocBudget(t *testing.T) {
+	data := phaseData(40, 20, []int{1, 6, 11}, 9)
+	fitness, err := DistanceFitness(data, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genomes := [][]int{
+		{0, 2, 3, 7},
+		{1, 4, 9, 12, 15},
+		{0, 5, 6, 11, 17, 19},
+		{2, 3, 8, 13},
+	}
+	for _, g := range genomes { // warm the workspace pool
+		fitness(g)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		fitness(genomes[i%len(genomes)])
+		i++
+	})
+	const budget = 25
+	if avg > budget {
+		t.Fatalf("fitness evaluation averages %.1f allocs, budget %d", avg, budget)
+	}
+}

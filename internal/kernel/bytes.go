@@ -1,0 +1,77 @@
+// Float64 block codecs: the byte-level counterparts of the math
+// kernels. Artifact payloads store float64 blocks as little-endian
+// IEEE-754 bits; on little-endian hosts a block is the in-memory
+// representation, so decoding can be a single bulk copy — or, when the
+// source bytes are 8-aligned, a zero-copy reinterpretation. Big-endian
+// hosts (and misaligned sources) fall back to the per-element scalar
+// codec, so the on-disk format is identical everywhere.
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host stores float64 values in
+// the same byte order as the on-disk format (little-endian), decided
+// once at init.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
+
+// AliasFloats reinterprets the first 8*n bytes of b as a []float64
+// without copying. It succeeds only when the host is little-endian and
+// b's backing storage is 8-byte aligned; otherwise it returns ok=false
+// and the caller must fall back to CopyFloats. The returned slice
+// aliases b: it is valid exactly as long as b's backing array, and
+// writes through either are visible in both.
+func AliasFloats(b []byte, n int) ([]float64, bool) {
+	if n == 0 {
+		return []float64{}, true
+	}
+	if !hostLittleEndian || n < 0 || len(b) < 8*n {
+		return nil, false
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(p), n), true
+}
+
+// CopyFloats decodes len(dst) little-endian float64 values from b into
+// dst. On little-endian hosts this is one bulk copy; elsewhere it is
+// the scalar per-element decode. b must hold at least 8*len(dst) bytes.
+func CopyFloats(dst []float64, b []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	if len(b) < 8*len(dst) {
+		panic("kernel: float block truncated")
+	}
+	if hostLittleEndian {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(dst))), 8*len(dst))
+		copy(raw, b)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// AppendFloats appends the little-endian encoding of xs to buf. On
+// little-endian hosts this is one bulk append; elsewhere it is the
+// scalar per-element encode. Values round-trip bit-exactly (including
+// negative zero and NaN payloads).
+func AppendFloats(buf []byte, xs []float64) []byte {
+	if len(xs) == 0 {
+		return buf
+	}
+	if hostLittleEndian {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(xs))), 8*len(xs))
+		return append(buf, raw...)
+	}
+	for _, v := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}

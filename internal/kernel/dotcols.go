@@ -1,0 +1,109 @@
+// Column-blocked center scan. The k-means assignment loop is the one
+// place in the repo where scalar code cannot reach the hardware: a
+// row-major scan is a chain of short dot products whose 2-loads+1-mul+
+// 1-add per element saturate the scalar FP ports at ~1 multiply-add per
+// cycle. Storing the centers transposed (column-major, d rows of k
+// contiguous values) turns the scan into a rank-1 update — for each
+// coordinate j, add x[j]*column_j to a running vector of k partial dots
+// — which SIMD units execute four centers at a time.
+//
+// Determinism contract: out[c] is the strictly serial, ascending-j sum
+// of x[j]*ct[j*k+c]. Vector lanes hold *different centers*, never
+// partial sums of one center, so the SIMD path performs the exact same
+// additions in the exact same order as the scalar path and the results
+// are bit-identical on every platform (FMA is not used for the same
+// reason). This is unlike the 4-wide lane-split kernels in kernel.go,
+// whose documented reduction order is (s0+s1)+(s2+s3).
+
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// DotCols fills out[c], c in [0,k), with the dot product of x against
+// column c of the len(x) x k row-major matrix ct (i.e. ct holds one row
+// of k values per coordinate of x — a transposed centers block). The
+// per-column sum order is strictly ascending in the coordinate index,
+// identical on the SIMD and scalar paths.
+func DotCols(x, ct, out []float64, k int) {
+	if len(ct) < len(x)*k || len(out) < k {
+		panic(fmt.Sprintf("kernel: dotcols of dim %d over %d columns needs %d values and %d slots, have %d and %d",
+			len(x), k, len(x)*k, k, len(ct), len(out)))
+	}
+	dotCols(x, ct, out, k)
+}
+
+// dotColsGeneric is the portable implementation and the bit-exact
+// reference for the assembly path.
+func dotColsGeneric(x, ct, out []float64, k int) {
+	out = out[:k]
+	for c := range out {
+		out[c] = 0
+	}
+	for j, xj := range x {
+		row := ct[j*k : (j+1)*k : (j+1)*k]
+		c := 0
+		// 4 independent accumulator chains across centers; each
+		// center's own sum still grows by exactly one add per j.
+		for ; c+4 <= k; c += 4 {
+			out[c] += xj * row[c]
+			out[c+1] += xj * row[c+1]
+			out[c+2] += xj * row[c+2]
+			out[c+3] += xj * row[c+3]
+		}
+		for ; c < k; c++ {
+			out[c] += xj * row[c]
+		}
+	}
+}
+
+// NearestCenterCols is NearestCenter over a transposed centers block:
+// ct is column-major (len(x) rows of k contiguous values) and dots is a
+// k-sized scratch slice. Ties break to the lowest center index, and the
+// g values use the serial-sum DotCols order (not the 4-lane order of
+// NearestCenter), so the two scans are distinct deterministic functions.
+func NearestCenterCols(x, ct, norms, dots []float64) (int, float64) {
+	k := len(norms)
+	DotCols(x, ct, dots, k)
+	best, bestG := 0, math.Inf(1)
+	for c := 0; c < k; c++ {
+		if g := norms[c] - 2*dots[c]; g < bestG {
+			best, bestG = c, g
+		}
+	}
+	return best, bestG
+}
+
+// Nearest2CentersCols extends NearestCenterCols with the second-smallest
+// g, matching the tie semantics of Nearest2Centers.
+func Nearest2CentersCols(x, ct, norms, dots []float64) (int, float64, float64) {
+	k := len(norms)
+	DotCols(x, ct, dots, k)
+	best := 0
+	bestG, secondG := math.Inf(1), math.Inf(1)
+	for c := 0; c < k; c++ {
+		g := norms[c] - 2*dots[c]
+		if g < bestG {
+			best, secondG, bestG = c, bestG, g
+		} else if g < secondG {
+			secondG = g
+		}
+	}
+	return best, bestG, secondG
+}
+
+// Transpose fills ct (column-major, cols rows of `rows` values) from the
+// rows x cols row-major matrix data, the layout DotCols consumes.
+func Transpose(data []float64, rows, cols int, ct []float64) {
+	if len(data) < rows*cols || len(ct) < rows*cols {
+		panic(fmt.Sprintf("kernel: transpose of %dx%d over %d and %d values", rows, cols, len(data), len(ct)))
+	}
+	for i := 0; i < rows; i++ {
+		row := data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			ct[j*rows+i] = v
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// AVX2 column-block dot kernel. See dotcols_amd64.go for the contract:
+// out[c] = sum over j (ascending) of x[j] * ct[j*k + c], for c in
+// [0, k&^3). Each center's sum is accumulated strictly in ascending j
+// order (one VADDPD per j per lane group), so the result is
+// bit-identical to the scalar column loop in dotcols.go — vector lanes
+// hold different centers, never partial sums of one center, so no
+// floating-point reassociation happens. FMA is deliberately not used:
+// it would round differently from the scalar mul-then-add.
+
+#include "textflag.h"
+
+// func dotColsAVX2(x *float64, d int, ct *float64, k int, out *float64)
+TEXT ·dotColsAVX2(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), SI
+	MOVQ d+8(FP), DX
+	MOVQ ct+16(FP), BX
+	MOVQ k+24(FP), CX
+	MOVQ out+32(FP), DI
+
+	MOVQ CX, R8
+	ANDQ $-4, R8       // R8 = k &^ 3, centers handled here
+	XORQ R9, R9        // c = 0
+	TESTQ DX, DX
+	JZ   zerotail      // d == 0: every dot is 0
+
+block16:
+	MOVQ R8, R10
+	SUBQ R9, R10
+	CMPQ R10, $16
+	JLT  block4        // fewer than 16 centers left
+
+	LEAQ (BX)(R9*8), R11   // &ct[c], walks down the columns by k
+	VXORPD Y0, Y0, Y0      // accumulators: centers c+0..3, 4..7, 8..11, 12..15
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ SI, R12           // &x[0]
+	MOVQ DX, R13           // j countdown
+
+j16:
+	VBROADCASTSD (R12), Y4
+	VMOVUPD (R11), Y5
+	VMOVUPD 32(R11), Y6
+	VMOVUPD 64(R11), Y7
+	VMOVUPD 96(R11), Y8
+	VMULPD Y4, Y5, Y5
+	VMULPD Y4, Y6, Y6
+	VMULPD Y4, Y7, Y7
+	VMULPD Y4, Y8, Y8
+	VADDPD Y5, Y0, Y0
+	VADDPD Y6, Y1, Y1
+	VADDPD Y7, Y2, Y2
+	VADDPD Y8, Y3, Y3
+	ADDQ $8, R12
+	LEAQ (R11)(CX*8), R11  // next matrix row of the same columns
+	DECQ R13
+	JNZ  j16
+
+	LEAQ (DI)(R9*8), AX
+	VMOVUPD Y0, (AX)
+	VMOVUPD Y1, 32(AX)
+	VMOVUPD Y2, 64(AX)
+	VMOVUPD Y3, 96(AX)
+	ADDQ $16, R9
+	JMP  block16
+
+block4:
+	CMPQ R9, R8
+	JGE  done
+
+	LEAQ (BX)(R9*8), R11
+	VXORPD Y0, Y0, Y0
+	MOVQ SI, R12
+	MOVQ DX, R13
+
+j4:
+	VBROADCASTSD (R12), Y4
+	VMOVUPD (R11), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ $8, R12
+	LEAQ (R11)(CX*8), R11
+	DECQ R13
+	JNZ  j4
+
+	LEAQ (DI)(R9*8), AX
+	VMOVUPD Y0, (AX)
+	ADDQ $4, R9
+	JMP  block4
+
+zerotail:
+	CMPQ R9, R8
+	JGE  done
+	MOVQ $0, (DI)(R9*8)
+	INCQ R9
+	JMP  zerotail
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package kernel
+
+func dotCols(x, ct, out []float64, k int) {
+	dotColsGeneric(x, ct, out, k)
+}

@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The active dotCols path (assembly where available) must be
+// bit-identical to the generic serial-order reference for every (d, k)
+// shape: main blocks, 4-wide blocks, scalar tails and empty inputs.
+func TestDotColsBitIdenticalToGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, d := range []int{0, 1, 2, 5, 15, 16, 69} {
+		for _, k := range []int{1, 2, 3, 4, 5, 15, 16, 17, 31, 32, 33, 300} {
+			x := randVec(rng, d)
+			ct := randVec(rng, d*k)
+			got := make([]float64, k)
+			want := make([]float64, k)
+			DotCols(x, ct, got, k)
+			dotColsGeneric(x, ct, want, k)
+			for c := range want {
+				if math.Float64bits(got[c]) != math.Float64bits(want[c]) {
+					t.Fatalf("d=%d k=%d col %d: %x vs %x", d, k, c, got[c], want[c])
+				}
+			}
+		}
+	}
+}
+
+// DotCols must agree with per-column Dot products up to round-off (it
+// sums serially, Dot in 4-wide lanes) and exactly with a serial sum.
+func TestDotColsMatchesColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d, k := 15, 37
+	x := randVec(rng, d)
+	ct := randVec(rng, d*k)
+	out := make([]float64, k)
+	DotCols(x, ct, out, k)
+	for c := 0; c < k; c++ {
+		var want float64
+		for j := 0; j < d; j++ {
+			want += x[j] * ct[j*k+c]
+		}
+		if out[c] != want {
+			t.Fatalf("col %d: got %v, want serial %v", c, out[c], want)
+		}
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rows, cols := 11, 7
+	data := randVec(rng, rows*cols)
+	ct := make([]float64, rows*cols)
+	Transpose(data, rows, cols, ct)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if ct[j*rows+i] != data[i*cols+j] {
+				t.Fatalf("(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+// The transposed scan must agree with the row-major scan on the argmin
+// (ties and round-off permitting: the test uses well-separated random
+// centers, where the two deterministic sums always agree on the winner).
+func TestNearestCenterColsMatchesRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const k, d = 23, 15
+	centers := randVec(rng, k*d)
+	ct := make([]float64, k*d)
+	Transpose(centers, k, d, ct)
+	norms := make([]float64, k)
+	RowSquaredNorms(centers, k, d, norms)
+	dots := make([]float64, k)
+	for trial := 0; trial < 50; trial++ {
+		x := randVec(rng, d)
+		wantBest, _ := NearestCenter(x, centers, norms)
+		best, bestG := NearestCenterCols(x, ct, norms, dots)
+		if best != wantBest {
+			t.Fatalf("trial %d: cols scan picked %d, row scan %d", trial, best, wantBest)
+		}
+		b2, g2, s2 := Nearest2CentersCols(x, ct, norms, dots)
+		if b2 != best || g2 != bestG {
+			t.Fatalf("trial %d: Nearest2CentersCols best (%d,%v) vs (%d,%v)", trial, b2, g2, best, bestG)
+		}
+		if s2 < g2 {
+			t.Fatalf("trial %d: second %v below best %v", trial, s2, g2)
+		}
+	}
+}
+
+func BenchmarkNearestCenterCols(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const k, d = 300, 15
+	centers := randVec(rng, k*d)
+	ct := make([]float64, k*d)
+	Transpose(centers, k, d, ct)
+	norms := make([]float64, k)
+	RowSquaredNorms(centers, k, d, norms)
+	x := randVec(rng, d)
+	dots := make([]float64, k)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NearestCenterCols(x, ct, norms, dots)
+	}
+}

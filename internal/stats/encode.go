@@ -11,21 +11,42 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"repro/internal/kernel"
 )
 
-// matrixEncodingSize is the encoded size of a matrix: rows, cols (u32
-// each) plus the row-major float64 data.
-func matrixEncodingSize(m *Matrix) int { return 8 + 8*len(m.Data) }
+// The matrix wire layout is self-aligning: rows, cols and the pad length
+// (u32 each) are followed by padLen zero bytes chosen by the encoder so
+// the float64 block starts at a buffer offset that is a multiple of 8.
+// Combined with the storage layer placing payloads at 8-aligned file
+// offsets (fcache's FCH2 header), the decoder can usually reinterpret
+// the float block in place — one kernel.AliasFloats call instead of a
+// per-element byte-shuffling loop. When the block lands misaligned (a
+// foreign framing layer, a sub-slice at an odd offset), the decoder
+// falls back to a bulk copy; the decoded values are identical either
+// way, only the sharing differs.
+
+// matrixEncodingSize bounds the encoded size of a matrix: rows, cols,
+// padLen (u32 each), up to 7 pad bytes, and the row-major float64 data.
+func matrixEncodingSize(m *Matrix) int { return 12 + 7 + 8*len(m.Data) }
+
+// matrixPad returns the pad length that 8-aligns a float block appended
+// after a 12-byte matrix header written at buffer offset off.
+func matrixPad(off int) int { return (8 - (off+12)%8) % 8 }
 
 // AppendBinary appends m's encoding to buf and returns the extended
-// slice, for callers composing a matrix into a larger artifact.
+// slice, for callers composing a matrix into a larger artifact. The pad
+// is computed from len(buf), so the float block is 8-aligned relative to
+// the start of the composed encoding.
 func (m *Matrix) AppendBinary(buf []byte) []byte {
+	pad := matrixPad(len(buf))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
-	for _, v := range m.Data {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pad))
+	for i := 0; i < pad; i++ {
+		buf = append(buf, 0)
 	}
-	return buf
+	return kernel.AppendFloats(buf, m.Data)
 }
 
 // MarshalBinary encodes the matrix (encoding.BinaryMarshaler).
@@ -35,30 +56,44 @@ func (m *Matrix) MarshalBinary() ([]byte, error) {
 
 // DecodeMatrix consumes one encoded matrix from the front of buf and
 // returns it with the remaining bytes, for callers decoding composed
-// artifacts.
+// artifacts. When the float block is 8-aligned in memory the returned
+// matrix aliases buf (zero-copy) — callers that mutate the result while
+// also reusing buf must Clone it first; the pipeline's decoded artifacts
+// are read-only, so the fast path is the norm.
 func DecodeMatrix(buf []byte) (*Matrix, []byte, error) {
-	if len(buf) < 8 {
+	if len(buf) < 12 {
 		return nil, nil, fmt.Errorf("stats: matrix header truncated (%d bytes)", len(buf))
 	}
 	rows := int(binary.LittleEndian.Uint32(buf))
 	cols := int(binary.LittleEndian.Uint32(buf[4:]))
+	pad := int(binary.LittleEndian.Uint32(buf[8:]))
+	if pad > 7 {
+		return nil, nil, fmt.Errorf("stats: matrix pad %d out of range [0,7]", pad)
+	}
+	if len(buf) < 12+pad {
+		return nil, nil, fmt.Errorf("stats: matrix pad truncated (%d bytes)", len(buf))
+	}
+	body := buf[12+pad:]
 	// Bound rows*cols by the bytes actually present before multiplying:
 	// two hostile u32 dimensions can overflow the product (and a huge
 	// honest product would be an allocation bomb), so an undersized
 	// payload must be rejected without ever computing rows*cols.
-	avail := (len(buf) - 8) / 8
+	avail := len(body) / 8
 	if rows < 0 || cols < 0 || (cols > 0 && rows > avail/cols) {
 		return nil, nil, fmt.Errorf("stats: %dx%d matrix does not fit %d bytes", rows, cols, len(buf))
 	}
 	n := rows * cols
-	if len(buf) < 8+8*n {
-		return nil, nil, fmt.Errorf("stats: %dx%d matrix needs %d bytes, have %d", rows, cols, 8+8*n, len(buf))
+	if len(body) < 8*n {
+		return nil, nil, fmt.Errorf("stats: %dx%d matrix needs %d bytes, have %d", rows, cols, 12+pad+8*n, len(buf))
 	}
-	m := NewMatrix(rows, cols)
-	for i := range m.Data {
-		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8+8*i:]))
+	m := &Matrix{Rows: rows, Cols: cols}
+	if data, ok := kernel.AliasFloats(body, n); ok {
+		m.Data = data
+	} else {
+		m.Data = make([]float64, n)
+		kernel.CopyFloats(m.Data, body)
 	}
-	return m, buf[8+8*n:], nil
+	return m, body[8*n:], nil
 }
 
 // UnmarshalBinary decodes the matrix (encoding.BinaryUnmarshaler),
@@ -78,13 +113,12 @@ func (m *Matrix) UnmarshalBinary(data []byte) error {
 // appendF64s appends a length-prefixed float64 slice.
 func appendF64s(buf []byte, xs []float64) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
-	for _, v := range xs {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-	}
-	return buf
+	return kernel.AppendFloats(buf, xs)
 }
 
-// decodeF64s consumes a length-prefixed float64 slice.
+// decodeF64s consumes a length-prefixed float64 slice. These slices are
+// small (per-column statistics, eigenvalues), so they always copy;
+// zero-copy aliasing is reserved for the matrix float blocks.
 func decodeF64s(buf []byte) ([]float64, []byte, error) {
 	if len(buf) < 4 {
 		return nil, nil, fmt.Errorf("stats: slice header truncated")
@@ -94,9 +128,7 @@ func decodeF64s(buf []byte) ([]float64, []byte, error) {
 		return nil, nil, fmt.Errorf("stats: %d-element slice needs %d bytes, have %d", n, 4+8*n, len(buf))
 	}
 	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[4+8*i:]))
-	}
+	kernel.CopyFloats(xs, buf[4:])
 	return xs, buf[4+8*n:], nil
 }
 

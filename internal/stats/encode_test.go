@@ -2,9 +2,12 @@ package stats
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/kernel"
 )
 
 func testMatrix(rows, cols int, seed int64) *Matrix {
@@ -65,6 +68,86 @@ func TestMatrixDecodeRejectsDamage(t *testing.T) {
 	}
 	if dec.Rows != m.Rows || !bytes.Equal(rest, tail) {
 		t.Fatalf("DecodeMatrix rest = %v, want %v", rest, tail)
+	}
+}
+
+// TestDecodeMatrixZeroCopyAlias pins the fast path: when the float block
+// is 8-aligned in memory, the decoded matrix aliases the input buffer
+// instead of copying it.
+func TestDecodeMatrixZeroCopyAlias(t *testing.T) {
+	m := testMatrix(6, 9, 7)
+	buf, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeMatrix(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := int(binary.LittleEndian.Uint32(buf[8:]))
+	body := buf[12+pad:]
+	alias, ok := kernel.AliasFloats(body, len(m.Data))
+	if !ok {
+		t.Skip("platform cannot alias float blocks; fallback path covered elsewhere")
+	}
+	if &got.Data[0] != &alias[0] {
+		t.Fatal("aligned decode did not alias the input buffer")
+	}
+	// The alias is live: flipping a payload bit must show through.
+	buf[12+pad] ^= 1
+	if math.Float64bits(got.Data[0]) == math.Float64bits(m.Data[0]) {
+		t.Fatal("decoded data did not observe a buffer mutation; not zero-copy")
+	}
+}
+
+// TestDecodeMatrixMisalignedFallsBack shifts an honest encoding to every
+// odd offset inside a larger buffer; the decoder must fall back to the
+// copying path and still produce bit-identical values, never panic.
+func TestDecodeMatrixMisalignedFallsBack(t *testing.T) {
+	m := testMatrix(5, 3, 8)
+	m.Data[0] = math.NaN()
+	m.Data[1] = math.Copysign(0, -1)
+	buf, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 1; off <= 7; off++ {
+		shifted := make([]byte, off+len(buf))
+		copy(shifted[off:], buf)
+		got, rest, err := DecodeMatrix(shifted[off:])
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if len(rest) != 0 || got.Rows != m.Rows || got.Cols != m.Cols {
+			t.Fatalf("offset %d: decoded %dx%d with %d trailing bytes", off, got.Rows, got.Cols, len(rest))
+		}
+		for i := range m.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(m.Data[i]) {
+				t.Fatalf("offset %d element %d: %x != %x", off, i, math.Float64bits(got.Data[i]), math.Float64bits(m.Data[i]))
+			}
+		}
+	}
+}
+
+// TestDecodeMatrixRejectsBadPad corrupts the pad field: values outside
+// [0,7] and pads that run past the buffer must error, not misparse.
+func TestDecodeMatrixRejectsBadPad(t *testing.T) {
+	m := testMatrix(2, 2, 9)
+	buf, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pad := range []uint32{8, 255, 1 << 30} {
+		bad := append([]byte(nil), buf...)
+		binary.LittleEndian.PutUint32(bad[8:], pad)
+		if _, _, err := DecodeMatrix(bad); err == nil {
+			t.Fatalf("pad %d accepted", pad)
+		}
+	}
+	// A header whose declared pad extends past the end of the buffer.
+	short := []byte{1, 0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 0, 0}
+	if _, _, err := DecodeMatrix(short); err == nil {
+		t.Fatal("truncated pad accepted")
 	}
 }
 

@@ -32,8 +32,14 @@ func fuzzSeeds() map[string][][]byte {
 	// 0x40000000 x 0x40000000 rows*cols overflows 32-bit and lands on a
 	// small positive int64 product — the classic decoder bomb.
 	bomb := []byte{0, 0, 0, 0x40, 0, 0, 0, 0x40, 1, 2, 3}
+	// A matrix encoded mid-stream carries a different pad length than the
+	// standalone encoding — seed the non-default pad path.
+	mat3 := m.AppendBinary(make([]byte, 1))[1:]
+	// A pad length outside [0,7] must be rejected, never skipped.
+	badPad := append([]byte(nil), mat...)
+	badPad[8] = 8
 	return map[string][][]byte{
-		"FuzzDecodeMatrix": {mat, mat[:5], bomb, {}},
+		"FuzzDecodeMatrix": {mat, mat[:5], mat3, badPad, bomb, {}},
 		"FuzzDecodePCA":    {pca, pca[:len(pca)-4], bomb, {}},
 	}
 }

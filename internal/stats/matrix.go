@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/par"
 )
 
@@ -84,10 +85,22 @@ type ColumnStats struct {
 // ColumnMeansStds computes per-column mean and (population) standard
 // deviation.
 func (m *Matrix) ColumnMeansStds() ColumnStats {
-	mean := make([]float64, m.Cols)
-	std := make([]float64, m.Cols)
+	var cs ColumnStats
+	m.columnMeansStdsInto(&cs)
+	return cs
+}
+
+// columnMeansStdsInto is ColumnMeansStds into reused ColumnStats slices.
+func (m *Matrix) columnMeansStdsInto(cs *ColumnStats) {
+	cs.Mean = growFloats(cs.Mean, m.Cols)
+	cs.Std = growFloats(cs.Std, m.Cols)
+	mean, std := cs.Mean, cs.Std
+	for j := range mean {
+		mean[j] = 0
+		std[j] = 0
+	}
 	if m.Rows == 0 {
-		return ColumnStats{Mean: mean, Std: std}
+		return
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -109,7 +122,6 @@ func (m *Matrix) ColumnMeansStds() ColumnStats {
 	for j := range std {
 		std[j] = math.Sqrt(std[j] / n)
 	}
-	return ColumnStats{Mean: mean, Std: std}
 }
 
 // Normalize returns a copy of m with every column shifted to zero mean and
@@ -118,28 +130,45 @@ func (m *Matrix) ColumnMeansStds() ColumnStats {
 func (m *Matrix) Normalize() (*Matrix, ColumnStats) {
 	cs := m.ColumnMeansStds()
 	out := NewMatrix(m.Rows, m.Cols)
+	m.normalizeInto(out, &cs)
+	return out, cs
+}
+
+// normalizeInto centers (and, where cs.Std > 0, scales) m into the
+// pre-sized dst using the provided column statistics.
+func (m *Matrix) normalizeInto(dst *Matrix, cs *ColumnStats) {
 	for i := 0; i < m.Rows; i++ {
 		src := m.Row(i)
-		dst := out.Row(i)
+		out := dst.Row(i)
 		for j, v := range src {
 			d := v - cs.Mean[j]
 			if cs.Std[j] > 0 {
 				d /= cs.Std[j]
 			}
-			dst[j] = d
+			out[j] = d
 		}
 	}
-	return out, cs
 }
 
 // Covariance computes the Cols x Cols (population) covariance matrix of m's
 // columns.
 func (m *Matrix) Covariance() *Matrix {
-	cs := m.ColumnMeansStds()
+	cov := NewMatrix(m.Cols, m.Cols)
+	var cs ColumnStats
+	m.covarianceInto(cov, &cs)
+	return cov
+}
+
+// covarianceInto is Covariance into the pre-sized cov matrix, with cs as
+// reused scratch for the internal column statistics.
+func (m *Matrix) covarianceInto(cov *Matrix, cs *ColumnStats) {
+	m.columnMeansStdsInto(cs)
 	p := m.Cols
-	cov := NewMatrix(p, p)
+	for i := range cov.Data {
+		cov.Data[i] = 0
+	}
 	if m.Rows == 0 {
-		return cov
+		return
 	}
 	n := float64(m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -162,21 +191,16 @@ func (m *Matrix) Covariance() *Matrix {
 			cov.Set(b, a, v)
 		}
 	}
-	return cov
 }
 
 // EuclideanDistance returns the Euclidean distance between two equal-length
-// vectors.
+// vectors. It delegates to the shared blocked kernel — the repo's single
+// distance implementation.
 func EuclideanDistance(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("stats: distance between vectors of length %d and %d", len(a), len(b)))
 	}
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return kernel.Distance(a, b)
 }
 
 // PairwiseDistances returns the upper-triangle (i < j) Euclidean distances

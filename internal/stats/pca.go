@@ -3,7 +3,8 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"repro/internal/kernel"
 )
 
 // PCA holds the result of a principal components analysis: the components
@@ -28,73 +29,9 @@ type PCA struct {
 // the characteristics live on wildly different scales), columns are first
 // normalized to zero mean and unit variance.
 func ComputePCA(data *Matrix, normalize bool) (*PCA, error) {
-	if data.Rows < 2 {
-		return nil, fmt.Errorf("stats: PCA needs at least 2 rows, have %d", data.Rows)
-	}
-	if data.Cols < 1 {
-		return nil, fmt.Errorf("stats: PCA needs at least 1 column")
-	}
-	work := data
-	var cs ColumnStats
-	if normalize {
-		work, cs = data.Normalize()
-	} else {
-		cs = ColumnStats{Mean: make([]float64, data.Cols), Std: make([]float64, data.Cols)}
-		for j := range cs.Std {
-			cs.Std[j] = 1
-		}
-		// Center only (PCA is defined on centered data).
-		ms := data.ColumnMeansStds()
-		cs.Mean = ms.Mean
-		work = NewMatrix(data.Rows, data.Cols)
-		for i := 0; i < data.Rows; i++ {
-			src, dst := data.Row(i), work.Row(i)
-			for j, v := range src {
-				dst[j] = v - ms.Mean[j]
-			}
-		}
-	}
-	cov := work.Covariance()
-	vals, vecs, err := JacobiEigen(cov, 200, 1e-12)
-	if err != nil {
-		return nil, err
-	}
-
-	// Sort eigenpairs by decreasing eigenvalue.
-	p := data.Cols
-	order := make([]int, p)
-	for i := range order {
-		order[i] = i
-	}
-	// sort.Slice is unstable, so exactly equal eigenvalues (rank-deficient
-	// or symmetric data) need an explicit tie-break on the original
-	// eigenpair index to keep the component order deterministic.
-	sort.Slice(order, func(a, b int) bool {
-		va, vb := vals[order[a]], vals[order[b]]
-		if va != vb {
-			return va > vb
-		}
-		return order[a] < order[b]
-	})
-
-	pca := &PCA{
-		Components: NewMatrix(p, p),
-		Variances:  make([]float64, p),
-		InputStats: cs,
-	}
-	for k, idx := range order {
-		v := vals[idx]
-		if v < 0 && v > -1e-10 {
-			v = 0 // numerical noise on rank-deficient data
-		}
-		pca.Variances[k] = v
-		pca.TotalVariance += v
-		// Eigenvector idx is column idx of vecs.
-		for j := 0; j < p; j++ {
-			pca.Components.Set(k, j, vecs.At(j, idx))
-		}
-	}
-	return pca, nil
+	// A throwaway workspace: the returned PCA takes sole ownership of the
+	// freshly allocated buffers.
+	return new(PCAWorkspace).ComputePCA(data, normalize)
 }
 
 // NumRetained returns how many leading components have standard deviation
@@ -132,15 +69,30 @@ func (p *PCA) ExplainedVariance(k int) float64 {
 // Project maps the rows of data (raw, un-normalized) into the space of the
 // first k principal components, applying the stored normalization.
 func (p *PCA) Project(data *Matrix, k int) (*Matrix, error) {
-	if data.Cols != p.Components.Cols {
-		return nil, fmt.Errorf("stats: projecting %d-column data through %d-column PCA", data.Cols, p.Components.Cols)
-	}
-	if k < 1 || k > p.Components.Rows {
-		return nil, fmt.Errorf("stats: cannot retain %d of %d components", k, p.Components.Rows)
+	if err := p.checkProject(data, k); err != nil {
+		return nil, err
 	}
 	out := NewMatrix(data.Rows, k)
-	ncols := data.Cols
-	centered := make([]float64, ncols)
+	centered := make([]float64, data.Cols)
+	p.projectInto(data, k, out, centered)
+	return out, nil
+}
+
+func (p *PCA) checkProject(data *Matrix, k int) error {
+	if data.Cols != p.Components.Cols {
+		return fmt.Errorf("stats: projecting %d-column data through %d-column PCA", data.Cols, p.Components.Cols)
+	}
+	if k < 1 || k > p.Components.Rows {
+		return fmt.Errorf("stats: cannot retain %d of %d components", k, p.Components.Rows)
+	}
+	return nil
+}
+
+// projectInto writes the k-component scores of data into out (pre-sized
+// Rows x k) using centered (pre-sized Cols) as per-row scratch. The
+// per-component score is a kernel dot product of the loading vector with
+// the centered row.
+func (p *PCA) projectInto(data *Matrix, k int, out *Matrix, centered []float64) {
 	for i := 0; i < data.Rows; i++ {
 		row := data.Row(i)
 		for j, v := range row {
@@ -152,15 +104,9 @@ func (p *PCA) Project(data *Matrix, k int) (*Matrix, error) {
 		}
 		dst := out.Row(i)
 		for c := 0; c < k; c++ {
-			comp := p.Components.Row(c)
-			var s float64
-			for j := 0; j < ncols; j++ {
-				s += comp[j] * centered[j]
-			}
-			dst[c] = s
+			dst[c] = kernel.Dot(p.Components.Row(c), centered)
 		}
 	}
-	return out, nil
 }
 
 // RescaledScores projects data onto the first k components and then
@@ -176,38 +122,75 @@ func (p *PCA) RescaledScores(data *Matrix, k int) (*Matrix, error) {
 	return rescaled, nil
 }
 
+// jacobiWork holds the working set of one Jacobi eigendecomposition; the
+// eigenvectors accumulate in vT with one eigenvector per ROW (the
+// transpose of the classical column layout), which keeps every rotation
+// update contiguous.
+type jacobiWork struct {
+	m    *Matrix
+	vT   *Matrix
+	vals []float64
+}
+
 // JacobiEigen computes all eigenvalues and eigenvectors of the symmetric
 // matrix a using the cyclic Jacobi rotation method. It returns the
 // eigenvalues and a matrix whose columns are the corresponding
 // eigenvectors. a is not modified.
 func JacobiEigen(a *Matrix, maxSweeps int, tol float64) ([]float64, *Matrix, error) {
+	var w jacobiWork
+	if err := jacobiEigenInto(a, maxSweeps, tol, &w); err != nil {
+		return nil, nil, err
+	}
+	// Keep the documented columns-are-eigenvectors contract.
+	n := a.Rows
+	v := NewMatrix(n, n)
+	kernel.Transpose(w.vT.Data, n, n, v.Data)
+	return w.vals, v, nil
+}
+
+// jacobiEigenInto is JacobiEigen on caller-owned buffers, operating on
+// flat slices instead of At/Set index arithmetic. Every rotation applies
+// the same per-element expressions in the same order as the classical
+// formulation (each element is read and written exactly once per pass),
+// so results are bit-identical to it; only the eigenvector layout
+// differs (w.vT rows are eigenvectors).
+func jacobiEigenInto(a *Matrix, maxSweeps int, tol float64, w *jacobiWork) error {
 	n := a.Rows
 	if n != a.Cols {
-		return nil, nil, fmt.Errorf("stats: Jacobi on non-square %dx%d matrix", a.Rows, a.Cols)
+		return fmt.Errorf("stats: Jacobi on non-square %dx%d matrix", a.Rows, a.Cols)
 	}
+	ad := a.Data
 	// Verify symmetry (within tolerance scaled by magnitude).
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := math.Abs(a.At(i, j) - a.At(j, i))
-			scale := math.Max(1, math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i))))
+			x, y := ad[i*n+j], ad[j*n+i]
+			d := math.Abs(x - y)
+			scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
 			if d > 1e-8*scale {
-				return nil, nil, fmt.Errorf("stats: Jacobi on non-symmetric matrix (|a[%d,%d]-a[%d,%d]| = %g)", i, j, j, i, d)
+				return fmt.Errorf("stats: Jacobi on non-symmetric matrix (|a[%d,%d]-a[%d,%d]| = %g)", i, j, j, i, d)
 			}
 		}
 	}
 
-	m := a.Clone()
-	v := NewMatrix(n, n)
+	w.m = growMatrixInto(w.m, n, n)
+	w.vT = growMatrixInto(w.vT, n, n)
+	w.vals = growFloats(w.vals, n)
+	md, vtd := w.m.Data, w.vT.Data
+	copy(md, ad)
+	for i := range vtd {
+		vtd[i] = 0
+	}
 	for i := 0; i < n; i++ {
-		v.Set(i, i, 1)
+		vtd[i*n+i] = 1
 	}
 
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		// Off-diagonal norm for convergence.
 		var off float64
 		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				off += m.At(i, j) * m.At(i, j)
+			row := md[i*n+i+1 : (i+1)*n]
+			for _, v := range row {
+				off += v * v
 			}
 		}
 		if off < tol*tol {
@@ -215,12 +198,12 @@ func JacobiEigen(a *Matrix, maxSweeps int, tol float64) ([]float64, *Matrix, err
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				apq := m.At(p, q)
+				apq := md[p*n+q]
 				if math.Abs(apq) < 1e-300 {
 					continue
 				}
-				app := m.At(p, p)
-				aqq := m.At(q, q)
+				app := md[p*n+p]
+				aqq := md[q*n+q]
 				theta := (aqq - app) / (2 * apq)
 				var t float64
 				if theta >= 0 {
@@ -231,32 +214,36 @@ func JacobiEigen(a *Matrix, maxSweeps int, tol float64) ([]float64, *Matrix, err
 				c := 1 / math.Sqrt(1+t*t)
 				s := t * c
 
-				// Apply rotation J(p, q, theta): rows/cols p and q.
+				// Apply rotation J(p, q, theta): columns p and q of m...
 				for k := 0; k < n; k++ {
-					akp := m.At(k, p)
-					akq := m.At(k, q)
-					m.Set(k, p, c*akp-s*akq)
-					m.Set(k, q, s*akp+c*akq)
+					kp, kq := k*n+p, k*n+q
+					akp, akq := md[kp], md[kq]
+					md[kp] = c*akp - s*akq
+					md[kq] = s*akp + c*akq
 				}
+				// ...then rows p and q (contiguous in the flat layout)...
+				rowp := md[p*n : (p+1)*n : (p+1)*n]
+				rowq := md[q*n : (q+1)*n : (q+1)*n]
 				for k := 0; k < n; k++ {
-					apk := m.At(p, k)
-					aqk := m.At(q, k)
-					m.Set(p, k, c*apk-s*aqk)
-					m.Set(q, k, s*apk+c*aqk)
+					apk, aqk := rowp[k], rowq[k]
+					rowp[k] = c*apk - s*aqk
+					rowq[k] = s*apk + c*aqk
 				}
+				// ...and the eigenvector accumulator, whose transposed
+				// layout makes this contiguous too.
+				vp := vtd[p*n : (p+1)*n : (p+1)*n]
+				vq := vtd[q*n : (q+1)*n : (q+1)*n]
 				for k := 0; k < n; k++ {
-					vkp := v.At(k, p)
-					vkq := v.At(k, q)
-					v.Set(k, p, c*vkp-s*vkq)
-					v.Set(k, q, s*vkp+c*vkq)
+					vkp, vkq := vp[k], vq[k]
+					vp[k] = c*vkp - s*vkq
+					vq[k] = s*vkp + c*vkq
 				}
 			}
 		}
 	}
 
-	vals := make([]float64, n)
 	for i := 0; i < n; i++ {
-		vals[i] = m.At(i, i)
+		w.vals[i] = md[i*n+i]
 	}
-	return vals, v, nil
+	return nil
 }

@@ -23,7 +23,12 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-2x}"
 OUT="BENCH_analysis.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+PREV="$(mktemp)"
+trap 'rm -f "$RAW" "$PREV"' EXIT
+
+# Keep the previous recorded numbers so the refresh can print paired
+# old/new deltas at the end.
+[ -f "$OUT" ] && cp "$OUT" "$PREV"
 
 go test -run '^$' \
     -bench 'BenchmarkKMeansParallel|BenchmarkGAFitnessParallel|BenchmarkSelectKSweep|BenchmarkFullPipeline$|BenchmarkFig1GASweep|BenchmarkCharacterize$|BenchmarkCharacterizeCached$' \
@@ -54,7 +59,7 @@ END {
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"notes\": \"BenchmarkCharacterize is the cold generate+measure kernel; BenchmarkCharacterizeCached is the same run served from a warm interval-vector cache. Against the pre-batching kernel (commit b0d6d0d), interleaved paired runs on this shared vCPU measured a paired-median ~1.5-1.65x cold throughput (pairwise range 1.3-1.9x; the machine itself drifts ~30%% between runs) and ~60-70x cache-warm.\",\n"
+    printf "  \"notes\": \"BenchmarkCharacterize is the cold generate+measure kernel; BenchmarkCharacterizeCached is the same run served warm (in-process dataset memo over the interval-vector cache). Against the pre-kernel tree (commit ff7388c), interleaved paired binaries on this shared vCPU measured: KMeansParallel/workers=1 paired-median 3.3x (range 3.1-3.4x; AVX2 column-scan nearest-center kernel + Hamerly-style bounds + pooled scratch), Fig1GASweep paired-median 4.7x (range 4.1-6.7x; dataset memo removes the repeated trace substrate, ~22%% Jacobi now flat+workspaced, GA fitness on pooled PCA workspaces), CharacterizeCached ~55x ns/op and ~107x B/op (2.06 MB -> 19 kB, 16334 -> 2 allocs/op). Fig1 decomposition pre-memo: ~65%% trace substrate, ~22%% JacobiEigen. All paths stay byte-identical at every worker count; the asm and generic column kernels are bit-identical by construction (serial per-center sums, lanes across centers).\",\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= count; i++)
         printf "%s%s\n", rows[i], (i < count ? "," : "")
@@ -63,6 +68,23 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Paired old/new deltas against the previously recorded numbers: one
+# line per benchmark present in both files. Ratios > 1 are speedups.
+# These are same-machine but not interleaved runs — treat them as a
+# smoke signal and use interleaved paired binaries for publishable
+# comparisons (see the notes field).
+if [ -s "$PREV" ]; then
+    echo "== deltas vs previous $OUT"
+    awk '
+    /"name":/ {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[^0-9].*/, "", ns)
+        if (NR == FNR) { old[name] = ns }
+        else if (name in old && ns > 0)
+            printf "  %-45s %14.0f -> %14.0f ns/op  (%.2fx)\n", name, old[name], ns, old[name] / ns
+    }' "$PREV" "$OUT"
+fi
 
 # Capture a run report for the same machine: where the quick pipeline's
 # wall time actually goes (per-stage spans, worker-pool and cache

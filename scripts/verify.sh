@@ -51,6 +51,25 @@ FuzzShardRequest ./internal/shardnet/
 FuzzShardResponse ./internal/shardnet/
 EOF
 
+echo "== allocation gate (BenchmarkCharacterizeCached)"
+# The cache-warm characterization path is pinned to a per-op allocation
+# ceiling: the kernel/memo work brought it to single-digit allocs/op, and
+# a regression back toward the historical ~7k allocs/op should fail the
+# gate loudly. CHAR_CACHED_ALLOC_CEILING overrides the ceiling (e.g. for
+# instrumented builds).
+ALLOC_CEILING="${CHAR_CACHED_ALLOC_CEILING:-512}"
+allocs="$(go test -run '^$' -bench 'BenchmarkCharacterizeCached$' -benchtime 2x -benchmem . |
+  awk '/^BenchmarkCharacterizeCached/ { for (i = 1; i < NF; i++) if ($(i + 1) == "allocs/op") print $i }')"
+if [ -z "$allocs" ]; then
+  echo "allocation gate: BenchmarkCharacterizeCached produced no allocs/op figure" >&2
+  exit 1
+fi
+if [ "$allocs" -gt "$ALLOC_CEILING" ]; then
+  echo "allocation gate: BenchmarkCharacterizeCached allocates $allocs/op > ceiling $ALLOC_CEILING" >&2
+  exit 1
+fi
+echo "allocation gate: $allocs allocs/op <= $ALLOC_CEILING"
+
 echo "== shard-merge + resume equivalence (quick pipeline)"
 # The engine's load-bearing invariant, end to end through the CLI: a
 # 3-shard characterization merged by the analysis run, and a resumed
