@@ -12,6 +12,11 @@
 //	micastat -list
 //	micastat BioPerf/grappa
 //	micastat -per-interval SPECint2006/astar
+//	micastat -timeline -cache .cache -incremental SPECint2006/astar
+//
+// With -incremental the timeline's interval vectors fold into the
+// benchmark's cached running summary: reruns fold nothing, and a deeper
+// timeline (larger -max-intervals) folds exactly the intervals it adds.
 package main
 
 import (
@@ -52,6 +57,7 @@ func run() (err error) {
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
 		obsFlags     = cliobs.RegisterObsFlags(flag.CommandLine)
+		incremental  = cliobs.RegisterIncremental(flag.CommandLine)
 	)
 	flag.Parse()
 	if *cacheDir != "" && !*timeline {
@@ -61,6 +67,9 @@ func run() (err error) {
 	}
 	if *resume && *cacheDir == "" {
 		return fmt.Errorf("-resume requires -cache (the timeline stage artifact is stored there)")
+	}
+	if *incremental && (!*timeline || *cacheDir == "") {
+		return fmt.Errorf("-incremental requires -timeline and -cache (it folds the timeline's interval vectors into the benchmark's cached running summary)")
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -123,6 +132,20 @@ func run() (err error) {
 		fmt.Printf("detected %d phases, %d transitions:\n  %s\n", tl.NumPhases, tl.Transitions, tl.Strip())
 		for p, share := range tl.PhaseShares() {
 			fmt.Printf("  phase %c: %5.1f%% of execution\n", 'A'+p, 100*share)
+		}
+		if *incremental {
+			folded, cum, err := core.FoldTimelineStats(b, cfg, tl)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cumulative statistics: folded %d new of %d intervals (%d observed across runs):\n",
+				folded, tl.Vectors.Rows, cum.Count)
+			cs := cum.Stats()
+			for _, name := range []string{"mix_load", "mix_store", "mix_branch", "ilp_64"} {
+				if met, ok := mica.MetricByName(name); ok {
+					fmt.Printf("  %-22s %10.4f ± %.4f\n", name, cs.Mean[met.Index], cs.Std[met.Index])
+				}
+			}
 		}
 		fmt.Println()
 	}

@@ -32,6 +32,15 @@
 //	phasechar -addr 10.0.0.2:8421 serve          # on each worker machine
 //	phasechar -cache .cache \
 //	    -workers-addr 10.0.0.2:8421,10.0.0.3:8421 export
+//
+// Growing a dataset reuses the previous run's cached work: a run with
+// -incremental records a baseline manifest, and a later -incremental run
+// over a superset roster characterizes only the new benchmarks — and,
+// within the -max-pca-drift / -max-centroid-shift tolerances, keeps the
+// cached PCA basis and warm-starts k-means from the cached centroids:
+//
+//	phasechar -cache .cache -incremental -suites BioPerf,BMW export  # baseline
+//	phasechar -cache .cache -incremental export                      # delta only
 package main
 
 import (
@@ -81,7 +90,10 @@ func run() (err error) {
 		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "per-shard-request deadline for -workers-addr runs")
 		rpcRetries  = flag.Int("rpc-retries", 2, "extra attempts per worker per shard before the worker is declared dead")
 		rpcFaults   = flag.String("rpc-faults", "", "inject transport faults into -workers-addr runs, e.g. '0:5xx,corrupt;2:down' (workerIndex:kinds; kinds: drop delay corrupt 5xx hang down) — for testing; never changes results")
+		suites      = flag.String("suites", "", "comma-separated suite filter (e.g. BioPerf,SPECint2000): run the pipeline over only these suites' benchmarks (empty: all seven)")
 		obsFlags    = cliobs.RegisterObsFlags(flag.CommandLine)
+		incremental = cliobs.RegisterIncremental(flag.CommandLine)
+		incTol      = cliobs.RegisterIncrementalTolerances(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -101,6 +113,14 @@ func run() (err error) {
 	}
 	if *workersAddr != "" && *cacheDir == "" {
 		return fmt.Errorf("-workers-addr needs -cache (fetched shard artifacts are stored there for the merge)")
+	}
+	if *incremental {
+		if *cacheDir == "" {
+			return fmt.Errorf("-incremental needs -cache (the baseline manifest and its reusable artifacts live there)")
+		}
+		if *shardSpec != "" || *mergeN > 0 || *workersAddr != "" {
+			return fmt.Errorf("-incremental tracks a single-process dataset; it cannot combine with -shard, -merge or -workers-addr")
+		}
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -166,6 +186,13 @@ func run() (err error) {
 	if *mergeN > 0 {
 		cfg.Shard = core.ShardSpec{Index: 0, Count: *mergeN}
 	}
+	if *incremental {
+		cfg.Incremental = core.IncrementalSpec{
+			Enabled:          true,
+			MaxPCADrift:      incTol.MaxPCADrift,
+			MaxCentroidShift: incTol.MaxCentroidShift,
+		}
+	}
 	cfg.Metrics = m
 	// Run writes the report when the pipeline completes; the deferred
 	// finish rewrites it at exit with the post-pipeline stages (GA
@@ -193,6 +220,11 @@ func run() (err error) {
 	reg, err := bench.StandardRegistry()
 	if err != nil {
 		return err
+	}
+	if *suites != "" {
+		if reg, err = filterSuites(reg, *suites); err != nil {
+			return err
+		}
 	}
 
 	if target == "serve" {
@@ -326,4 +358,40 @@ func run() (err error) {
 		}
 	}
 	return nil
+}
+
+// filterSuites narrows the registry to the named suites — the usual way
+// to record an incremental baseline over a subset of the roster and
+// later extend it to the full one. Names match case-insensitively; an
+// unknown or empty name is an error, never a silently smaller run.
+func filterSuites(reg *bench.Registry, spec string) (*bench.Registry, error) {
+	want := map[bench.Suite]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("suite list %q has an empty entry", spec)
+		}
+		found := false
+		for _, s := range bench.Suites() {
+			if strings.EqualFold(string(s), name) {
+				want[s] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			var known []string
+			for _, s := range bench.Suites() {
+				known = append(known, string(s))
+			}
+			return nil, fmt.Errorf("unknown suite %q (suites: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	var keep []*bench.Benchmark
+	for _, b := range reg.All() {
+		if want[b.Suite] {
+			keep = append(keep, b)
+		}
+	}
+	return bench.NewRegistry(keep)
 }

@@ -49,11 +49,15 @@ func run() (err error) {
 		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
 		cacheDir     = flag.String("cache", "", "with -all: also characterize each interval and store its vector in this cache directory, pre-warming later phasechar/micastat runs")
 		obsFlags     = cliobs.RegisterObsFlags(flag.CommandLine)
+		incremental  = cliobs.RegisterIncremental(flag.CommandLine)
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return fmt.Errorf("expected one benchmark name")
+	}
+	if *incremental && (!*all || *cacheDir == "") {
+		return fmt.Errorf("-incremental requires -all and -cache (it skips re-characterizing intervals whose vectors the cache already holds)")
 	}
 
 	m, finishObs, err := obsFlags.Setup("tracegen")
@@ -76,7 +80,7 @@ func run() (err error) {
 		if *outFile == "" {
 			return fmt.Errorf("-all requires -o (binary traces only)")
 		}
-		return writeAllIntervals(b, total, *n, *workers, *outFile, *cacheDir, m)
+		return writeAllIntervals(b, total, *n, *workers, *outFile, *cacheDir, *incremental, m)
 	}
 	if *cacheDir != "" {
 		return fmt.Errorf("-cache requires -all (it caches whole characterized intervals)")
@@ -127,7 +131,10 @@ func run() (err error) {
 // worker count. With a cache directory, each interval is additionally run
 // through the MICA analyzer and its 69-dim vector stored under the same
 // key core.Characterize uses, so later pipeline runs start cache-warm.
-func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path, cacheDir string, m *obs.Metrics) error {
+// In incremental mode an interval whose vector the cache already holds
+// skips the analysis pass entirely (the trace bytes are still written,
+// so the file stays complete and byte-identical).
+func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path, cacheDir string, incremental bool, m *obs.Metrics) error {
 	var cache *fcache.Cache
 	if cacheDir != "" {
 		var err error
@@ -139,23 +146,31 @@ func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path
 	bufs := make([]bytes.Buffer, total)
 	counts := make([]uint64, total)
 	errs := make([]error, total)
+	reused := make([]bool, total)
 	nw := par.Workers(workers)
 	span := m.StartSpan("generate").SetRows(total).SetWorkers(nw)
 	analyzers := make([]*mica.Analyzer, nw)
 	par.ForWorker(nw, total, func(w, i int) {
+		beh := b.BehaviorAt(i, total)
+		seed := b.IntervalSeed(i)
 		var analyzer *mica.Analyzer
 		if cache != nil {
-			analyzer = analyzers[w]
-			if analyzer == nil {
-				analyzer = mica.NewAnalyzer()
-				analyzers[w] = analyzer
+			if incremental {
+				if _, ok := cache.GetVector(core.VectorKey(beh, seed, perInterval), mica.NumMetrics); ok {
+					reused[i] = true
+				}
 			}
-			analyzer.Reset()
+			if !reused[i] {
+				analyzer = analyzers[w]
+				if analyzer == nil {
+					analyzer = mica.NewAnalyzer()
+					analyzers[w] = analyzer
+				}
+				analyzer.Reset()
+			}
 		}
 		tw := trace.NewWriter(&bufs[i])
 		var werr error
-		beh := b.BehaviorAt(i, total)
-		seed := b.IntervalSeed(i)
 		err := trace.GenerateInterval(beh, seed, perInterval,
 			func(ins *isa.Instruction) {
 				if werr == nil {
@@ -173,7 +188,7 @@ func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path
 		default:
 			errs[i] = tw.Flush()
 			counts[i] = tw.Count()
-			if cache != nil && errs[i] == nil {
+			if analyzer != nil && errs[i] == nil {
 				// Best-effort: a failed write only costs regeneration later.
 				_ = cache.PutVector(core.VectorKey(beh, seed, perInterval), analyzer.Vector())
 			}
@@ -197,5 +212,14 @@ func writeAllIntervals(b *bench.Benchmark, total, perInterval, workers int, path
 	}
 	fmt.Printf("wrote %d instructions (%d intervals x %d) of %s to %s\n",
 		written, total, perInterval, b.ID(), path)
+	if incremental {
+		hits := 0
+		for _, r := range reused {
+			if r {
+				hits++
+			}
+		}
+		fmt.Printf("incremental: reused %d cached interval vectors, characterized %d\n", hits, total-hits)
+	}
 	return f.Close()
 }

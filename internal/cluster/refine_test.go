@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// refineTestData builds three tight, well-separated blobs of 20 rows
+// each in 4-D — easy enough that k-means and a warm start agree on the
+// partition.
+func refineTestData() *stats.Matrix {
+	m := stats.NewMatrix(60, 4)
+	for i := 0; i < m.Rows; i++ {
+		blob := i / 20
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 10*float64(blob) + 0.01*float64((i*7+j*3)%11)
+		}
+	}
+	return m
+}
+
+// TestRefineFromFittedCentersIsStable pins the warm-start contract: a
+// refinement seeded with an already-converged fit's centers must keep
+// the partition, report a tiny centroid shift, and match the full fit's
+// inertia.
+func TestRefineFromFittedCentersIsStable(t *testing.T) {
+	data := refineTestData()
+	full, err := KMeans(data, 3, Options{Seed: 1, Restarts: 2, MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, shift, err := Refine(data, full.Centers, Options{Seed: 1, MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shift > 1e-9 {
+		t.Fatalf("refining converged centers moved them by %g", shift)
+	}
+	if ref.Inertia != full.Inertia {
+		t.Fatalf("inertia %g, want %g", ref.Inertia, full.Inertia)
+	}
+	for i, a := range ref.Assignments {
+		if a != full.Assignments[i] {
+			t.Fatalf("row %d reassigned %d -> %d", i, full.Assignments[i], a)
+		}
+	}
+}
+
+// TestRefineDeterministicAcrossWorkers pins that the warm-started fit,
+// like KMeans, is worker-count independent.
+func TestRefineDeterministicAcrossWorkers(t *testing.T) {
+	data := refineTestData()
+	initial := stats.NewMatrix(3, 4)
+	for c := 0; c < 3; c++ {
+		row := initial.Row(c)
+		for j := range row {
+			row[j] = 10*float64(c) + 1.5 // deliberately off-center
+		}
+	}
+	var first *Result
+	var firstShift float64
+	for _, workers := range []int{1, 4} {
+		res, shift, err := Refine(data, initial, Options{Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first, firstShift = res, shift
+			continue
+		}
+		if shift != firstShift || res.Inertia != first.Inertia {
+			t.Fatalf("workers=%d: shift/inertia %g/%g, want %g/%g",
+				workers, shift, res.Inertia, firstShift, first.Inertia)
+		}
+		for i := range res.Assignments {
+			if res.Assignments[i] != first.Assignments[i] {
+				t.Fatalf("workers=%d row %d: assignment diverged", workers, i)
+			}
+		}
+		for i := range res.Centers.Data {
+			if res.Centers.Data[i] != first.Centers.Data[i] {
+				t.Fatalf("workers=%d: centers diverged", workers)
+			}
+		}
+	}
+	if firstShift <= 0 {
+		t.Fatalf("off-center seeds reported shift %g, want > 0", firstShift)
+	}
+}
+
+// TestRefineReportsShift pins that perturbed seeds converge back to the
+// real centroids and the reported shift reflects the move, and that the
+// refine counter fires.
+func TestRefineReportsShift(t *testing.T) {
+	data := refineTestData()
+	full, err := KMeans(data, 3, Options{Seed: 1, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := full.Centers.Clone()
+	for j := 0; j < moved.Cols; j++ {
+		moved.Row(0)[j] += 2
+	}
+	m := obs.New()
+	ref, shift, err := Refine(data, moved, Options{Seed: 1, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shift <= 0 {
+		t.Fatalf("shift = %g, want > 0 for perturbed seeds", shift)
+	}
+	if ref.Inertia != full.Inertia {
+		t.Fatalf("refined inertia %g, want %g (blobs are unambiguous)", ref.Inertia, full.Inertia)
+	}
+	if got := m.Counter("kmeans.refines").Value(); got != 1 {
+		t.Fatalf("kmeans.refines = %d, want 1", got)
+	}
+}
+
+func TestRefineRejects(t *testing.T) {
+	data := refineTestData()
+	if _, _, err := Refine(data, nil, Options{}); err == nil {
+		t.Fatal("nil initial centers accepted")
+	}
+	if _, _, err := Refine(data, stats.NewMatrix(3, 2), Options{}); err == nil {
+		t.Fatal("mismatched dimensions accepted")
+	}
+	if _, _, err := Refine(stats.NewMatrix(2, 4), stats.NewMatrix(3, 4), Options{}); err == nil {
+		t.Fatal("k > rows accepted")
+	}
+}

@@ -147,7 +147,7 @@ func Characterize(refs []IntervalRef, cfg Config) (*Dataset, error) {
 		Instructions:    instructions,
 		CacheHits:       cacheHits,
 	}
-	storeDataset(memoKey, ds)
+	storeDataset(memoKey, ds, cfg.MemoBudget)
 	return ds, nil
 }
 

@@ -42,11 +42,14 @@ type engine struct {
 	cfg   Config
 	cache *fcache.Cache // nil when no cache directory is configured
 	keys  *artifactKeys // nil iff cache is nil
+	delta *deltaPlan    // non-nil iff an extend-dataset plan applies
 	logf  func(format string, args ...any)
 }
 
 // newEngine opens the cache (when configured) and precomputes the
-// artifact key chain. refs must be the run's sampled dataset.
+// artifact key chain. refs must be the run's sampled dataset. With
+// incremental mode enabled it also resolves the extend-dataset plan
+// against the cached baseline manifest (see incremental.go).
 func newEngine(reg *bench.Registry, cfg Config, refs []IntervalRef, logf func(string, ...any)) (*engine, error) {
 	e := &engine{reg: reg, cfg: cfg, logf: logf}
 	if cfg.CacheDir != "" {
@@ -57,6 +60,12 @@ func newEngine(reg *bench.Registry, cfg Config, refs []IntervalRef, logf func(st
 		cache.SetMetrics(cfg.Metrics)
 		e.cache = cache
 		e.keys = newArtifactKeys(reg, cfg, len(refs))
+		if cfg.Incremental.Enabled && cfg.Shard.Count <= 1 {
+			e.delta = e.planDelta()
+			if e.delta == nil {
+				cfg.Metrics.Add("engine.delta_inapplicable", 1)
+			}
+		}
 	}
 	return e, nil
 }
@@ -93,12 +102,9 @@ func (e *engine) summaryKey() fcache.Key {
 	return e.keys.summaryKey(e.cfg)
 }
 
-// markStage counts one stage completion in the engine counters.
-func (e *engine) markStage(name string, resumed bool) {
-	mode := "computed"
-	if resumed {
-		mode = "resumed"
-	}
+// markStage counts one stage completion in the engine counters; mode is
+// "computed", "resumed" or "delta".
+func (e *engine) markStage(name, mode string) {
 	e.cfg.Metrics.Add("engine.stages_"+mode, 1)
 	e.cfg.Metrics.Add("engine."+mode+"."+name, 1)
 }
@@ -112,7 +118,7 @@ func (e *engine) stage(name string, key fcache.Key, art stageArtifact, rows int,
 	if e.cache != nil && e.cfg.Resume {
 		if e.cache.GetBinary(key, art) {
 			e.cfg.Metrics.StartSpan(name).SetRows(rows).SetResumed(true).End()
-			e.markStage(name, true)
+			e.markStage(name, "resumed")
 			e.logf("%s: resumed from stage artifact", name)
 			return true, nil
 		}
@@ -125,7 +131,7 @@ func (e *engine) stage(name string, key fcache.Key, art stageArtifact, rows int,
 		// the next resume attempt.
 		_ = e.cache.PutBinary(key, art)
 	}
-	e.markStage(name, false)
+	e.markStage(name, "computed")
 	return false, nil
 }
 
@@ -248,9 +254,23 @@ func (e *engine) characterize(refs []IntervalRef) (*Dataset, bool, error) {
 	if memoable {
 		memoKey = datasetKey(refs, e.cfg)
 		if ds, ok := lookupDataset(memoKey); ok {
-			e.markStage("characterize", false)
+			e.markStage("characterize", "computed")
 			return ds, false, nil
 		}
+	}
+	if e.delta != nil {
+		ds, ok, err := e.characterizeDelta(refs)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return ds, false, nil
+		}
+		// A baseline artifact could not be served: abandon the whole delta
+		// plan (the analysis fast path depends on the same baseline) and
+		// recompute cold — cache trouble recomputes, it never fails.
+		e.delta = nil
+		e.cfg.Metrics.Add("engine.delta_fallback.characterize", 1)
 	}
 	plans := e.planShards(refs)
 	arts := make([]*shardArtifact, len(plans))
@@ -280,8 +300,10 @@ func (e *engine) characterize(refs []IntervalRef) (*Dataset, bool, error) {
 	if resumed {
 		e.cfg.Metrics.StartSpan("characterize").SetRows(unique).SetResumed(true).End()
 		e.logf("characterize: resumed %d shard artifact(s)", len(arts))
+		e.markStage("characterize", "resumed")
+	} else {
+		e.markStage("characterize", "computed")
 	}
-	e.markStage("characterize", resumed)
 
 	var mergeSpan *obs.Span // only recorded for merge runs
 	if len(plans) > 1 {
@@ -317,7 +339,7 @@ func (e *engine) characterize(refs []IntervalRef) (*Dataset, bool, error) {
 		CacheHits:       cacheHits,
 	}
 	if memoable {
-		storeDataset(memoKey, ds)
+		storeDataset(memoKey, ds, e.cfg.MemoBudget)
 	}
 	return ds, resumed, nil
 }

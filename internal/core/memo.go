@@ -42,12 +42,23 @@ type datasetMemoKey struct {
 	dir     string
 }
 
-const datasetMemoCap = 4
+// defaultMemoBudget is the approximate byte budget the memo holds when
+// Config.MemoBudget is 0 — enough for a handful of test-scale datasets
+// without letting a large appended dataset pin memory.
+const defaultMemoBudget = 64 << 20
 
 var datasetMemo struct {
 	mu      sync.Mutex
 	entries map[datasetMemoKey]*Dataset
 	order   []datasetMemoKey // FIFO eviction
+	sizes   map[datasetMemoKey]int64
+	total   int64
+}
+
+// datasetBytes approximates a dataset's memo footprint: the raw matrix
+// payload plus the ref slice headers (the dominant retained allocations).
+func datasetBytes(ds *Dataset) int64 {
+	return 8*int64(len(ds.Raw.Data)) + 48*int64(len(ds.Refs))
 }
 
 // foldKey mixes v into h with the SplitMix64 finalizer (the same mix the
@@ -98,19 +109,37 @@ func lookupDataset(k datasetMemoKey) (*Dataset, bool) {
 }
 
 // storeDataset memoizes a freshly characterized dataset, evicting the
-// oldest entry beyond the cap.
-func storeDataset(k datasetMemoKey, ds *Dataset) {
+// oldest entries (FIFO) until the memo fits the byte budget. budget 0
+// means defaultMemoBudget; a negative budget disables storing. A single
+// dataset larger than the whole budget is not stored at all — evicting
+// everything else to make room for it would defeat the memo.
+func storeDataset(k datasetMemoKey, ds *Dataset, budget int64) {
+	if budget == 0 {
+		budget = defaultMemoBudget
+	}
+	size := datasetBytes(ds)
+	if budget < 0 || size > budget {
+		return
+	}
 	datasetMemo.mu.Lock()
 	defer datasetMemo.mu.Unlock()
 	if datasetMemo.entries == nil {
 		datasetMemo.entries = make(map[datasetMemoKey]*Dataset)
+		datasetMemo.sizes = make(map[datasetMemoKey]int64)
 	}
-	if _, ok := datasetMemo.entries[k]; !ok {
+	if old, ok := datasetMemo.sizes[k]; ok {
+		datasetMemo.total -= old
+	} else {
 		datasetMemo.order = append(datasetMemo.order, k)
-		if len(datasetMemo.order) > datasetMemoCap {
-			delete(datasetMemo.entries, datasetMemo.order[0])
-			datasetMemo.order = datasetMemo.order[1:]
-		}
 	}
 	datasetMemo.entries[k] = ds
+	datasetMemo.sizes[k] = size
+	datasetMemo.total += size
+	for datasetMemo.total > budget && len(datasetMemo.order) > 1 {
+		victim := datasetMemo.order[0]
+		datasetMemo.order = datasetMemo.order[1:]
+		datasetMemo.total -= datasetMemo.sizes[victim]
+		delete(datasetMemo.entries, victim)
+		delete(datasetMemo.sizes, victim)
+	}
 }

@@ -89,7 +89,6 @@ func (r *Result) SimulationPoints(benchID string, maxPoints int) ([]SimPoint, er
 	return points, nil
 }
 
-
 // SimPointAccuracy compares the weighted characteristic estimate from the
 // simulation points against the benchmark's true average over all sampled
 // intervals. It returns the mean relative error across characteristics

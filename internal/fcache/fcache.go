@@ -69,9 +69,17 @@ const (
 	KindSummary uint16 = 7
 	// KindTimeline is a per-benchmark phase-timeline analysis.
 	KindTimeline uint16 = 8
+	// KindBaseline is the incremental engine's baseline manifest: the
+	// benchmark roster and analysis lineage of the latest cached run
+	// under a given set of sampling parameters.
+	KindBaseline uint16 = 9
+	// KindRunning is a merge-able running-statistics accumulator (a
+	// stats.Running plus its fold ledger) for cumulative timeline
+	// summaries.
+	KindRunning uint16 = 10
 
 	// maxKind bounds the per-kind counter table; bump alongside new kinds.
-	maxKind = KindTimeline
+	maxKind = KindRunning
 )
 
 // KindName returns the short lower-case name of an artifact kind, used to
@@ -94,6 +102,10 @@ func KindName(kind uint16) string {
 		return "summary"
 	case KindTimeline:
 		return "timeline"
+	case KindBaseline:
+		return "baseline"
+	case KindRunning:
+		return "running"
 	default:
 		return fmt.Sprintf("kind%d", kind)
 	}

@@ -1,0 +1,25 @@
+package kernel
+
+// Slice-growth utilities shared by the pooled scratch paths in cluster
+// and stats: return s resized to n elements, reusing its backing array
+// when it is large enough and allocating a fresh one otherwise. Contents
+// are unspecified — every caller fully (re)initializes the buffer before
+// reading it, which is what keeps pooled runs bit-identical to
+// fresh-allocation runs.
+
+// GrowFloats returns a float64 slice of length n backed by s when
+// possible.
+func GrowFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// GrowInts returns an int slice of length n backed by s when possible.
+func GrowInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,68 @@
+package stats
+
+import "testing"
+
+// TestProjectionDrift pins the frozen-basis drift detector: rows drawn
+// from the basis' own training distribution reconstruct almost exactly
+// (tiny drift), rows orthogonal to the retained subspace do not (large
+// drift), and no rows means no drift.
+func TestProjectionDrift(t *testing.T) {
+	// Training data spread along two latent directions in 6-D, so the
+	// retained components capture it nearly perfectly.
+	m := NewMatrix(40, 6)
+	for i := 0; i < m.Rows; i++ {
+		a, b := float64(i)/4, float64(i%7)-3
+		row := m.Row(i)
+		for j := range row {
+			row[j] = a*float64(j+1) + b*float64((j*j)%5)
+		}
+	}
+	pca, err := ComputePCA(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data is rank 2 by construction, so two components reconstruct
+	// it exactly (up to float64 noise).
+	k := 2
+
+	rows := []int{0, 5, 17, 39}
+	drift, err := pca.ProjectionDrift(m, rows, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift > 0.05 {
+		t.Fatalf("in-distribution drift %g, want near 0", drift)
+	}
+
+	// Perturb one coordinate far outside the training pattern: the
+	// reconstruction must miss by much more.
+	weird := NewMatrix(m.Rows, m.Cols)
+	copy(weird.Data, m.Data)
+	for _, r := range rows {
+		row := weird.Row(r)
+		for j := range row {
+			if j%2 == 0 {
+				row[j] = -row[j] + 50
+			}
+		}
+	}
+	outDrift, err := pca.ProjectionDrift(weird, rows, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outDrift <= drift {
+		t.Fatalf("out-of-distribution drift %g not above in-distribution %g", outDrift, drift)
+	}
+
+	zero, err := pca.ProjectionDrift(m, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Fatalf("drift over no rows = %g, want 0", zero)
+	}
+
+	if _, err := pca.ProjectionDrift(m, []int{m.Rows}, k); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}

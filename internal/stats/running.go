@@ -1,0 +1,161 @@
+package stats
+
+// Running is a merge-able per-column statistics accumulator (Welford /
+// Chan et al.): count, mean and the centered second moment M2 of every
+// column, updatable one row at a time (Observe) or by folding in another
+// accumulator (Merge). It is the incremental pipeline's answer to
+// "timeline appends should fold into cached summaries": a persisted
+// Running over the intervals already seen absorbs a batch of new
+// intervals without revisiting the old vectors.
+//
+// Like everything the pipeline persists, the accumulator is exactly
+// reproducible: Observe and Merge are plain sequential floating-point
+// updates, so folding the same rows in the same order always produces
+// bit-identical state. Different fold orders are numerically equivalent
+// but not bit-equal — callers that need bit-stable artifacts (the
+// cumulative timeline summary does) must fold deterministically, which
+// the core package does by folding intervals in execution order.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Running accumulates per-column count/mean/M2. The zero value is not
+// ready to use; construct with NewRunning.
+type Running struct {
+	// Count is how many rows have been folded in.
+	Count int64
+	// Mean is the running per-column mean.
+	Mean []float64
+	// M2 is the running per-column sum of squared deviations from the
+	// mean; population variance is M2/Count.
+	M2 []float64
+}
+
+// NewRunning returns an empty accumulator over cols columns.
+func NewRunning(cols int) *Running {
+	return &Running{Mean: make([]float64, cols), M2: make([]float64, cols)}
+}
+
+// Cols is the accumulator's column count.
+func (r *Running) Cols() int { return len(r.Mean) }
+
+// Observe folds one row into the accumulator (Welford's update).
+func (r *Running) Observe(row []float64) error {
+	if len(row) != len(r.Mean) {
+		return fmt.Errorf("stats: observing %d-column row into %d-column accumulator", len(row), len(r.Mean))
+	}
+	r.Count++
+	inv := 1 / float64(r.Count)
+	for j, v := range row {
+		d := v - r.Mean[j]
+		r.Mean[j] += d * inv
+		r.M2[j] += d * (v - r.Mean[j])
+	}
+	return nil
+}
+
+// Merge folds another accumulator into r (Chan et al.'s pairwise
+// combination). o is not modified.
+func (r *Running) Merge(o *Running) error {
+	if len(o.Mean) != len(r.Mean) {
+		return fmt.Errorf("stats: merging %d-column accumulator into %d columns", len(o.Mean), len(r.Mean))
+	}
+	if o.Count == 0 {
+		return nil
+	}
+	if r.Count == 0 {
+		r.Count = o.Count
+		copy(r.Mean, o.Mean)
+		copy(r.M2, o.M2)
+		return nil
+	}
+	n1, n2 := float64(r.Count), float64(o.Count)
+	total := n1 + n2
+	for j := range r.Mean {
+		delta := o.Mean[j] - r.Mean[j]
+		r.Mean[j] += delta * (n2 / total)
+		r.M2[j] += o.M2[j] + delta*delta*(n1*n2/total)
+	}
+	r.Count += o.Count
+	return nil
+}
+
+// Stats renders the accumulator as ColumnStats with the population
+// standard deviation — the same convention as Matrix.ColumnMeansStds, so
+// a Running folded over a matrix's rows in row order agrees with the
+// matrix's own summary up to floating-point accumulation order.
+func (r *Running) Stats() ColumnStats {
+	cs := ColumnStats{Mean: make([]float64, len(r.Mean)), Std: make([]float64, len(r.M2))}
+	copy(cs.Mean, r.Mean)
+	if r.Count > 0 {
+		inv := 1 / float64(r.Count)
+		for j, m2 := range r.M2 {
+			cs.Std[j] = math.Sqrt(math.Max(m2, 0) * inv)
+		}
+	}
+	return cs
+}
+
+// AppendBinary appends r's encoding to buf and returns the extended
+// slice. The layout is count (u64), cols (u32), then the mean and M2
+// columns as IEEE-754 bits — bit-exact round trip.
+func (r *Running) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Count))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Mean)))
+	for _, v := range r.Mean {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range r.M2 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// MarshalBinary encodes the accumulator (encoding.BinaryMarshaler).
+func (r *Running) MarshalBinary() ([]byte, error) {
+	return r.AppendBinary(make([]byte, 0, 12+16*len(r.Mean))), nil
+}
+
+// DecodeRunning consumes one encoded accumulator from the front of buf
+// and returns it with the remaining bytes.
+func DecodeRunning(buf []byte) (*Running, []byte, error) {
+	if len(buf) < 12 {
+		return nil, nil, fmt.Errorf("stats: running-stats header truncated (%d bytes)", len(buf))
+	}
+	count := int64(binary.LittleEndian.Uint64(buf))
+	cols := int(binary.LittleEndian.Uint32(buf[8:]))
+	buf = buf[12:]
+	if count < 0 {
+		return nil, nil, fmt.Errorf("stats: running stats with negative count %d", count)
+	}
+	if cols < 0 || len(buf) < 16*cols {
+		return nil, nil, fmt.Errorf("stats: %d running-stats columns do not fit %d bytes", cols, len(buf))
+	}
+	r := NewRunning(cols)
+	r.Count = count
+	for j := range r.Mean {
+		r.Mean[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+	}
+	buf = buf[8*cols:]
+	for j := range r.M2 {
+		r.M2[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+	}
+	return r, buf[8*cols:], nil
+}
+
+// UnmarshalBinary decodes an accumulator encoded by MarshalBinary,
+// rejecting trailing bytes (encoding.BinaryUnmarshaler).
+func (r *Running) UnmarshalBinary(data []byte) error {
+	dec, rest, err := DecodeRunning(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("stats: %d trailing bytes after running stats", len(rest))
+	}
+	*r = *dec
+	return nil
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunningMatchesColumnMeansStds pins the accumulator against the
+// batch implementation: one Observe per row must land on the same
+// per-column mean and population standard deviation (to float64 noise).
+func TestRunningMatchesColumnMeansStds(t *testing.T) {
+	m := NewMatrix(37, 5)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := range m.Data {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64(rng>>11) / float64(1<<53) * 100
+	}
+	r := NewRunning(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if err := r.Observe(m.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := m.ColumnMeansStds()
+	got := r.Stats()
+	for j := 0; j < m.Cols; j++ {
+		if math.Abs(got.Mean[j]-want.Mean[j]) > 1e-9 {
+			t.Fatalf("col %d mean %g, want %g", j, got.Mean[j], want.Mean[j])
+		}
+		if math.Abs(got.Std[j]-want.Std[j]) > 1e-9 {
+			t.Fatalf("col %d std %g, want %g", j, got.Std[j], want.Std[j])
+		}
+	}
+}
+
+// TestRunningMergeEqualsWholeObserve is the merge-ability contract:
+// splitting the rows across two accumulators and merging must match
+// observing everything in one (to float64 noise), for any split point —
+// including a merge into or from an empty accumulator.
+func TestRunningMergeEqualsWholeObserve(t *testing.T) {
+	m := NewMatrix(25, 3)
+	for i := range m.Data {
+		m.Data[i] = float64((i*2654435761)%1000) / 17
+	}
+	whole := NewRunning(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		whole.Observe(m.Row(i))
+	}
+	wantS := whole.Stats()
+	for split := 0; split <= m.Rows; split += 5 {
+		a, b := NewRunning(m.Cols), NewRunning(m.Cols)
+		for i := 0; i < split; i++ {
+			a.Observe(m.Row(i))
+		}
+		for i := split; i < m.Rows; i++ {
+			b.Observe(m.Row(i))
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if a.Count != whole.Count {
+			t.Fatalf("split %d: count %d, want %d", split, a.Count, whole.Count)
+		}
+		gotS := a.Stats()
+		for j := 0; j < m.Cols; j++ {
+			if math.Abs(gotS.Mean[j]-wantS.Mean[j]) > 1e-9 || math.Abs(gotS.Std[j]-wantS.Std[j]) > 1e-9 {
+				t.Fatalf("split %d col %d: mean/std %g/%g, want %g/%g",
+					split, j, gotS.Mean[j], gotS.Std[j], wantS.Mean[j], wantS.Std[j])
+			}
+		}
+	}
+}
+
+func TestRunningDimensionMismatch(t *testing.T) {
+	r := NewRunning(3)
+	if err := r.Observe([]float64{1, 2}); err == nil {
+		t.Fatal("short row observed")
+	}
+	if err := r.Merge(NewRunning(4)); err == nil {
+		t.Fatal("mismatched merge succeeded")
+	}
+}
+
+// TestRunningCodec round-trips the binary encoding and rejects
+// truncation and trailing bytes.
+func TestRunningCodec(t *testing.T) {
+	r := NewRunning(4)
+	for i := 0; i < 9; i++ {
+		r.Observe([]float64{float64(i), -float64(i), 0.5 * float64(i), 1e9 + float64(i)})
+	}
+	buf, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &Running{}
+	if err := out.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != r.Count {
+		t.Fatalf("count %d, want %d", out.Count, r.Count)
+	}
+	for j := range r.Mean {
+		if out.Mean[j] != r.Mean[j] || out.M2[j] != r.M2[j] {
+			t.Fatalf("col %d: %g/%g, want %g/%g", j, out.Mean[j], out.M2[j], r.Mean[j], r.M2[j])
+		}
+	}
+	for cut := 1; cut < len(buf); cut += 3 {
+		if err := (&Running{}).UnmarshalBinary(buf[:len(buf)-cut]); err == nil {
+			t.Fatalf("truncation by %d decoded", cut)
+		}
+	}
+	if err := (&Running{}).UnmarshalBinary(append(buf, 7)); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+}

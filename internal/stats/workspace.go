@@ -11,22 +11,29 @@ package stats
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/kernel"
 )
 
-func growFloats(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
+// growFloats is kernel.GrowFloats under its historical local name; the
+// shared implementation lives in internal/kernel so cluster and stats
+// stop carrying duplicate copies.
+func growFloats(s []float64, n int) []float64 { return kernel.GrowFloats(s, n) }
 
-func growMatrixInto(m *Matrix, rows, cols int) *Matrix {
+// GrowMatrix returns a rows x cols matrix backed by m's Data when it is
+// large enough, allocating a fresh matrix otherwise. Contents are
+// unspecified; callers fully overwrite before reading. It is the Matrix
+// counterpart of kernel.GrowFloats/GrowInts and is shared with the
+// cluster package's pooled scratch.
+func GrowMatrix(m *Matrix, rows, cols int) *Matrix {
 	if m == nil || cap(m.Data) < rows*cols {
 		return NewMatrix(rows, cols)
 	}
 	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
 	return m
 }
+
+func growMatrixInto(m *Matrix, rows, cols int) *Matrix { return GrowMatrix(m, rows, cols) }
 
 // PCAWorkspace holds reusable buffers for the analysis chain. The zero
 // value is ready to use. Results returned by its methods alias the

@@ -2,8 +2,9 @@
 # Repo verification gate: build, vet, the full test suite, the race
 # detector over every package, short fuzz runs over every binary
 # decoder, the shard-merge/resume equivalence check on the quick
-# pipeline, and the distributed loopback gate (networked workers with
-# injected faults and a mid-run worker kill). Run before every merge.
+# pipeline, the incremental append byte-identity gate, and the
+# distributed loopback gate (networked workers with injected faults and
+# a mid-run worker kill). Run before every merge.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -84,6 +85,24 @@ done
 cmp "$tmp/single.json" "$tmp/merged.json"
 "$tmp/phasechar" -quick -quiet -cache "$tmp/cache" -resume export > "$tmp/resumed.json"
 cmp "$tmp/single.json" "$tmp/resumed.json"
+
+echo "== incremental append gate (quick pipeline)"
+# The incremental engine's golden invariant, end to end through the CLI:
+# a baseline over six suites, then a full-roster append with the
+# approximation thresholds at zero, must export byte-identically to the
+# plain single-process run — and the run report must prove the delta
+# characterize path actually ran (rather than silently recomputing cold).
+"$tmp/phasechar" -quick -quiet -cache "$tmp/icache" -incremental \
+  -suites BioPerf,BMW,MediaBenchII,SPECint2000,SPECfp2000,SPECint2006 export > /dev/null
+"$tmp/phasechar" -quick -quiet -cache "$tmp/icache" -incremental \
+  -max-pca-drift 0 -max-centroid-shift 0 \
+  -report "$tmp/inc_report.json" export > "$tmp/incremental.json"
+cmp "$tmp/single.json" "$tmp/incremental.json"
+if ! grep -Fq '"engine.delta.characterize": 1' "$tmp/inc_report.json"; then
+  echo "incremental gate: append run did not take the delta characterize path" >&2
+  grep -F '"engine.' "$tmp/inc_report.json" >&2 || true
+  exit 1
+fi
 
 echo "== distributed loopback gate (3 workers, injected faults, mid-run kill)"
 # The same invariant across real process and network boundaries: three
