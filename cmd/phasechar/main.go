@@ -41,21 +41,35 @@
 //
 //	phasechar -cache .cache -incremental -suites BioPerf,BMW export  # baseline
 //	phasechar -cache .cache -incremental export                      # delta only
+//
+// Or run as a long-lived characterization service: a front door that
+// accepts analysis jobs over HTTP, runs them against a shared cache
+// (with an in-memory hot tier, so repeat queries answer at memory
+// speed), and streams status and byte-identical results back:
+//
+//	phasechar -cache .cache -addr 127.0.0.1:8430 service   # the server
+//	phasechar -server http://127.0.0.1:8430 -tenant alice \
+//	    -quick -suites BioPerf submit > result.json        # a client
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cliobs"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/serve"
 	"repro/internal/shardnet"
 )
 
@@ -91,6 +105,13 @@ func run() (err error) {
 		rpcRetries  = flag.Int("rpc-retries", 2, "extra attempts per worker per shard before the worker is declared dead")
 		rpcFaults   = flag.String("rpc-faults", "", "inject transport faults into -workers-addr runs, e.g. '0:5xx,corrupt;2:down' (workerIndex:kinds; kinds: drop delay corrupt 5xx hang down) — for testing; never changes results")
 		suites      = flag.String("suites", "", "comma-separated suite filter (e.g. BioPerf,SPECint2000): run the pipeline over only these suites' benchmarks (empty: all seven)")
+		serverURL   = flag.String("server", "", "with the 'submit' target: base URL of a running characterization service (e.g. http://127.0.0.1:8430)")
+		tenant      = flag.String("tenant", "", "with the 'submit' target: tenant name sent as X-Tenant (empty: anonymous)")
+		queueDepth  = flag.Int("queue-depth", 16, "with the 'service' target: max queued jobs beyond the running ones; submissions past it get 429")
+		jobWorkers  = flag.Int("job-workers", 2, "with the 'service' target: jobs run concurrently")
+		hotMB       = flag.Int("hot-mb", 256, "with the 'service' target: in-memory hot-tier byte budget in MiB in front of -cache (0: no hot tier)")
+		quotaBurst  = flag.Float64("quota-burst", 0, "with the 'service' target: per-tenant token-bucket burst; 0 disables quotas")
+		quotaRate   = flag.Float64("quota-rate", 1, "with the 'service' target: per-tenant token refill rate (submissions per second)")
 		obsFlags    = cliobs.RegisterObsFlags(flag.CommandLine)
 		incremental = cliobs.RegisterIncremental(flag.CommandLine)
 		incTol      = cliobs.RegisterIncrementalTolerances(flag.CommandLine)
@@ -115,7 +136,9 @@ func run() (err error) {
 		return fmt.Errorf("-workers-addr needs -cache (fetched shard artifacts are stored there for the merge)")
 	}
 	if *incremental {
-		if *cacheDir == "" {
+		// A submitted job's cache lives server-side, so submit is exempt
+		// from the local -cache requirement.
+		if *cacheDir == "" && flag.Arg(0) != "submit" {
 			return fmt.Errorf("-incremental needs -cache (the baseline manifest and its reusable artifacts live there)")
 		}
 		if *shardSpec != "" || *mergeN > 0 || *workersAddr != "" {
@@ -214,6 +237,8 @@ func run() (err error) {
 		fmt.Printf("  %-19s %s\n", "simpoints <bench>", "select weighted simulation points for one benchmark (section 5.3)")
 		fmt.Printf("  %-19s %s\n", "shard", "characterize one shard of the benchmarks (-shard i/n, requires -cache)")
 		fmt.Printf("  %-19s %s\n", "serve", "serve shard computations over HTTP for a -workers-addr coordinator (-addr host:port)")
+		fmt.Printf("  %-19s %s\n", "service", "run the long-lived characterization service: analysis jobs over HTTP against a shared -cache (-addr host:port)")
+		fmt.Printf("  %-19s %s\n", "submit", "submit this invocation's parameters as a job to a running service (-server URL) and print the result JSON")
 		return nil
 	}
 
@@ -222,18 +247,104 @@ func run() (err error) {
 		return err
 	}
 	if *suites != "" {
-		if reg, err = filterSuites(reg, *suites); err != nil {
+		if reg, err = reg.FilterSuites(*suites); err != nil {
 			return err
 		}
 	}
 
 	if target == "serve" {
 		srv := &shardnet.Server{Reg: reg, Workers: *workers, CacheDir: *cacheDir, Metrics: m, Logf: logf}
-		return srv.ListenAndServe(*serveAddr, func(a net.Addr) {
+		// SIGINT/SIGTERM drain in-flight shard requests instead of
+		// killing them mid-frame; a clean drain exits 0.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return srv.Serve(ctx, *serveAddr, func(a net.Addr) {
 			// The bound address goes to stdout so scripts starting workers on
 			// ephemeral ports (-addr host:0) can scrape where to reach them.
 			fmt.Printf("phasechar: listening at http://%s\n", a)
 		})
+	}
+
+	if target == "service" {
+		if *cacheDir == "" {
+			return fmt.Errorf("the service target needs -cache (jobs share artifacts through it)")
+		}
+		// The service always runs with a live collector: /metrics is part
+		// of its API. The obs flags still control report/summary output.
+		sm := m
+		if sm == nil {
+			sm = obs.New()
+			sm.SetTool("phasechar")
+		}
+		srv, err := serve.New(serve.Config{
+			CacheDir:    *cacheDir,
+			QueueDepth:  *queueDepth,
+			Workers:     *jobWorkers,
+			HotBytes:    int64(*hotMB) << 20,
+			QuotaPerSec: *quotaRate,
+			QuotaBurst:  *quotaBurst,
+			Metrics:     sm,
+			Logf:        logf,
+		})
+		if err != nil {
+			return err
+		}
+		// SIGINT/SIGTERM shut down gracefully (drain requests, finish
+		// running jobs) and exit 0; a dead listener exits nonzero.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return srv.Serve(ctx, *serveAddr, func(a net.Addr) {
+			fmt.Printf("phasechar: characterization service at http://%s\n", a)
+		})
+	}
+
+	if target == "submit" {
+		if *serverURL == "" {
+			return fmt.Errorf("the submit target needs -server http://host:port (a running 'service')")
+		}
+		spec := serve.JobSpec{
+			Suites:      *suites,
+			Seed:        *seed,
+			Interval:    *interval,
+			Samples:     *samples,
+			Clusters:    *clusters,
+			Prominent:   *prominent,
+			Key:         *key,
+			Workers:     *workers,
+			Incremental: *incremental,
+		}
+		switch {
+		case *paperScale:
+			spec.Preset = "paper-scale"
+		case *quick:
+			spec.Preset = "quick"
+		}
+		if *incremental {
+			spec.MaxPCADrift = &incTol.MaxPCADrift
+			spec.MaxCentroidShift = &incTol.MaxCentroidShift
+		}
+		client := &serve.Client{Base: *serverURL, Tenant: *tenant}
+		st, err := client.Submit(spec)
+		if err != nil {
+			return err
+		}
+		last, err := client.Events(st.ID, func(s serve.Status) {
+			if logf != nil {
+				logf("phasechar: job %s %s", s.ID, s.State)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if last.State != serve.StateDone {
+			return fmt.Errorf("job %s ended %s: %s", st.ID, last.State, last.Error)
+		}
+		result, err := client.Result(st.ID, false)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(result)
+		return err
 	}
 
 	if *workersAddr != "" {
@@ -358,40 +469,4 @@ func run() (err error) {
 		}
 	}
 	return nil
-}
-
-// filterSuites narrows the registry to the named suites — the usual way
-// to record an incremental baseline over a subset of the roster and
-// later extend it to the full one. Names match case-insensitively; an
-// unknown or empty name is an error, never a silently smaller run.
-func filterSuites(reg *bench.Registry, spec string) (*bench.Registry, error) {
-	want := map[bench.Suite]bool{}
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			return nil, fmt.Errorf("suite list %q has an empty entry", spec)
-		}
-		found := false
-		for _, s := range bench.Suites() {
-			if strings.EqualFold(string(s), name) {
-				want[s] = true
-				found = true
-				break
-			}
-		}
-		if !found {
-			var known []string
-			for _, s := range bench.Suites() {
-				known = append(known, string(s))
-			}
-			return nil, fmt.Errorf("unknown suite %q (suites: %s)", name, strings.Join(known, ", "))
-		}
-	}
-	var keep []*bench.Benchmark
-	for _, b := range reg.All() {
-		if want[b.Suite] {
-			keep = append(keep, b)
-		}
-	}
-	return bench.NewRegistry(keep)
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/trace"
@@ -307,6 +308,44 @@ func (r *Registry) Lookup(name string) (*Benchmark, error) {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
 	}
 	return found, nil
+}
+
+// FilterSuites narrows the registry to the comma-separated suite names
+// in spec — the roster contract shared by the phasechar CLI (-suites)
+// and the characterization service's job spec, so a job submitted over
+// HTTP selects exactly the roster the equivalent one-shot run would.
+// Names match case-insensitively; an unknown or empty name is an error,
+// never a silently smaller run.
+func (r *Registry) FilterSuites(spec string) (*Registry, error) {
+	want := map[Suite]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("bench: suite list %q has an empty entry", spec)
+		}
+		found := false
+		for _, s := range Suites() {
+			if strings.EqualFold(string(s), name) {
+				want[s] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			var known []string
+			for _, s := range Suites() {
+				known = append(known, string(s))
+			}
+			return nil, fmt.Errorf("bench: unknown suite %q (suites: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	var keep []*Benchmark
+	for _, b := range r.benchmarks {
+		if want[b.Suite] {
+			keep = append(keep, b)
+		}
+	}
+	return NewRegistry(keep)
 }
 
 // SuiteNames returns the suites present in the registry, in canonical

@@ -10,11 +10,13 @@
 package cliobs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -140,16 +142,25 @@ func Setup(tool, reportPath string, summary bool, addr string) (*obs.Metrics, fu
 	m := obs.New()
 	m.SetTool(tool)
 	par.Instrument(m)
+	var stopServe func(context.Context) error
 	if addr != "" {
-		bound, err := m.Serve(addr)
+		bound, shutdown, err := m.Serve(addr)
 		if err != nil {
 			par.Instrument(nil)
 			return nil, nil, err
 		}
+		stopServe = shutdown
 		fmt.Fprintf(os.Stderr, "%s: serving metrics at http://%s/metrics (and /debug/pprof)\n", tool, bound)
 	}
 	finish := func(errp *error) {
 		par.Instrument(nil)
+		if stopServe != nil {
+			// Drain in-flight metrics scrapes instead of killing them with
+			// the process; a scrape that cannot finish in time is dropped.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = stopServe(ctx)
+			cancel()
+		}
 		if reportPath != "" {
 			if werr := m.WriteReport(reportPath); werr != nil && *errp == nil {
 				*errp = werr

@@ -214,24 +214,57 @@ func (e *engine) computeShard(p shardPlan) (*shardArtifact, int, error) {
 // (merge runs always look, single-shard runs only under resume) and
 // characterizes it otherwise. Returns the artifact, whether it was
 // loaded, and the characterize-stage vector-cache hits.
+//
+// On the artifact-eligible path the compute runs under the cache's
+// singleflight (see fcache.GetOrCompute): concurrent service jobs — or
+// worker processes sharing the cache directory — needing the same shard
+// elect one computer, and the rest read its entry instead of burning a
+// duplicate characterization. The plain cold path (single shard, no
+// resume) is unchanged: it never consulted the cache before computing
+// and still does not.
 func (e *engine) loadOrComputeShard(p shardPlan) (*shardArtifact, bool, int, error) {
-	art := &shardArtifact{}
-	var key fcache.Key
-	if e.cache != nil {
-		key = e.keys.shardKey(p.index, p.count, p.benches, len(p.refs))
-		if p.count > 1 || e.cfg.Resume {
-			if e.cache.GetBinary(key, art) {
-				e.cfg.Metrics.Add("engine.shards_resumed", 1)
-				return art, true, 0, nil
+	if e.cache != nil && (p.count > 1 || e.cfg.Resume) {
+		key := e.keys.shardKey(p.index, p.count, p.benches, len(p.refs))
+		var computedArt *shardArtifact
+		var computedHits int
+		payload, computed, err := e.cache.GetOrCompute(key, func() ([]byte, error) {
+			a, h, cerr := e.computeShard(p)
+			if cerr != nil {
+				return nil, cerr
 			}
+			computedArt, computedHits = a, h
+			return a.MarshalBinary()
+		})
+		if err != nil {
+			if computedArt != nil {
+				// The shard computed fine but refused to encode for the
+				// cache; a persistence failure never fails the run (same
+				// contract as the ignored PutBinary error before).
+				e.cfg.Metrics.Add("engine.shards_computed", 1)
+				return computedArt, false, computedHits, nil
+			}
+			return nil, false, 0, err
 		}
+		if computed {
+			e.cfg.Metrics.Add("engine.shards_computed", 1)
+			return computedArt, false, computedHits, nil
+		}
+		art := &shardArtifact{}
+		if uerr := art.UnmarshalBinary(payload); uerr == nil {
+			e.cfg.Metrics.Add("engine.shards_resumed", 1)
+			return art, true, 0, nil
+		}
+		// The entry passed the cache checksum but not the artifact
+		// decoder (a schema bump raced this run): discard it so it is
+		// never trusted again, and recompute below.
+		e.cache.Discard(key)
 	}
 	art, hits, err := e.computeShard(p)
 	if err != nil {
 		return nil, false, 0, err
 	}
 	if e.cache != nil {
-		_ = e.cache.PutBinary(key, art)
+		_ = e.cache.PutBinary(e.keys.shardKey(p.index, p.count, p.benches, len(p.refs)), art)
 	}
 	e.cfg.Metrics.Add("engine.shards_computed", 1)
 	return art, false, hits, nil

@@ -154,15 +154,26 @@ func (k Key) hash() uint64 {
 // use Open.
 type Cache struct {
 	dir string
+	// hot is the directory's shared in-memory payload tier (see hot.go);
+	// nil unless EnableHotTier was called for dir.
+	hot *hotTier
 
 	// Observability sinks, installed by SetMetrics. All are nil (no-op)
 	// by default, so the uninstrumented hot path pays only nil checks.
-	hits         *obs.Counter
-	misses       *obs.Counter
-	corrupt      *obs.Counter
-	skew         *obs.Counter
-	bytesRead    *obs.Counter
-	bytesWritten *obs.Counter
+	hits          *obs.Counter
+	misses        *obs.Counter
+	corrupt       *obs.Counter
+	skew          *obs.Counter
+	bytesRead     *obs.Counter
+	bytesWritten  *obs.Counter
+	hotHits       *obs.Counter
+	hotMisses     *obs.Counter
+	hotEvict      *obs.Counter
+	hotBytes      *obs.Counter
+	sfLeader      *obs.Counter
+	sfShared      *obs.Counter
+	claimWait     *obs.Counter
+	claimTakeover *obs.Counter
 	// kindHits/kindMisses split the traffic per artifact kind
 	// (fcache.hits.vector, fcache.misses.shard, ...), indexed by Kind.
 	kindHits   [maxKind + 1]*obs.Counter
@@ -200,7 +211,7 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fcache: %w", err)
 	}
-	c := &Cache{dir: dir}
+	c := &Cache{dir: dir, hot: hotFor(dir)}
 	if _, seen := sweptDirs.LoadOrStore(dir, struct{}{}); !seen {
 		c.swept = sweepStaleTemps(dir)
 	}
@@ -220,6 +231,14 @@ func (c *Cache) SetMetrics(m *obs.Metrics) {
 	c.skew = m.Counter("fcache.version_skew")
 	c.bytesRead = m.Counter("fcache.bytes_read")
 	c.bytesWritten = m.Counter("fcache.bytes_written")
+	c.hotHits = m.Counter("fcache.hot_hits")
+	c.hotMisses = m.Counter("fcache.hot_misses")
+	c.hotEvict = m.Counter("fcache.hot_evictions")
+	c.hotBytes = m.Counter("fcache.hot_bytes")
+	c.sfLeader = m.Counter("fcache.sf_leader")
+	c.sfShared = m.Counter("fcache.sf_shared")
+	c.claimWait = m.Counter("fcache.claim_waits")
+	c.claimTakeover = m.Counter("fcache.claim_takeovers")
 	for kind := uint16(1); kind <= maxKind; kind++ {
 		c.kindHits[kind] = m.Counter("fcache.hits." + KindName(kind))
 		c.kindMisses[kind] = m.Counter("fcache.misses." + KindName(kind))
@@ -243,15 +262,19 @@ func (c *Cache) countMiss(kind uint16) {
 	}
 }
 
-// sweepStaleTemps removes orphaned Put temp files under dir, best-effort
-// (a cache must never fail a run over janitorial work), and returns how
-// many it reclaimed. Fresh temp files are left alone: they may belong to
-// a concurrent writer in another process.
+// sweepStaleTemps removes orphaned Put temp files and compute claim
+// files under dir, best-effort (a cache must never fail a run over
+// janitorial work), and returns how many it reclaimed. The sweep is
+// age-gated on mtime: fresh temps and claims are left alone, because
+// they may belong to a live writer or computing leader in a concurrent
+// process — only files old enough that their owner must be dead are
+// reclaimed.
 func sweepStaleTemps(dir string) int64 {
 	cutoff := time.Now().Add(-staleTempAge)
 	var swept int64
 	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), tempPrefix) {
+		if err != nil || d.IsDir() ||
+			(!strings.HasPrefix(d.Name(), tempPrefix) && !strings.HasSuffix(d.Name(), claimSuffix)) {
 			return nil
 		}
 		info, err := d.Info()
@@ -359,8 +382,17 @@ func (c *Cache) Get(k Key) (payload []byte, ok bool) {
 }
 
 // get is Get without the hit/miss accounting, shared with GetVector
-// (which has its own extra validity check and counts on its own).
+// (which has its own extra validity check and counts on its own). With a
+// hot tier enabled, resident payloads are served from memory; disk hits
+// warm the tier on the way out.
 func (c *Cache) get(k Key) (payload []byte, ok bool) {
+	if p, ok := c.hot.get(k); ok {
+		c.hotHits.Inc()
+		return p, true
+	}
+	if c.hot != nil {
+		c.hotMisses.Inc()
+	}
 	p := c.path(k)
 	buf, err := os.ReadFile(p)
 	if err != nil {
@@ -370,13 +402,26 @@ func (c *Cache) get(k Key) (payload []byte, ok bool) {
 	payload, err = decode(k, buf)
 	if err != nil {
 		os.Remove(p) // never trust it again
+		c.hot.drop(k)
 		c.corrupt.Inc()
 		if errors.Is(err, ErrVersionSkew) {
 			c.skew.Inc()
 		}
 		return nil, false
 	}
+	c.warmHot(k, payload)
 	return payload, true
+}
+
+// warmHot populates the hot tier with a just-validated or just-written
+// payload and charges the movement to the handle's counters.
+func (c *Cache) warmHot(k Key, payload []byte) {
+	if c.hot == nil {
+		return
+	}
+	evicted, delta := c.hot.put(k, payload)
+	c.hotEvict.Add(int64(evicted))
+	c.hotBytes.Add(delta)
 }
 
 // Put stores payload under k, atomically: the entry is written to a
@@ -404,7 +449,18 @@ func (c *Cache) Put(k Key, payload []byte) error {
 		return fmt.Errorf("fcache: %w", err)
 	}
 	c.bytesWritten.Add(int64(headerSize + len(payload) + 8))
+	c.warmHot(k, payload)
 	return nil
+}
+
+// Discard removes the entry for k — disk and hot tier — and counts it
+// as corrupt-deleted. For callers whose decoder rejected a payload that
+// passed the cache's own checksum (an artifact-level schema skew): the
+// entry must not be trusted again, exactly as if decode had failed.
+func (c *Cache) Discard(k Key) {
+	os.Remove(c.path(k))
+	c.hot.drop(k)
+	c.corrupt.Inc()
 }
 
 // GetVector fetches a cached float64 vector of exactly want elements.
@@ -417,6 +473,7 @@ func (c *Cache) GetVector(k Key, want int) ([]float64, bool) {
 	}
 	if len(payload) != 8*want {
 		os.Remove(c.path(k))
+		c.hot.drop(k)
 		c.corrupt.Inc()
 		c.countMiss(k.Kind)
 		return nil, false
@@ -458,6 +515,7 @@ func (c *Cache) GetBinary(k Key, v encoding.BinaryUnmarshaler) bool {
 	}
 	if err := v.UnmarshalBinary(payload); err != nil {
 		os.Remove(c.path(k))
+		c.hot.drop(k)
 		c.corrupt.Inc()
 		c.countMiss(k.Kind)
 		return false

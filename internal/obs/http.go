@@ -1,14 +1,34 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
+
+// MetricsHandler returns an http.Handler that serves the collector's
+// live Snapshot as indented JSON — the /metrics endpoint of both the
+// standalone obs.Serve listener and the characterization service's
+// front-door mux. Nil receiver serves 503 (observability disabled).
+func (m *Metrics) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if m == nil {
+			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+}
 
 // Serve exposes the collector on an HTTP endpoint for long runs:
 //
@@ -17,24 +37,21 @@ import (
 //	/debug/pprof  the standard pprof index (profile, heap, trace, ...)
 //
 // It listens on addr (e.g. "localhost:6060"; ":0" picks a free port),
-// serves in a background goroutine for the life of the process, and
-// returns the bound address. Nil receiver is an error — the caller asked
-// for an endpoint.
-func (m *Metrics) Serve(addr string) (string, error) {
+// serves in a background goroutine, and returns the bound address plus a
+// shutdown func that drains in-flight requests (bounded by the passed
+// context) instead of killing them mid-response; calling it more than
+// once is safe. Nil receiver is an error — the caller asked for an
+// endpoint.
+func (m *Metrics) Serve(addr string) (string, func(context.Context) error, error) {
 	if m == nil {
-		return "", fmt.Errorf("obs: no metrics collector to serve (observability disabled)")
+		return "", nil, fmt.Errorf("obs: no metrics collector to serve (observability disabled)")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: metrics endpoint: %w", err)
+		return "", nil, fmt.Errorf("obs: metrics endpoint: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(m.Snapshot())
-	})
+	mux.Handle("/metrics", m.MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -42,6 +59,18 @@ func (m *Metrics) Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // endpoint dies with the process
-	return ln.Addr().String(), nil
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	var once sync.Once
+	var shutErr error
+	shutdown := func(ctx context.Context) error {
+		once.Do(func() {
+			shutErr = srv.Shutdown(ctx)
+			if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) && shutErr == nil {
+				shutErr = err
+			}
+		})
+		return shutErr
+	}
+	return ln.Addr().String(), shutdown, nil
 }

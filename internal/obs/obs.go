@@ -87,10 +87,11 @@ type SpanRecord struct {
 type Metrics struct {
 	start time.Time
 
-	mu       sync.Mutex
-	tool     string
-	counters map[string]*Counter
-	spans    []SpanRecord
+	mu         sync.Mutex
+	tool       string
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+	spans      []SpanRecord
 }
 
 // New returns an enabled metrics collector; the run's clock starts now.
@@ -237,6 +238,9 @@ type Report struct {
 	Spans []SpanRecord `json:"spans"`
 	// Counters holds every registered counter's final value.
 	Counters map[string]int64 `json:"counters"`
+	// Histograms holds every registered latency histogram's summary
+	// (present only when at least one histogram was observed).
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot captures the collector's current state as a Report. Counters
@@ -258,6 +262,12 @@ func (m *Metrics) Snapshot() *Report {
 	}
 	for name, c := range m.counters {
 		r.Counters[name] = c.Value()
+	}
+	if len(m.histograms) > 0 {
+		r.Histograms = make(map[string]HistogramStats, len(m.histograms))
+		for name, h := range m.histograms {
+			r.Histograms[name] = h.Stats()
+		}
 	}
 	return r
 }
@@ -315,6 +325,16 @@ func (m *Metrics) Summary() string {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(&b, "  counter %-21s %12d\n", name, r.Counters[name])
+	}
+	names = names[:0]
+	for name := range r.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.Histograms[name]
+		fmt.Fprintf(&b, "  latency %-21s n=%-6d p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
+			name, h.Count, h.P50Seconds, h.P95Seconds, h.P99Seconds, h.MaxSeconds)
 	}
 	return b.String()
 }

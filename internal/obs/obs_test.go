@@ -48,7 +48,7 @@ func TestDisabledPathNoOps(t *testing.T) {
 	if err := m.WriteReport(filepath.Join(t.TempDir(), "r.json")); err == nil {
 		t.Fatal("nil Metrics WriteReport succeeded — a requested report was dropped silently")
 	}
-	if _, err := m.Serve("localhost:0"); err == nil {
+	if _, _, err := m.Serve("localhost:0"); err == nil {
 		t.Fatal("nil Metrics Serve succeeded")
 	}
 }
@@ -162,7 +162,7 @@ func TestSummary(t *testing.T) {
 func TestServeMetricsEndpoint(t *testing.T) {
 	m := New()
 	m.Add("fcache.hits", 3)
-	addr, err := m.Serve("127.0.0.1:0")
+	addr, _, err := m.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaTable holds one token bucket per tenant (keyed by the X-Tenant
+// header). Buckets refill continuously at perSec tokens per second up to
+// burst; a submission costs one token. Every tenant gets the same rate —
+// the point is isolation (one chatty tenant cannot starve the queue for
+// everyone), not billing tiers.
+type quotaTable struct {
+	perSec float64
+	burst  float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotaTable builds the table; burst <= 0 disables quotas entirely
+// (admit always succeeds).
+func newQuotaTable(perSec, burst float64) *quotaTable {
+	if burst <= 0 {
+		return nil
+	}
+	return &quotaTable{perSec: perSec, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// admit spends one token from tenant's bucket. When the bucket is dry it
+// returns false plus how long until a token accrues — the Retry-After
+// value. A nil table admits everything.
+func (q *quotaTable) admit(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.perSec)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if q.perSec <= 0 {
+		// No refill: the tenant burned its burst for this process's
+		// lifetime. Report a long, finite backoff rather than lying.
+		return false, time.Hour
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(math.Ceil(need/q.perSec)) * time.Second
+}

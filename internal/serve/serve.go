@@ -1,0 +1,313 @@
+// Package serve is the characterization service: a long-lived HTTP
+// front door that accepts analysis jobs as JSON, runs them through the
+// core pipeline against a shared artifact cache, and streams status and
+// results back. One process serves many tenants; what makes that safe
+// and fast is layered below this package — admission control and
+// per-tenant quotas here, the in-memory hot tier and per-key
+// singleflight in fcache, stage artifacts and the incremental delta
+// path in core. A job's result is byte-identical to the one-shot CLI
+// export for the same spec: the service changes where the pipeline
+// runs, never what it computes.
+//
+// Endpoints:
+//
+//	POST /jobs               submit a JobSpec; 202 + {"id": ...}, or 429
+//	                         (+ Retry-After) when the queue or the
+//	                         tenant's token bucket is full
+//	GET  /jobs/{id}          the job's Status snapshot
+//	GET  /jobs/{id}/result   the result JSON; ?wait=1 blocks until done
+//	GET  /jobs/{id}/events   server-sent events: one Status per change
+//	POST /jobs/{id}/cancel   cancel a still-queued job
+//	GET  /healthz            liveness
+//	GET  /metrics            the live obs run report (queue depth,
+//	                         admission rejects, cache traffic,
+//	                         per-endpoint latency histograms)
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fcache"
+	"repro/internal/obs"
+)
+
+// Config shapes one service instance.
+type Config struct {
+	// CacheDir is the shared fcache directory every job runs against.
+	// Required: the service's whole point is reusing work across jobs.
+	CacheDir string
+	// QueueDepth bounds how many jobs may wait beyond the ones running;
+	// a submission past the bound is rejected with 429 (0: default 16).
+	QueueDepth int
+	// Workers is how many jobs run concurrently (0: default 2).
+	Workers int
+	// HotBytes is the byte budget of the in-memory hot tier in front of
+	// CacheDir (0: no hot tier).
+	HotBytes int64
+	// QuotaPerSec / QuotaBurst configure the per-tenant token buckets:
+	// QuotaBurst submissions up front, refilled at QuotaPerSec. A
+	// QuotaBurst of 0 disables quotas.
+	QuotaPerSec float64
+	QuotaBurst  float64
+	// Metrics receives the service counters and latency histograms and
+	// backs /metrics. Nil disables instrumentation (and /metrics).
+	Metrics *obs.Metrics
+	// Logf receives job-level logging. Nil disables it.
+	Logf func(string, ...any)
+
+	// execute, when non-nil, replaces the pipeline execution — the
+	// concurrency tests' way to get arbitrarily slow, failing or
+	// panicking jobs without running the real pipeline. Unexported:
+	// only in-package tests can reach it.
+	execute func(spec JobSpec) ([]byte, error)
+}
+
+// Server is one running characterization service.
+type Server struct {
+	cfg    Config
+	m      *obs.Metrics
+	quotas *quotaTable
+	queue  chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int64
+
+	workers  sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	depth        *obs.Counter
+	admRejects   *obs.Counter
+	quotaRejects *obs.Counter
+	submitted    *obs.Counter
+	jobsDone     *obs.Counter
+	jobsFailed   *obs.Counter
+	jobsCancel   *obs.Counter
+}
+
+// drainTimeout bounds the HTTP drain after Serve's context is
+// cancelled. Result downloads and event streams are fast; jobs running
+// in workers are not part of the HTTP drain.
+const drainTimeout = 30 * time.Second
+
+// New builds the service and starts its worker pool. Callers must Close
+// it (Serve does so on the way out).
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheDir == "" {
+		return nil, fmt.Errorf("serve: a cache directory is required (jobs share artifacts through it)")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.HotBytes > 0 {
+		fcache.EnableHotTier(cfg.CacheDir, cfg.HotBytes)
+	}
+	s := &Server{
+		cfg:    cfg,
+		m:      cfg.Metrics,
+		quotas: newQuotaTable(cfg.QuotaPerSec, cfg.QuotaBurst),
+		queue:  make(chan *job, cfg.QueueDepth),
+		jobs:   make(map[string]*job),
+		stop:   make(chan struct{}),
+
+		depth:        cfg.Metrics.Counter("serve.queue_depth"),
+		admRejects:   cfg.Metrics.Counter("serve.admission_rejects"),
+		quotaRejects: cfg.Metrics.Counter("serve.quota_rejects"),
+		submitted:    cfg.Metrics.Counter("serve.jobs_submitted"),
+		jobsDone:     cfg.Metrics.Counter("serve.jobs_done"),
+		jobsFailed:   cfg.Metrics.Counter("serve.jobs_failed"),
+		jobsCancel:   cfg.Metrics.Counter("serve.jobs_cancelled"),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.workerLoop()
+	}
+	return s, nil
+}
+
+// Close stops the worker pool: queued jobs stop being picked up, and
+// Close returns once the jobs already running have finished. Idempotent.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workers.Wait()
+}
+
+// logf forwards to the configured logger.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// submit validates, admits and enqueues a job. The error carries an
+// HTTP status via submitError.
+func (s *Server) submit(tenant string, spec JobSpec) (*job, error) {
+	// Validate up front: a spec that cannot build must 400 at
+	// submission, not park in the queue to fail minutes later.
+	if _, _, err := spec.build(); err != nil {
+		return nil, &submitError{status: http.StatusBadRequest, err: err}
+	}
+	if ok, retry := s.quotas.admit(tenant, time.Now()); !ok {
+		s.quotaRejects.Inc()
+		return nil, &submitError{status: http.StatusTooManyRequests, retryAfter: retry,
+			err: fmt.Errorf("serve: tenant %q is over its submission quota", tenant)}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%08d", s.nextID), tenant, spec)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.depth.Inc()
+		s.submitted.Inc()
+		s.logf("serve: %s accepted job %s (suites=%q preset=%q)", tenant, j.id, spec.Suites, spec.Preset)
+		return j, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.admRejects.Inc()
+		return nil, &submitError{status: http.StatusTooManyRequests, retryAfter: time.Second,
+			err: fmt.Errorf("serve: job queue is full (%d waiting)", cap(s.queue))}
+	}
+}
+
+// submitError is a submission refusal with its HTTP representation.
+type submitError struct {
+	status     int
+	retryAfter time.Duration
+	err        error
+}
+
+func (e *submitError) Error() string { return e.err.Error() }
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// workerLoop pulls queued jobs until the server closes.
+func (s *Server) workerLoop() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.depth.Add(-1)
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job start to terminal state. Every exit lands the
+// job in done, failed or cancelled — a panic inside the pipeline
+// becomes a failed job with the panic text, never a job wedged in
+// "running" with a dead worker under it.
+func (s *Server) runJob(j *job) {
+	if !j.start() {
+		// A cancel won the race while the job was queued.
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(StateFailed, nil, fmt.Errorf("serve: job panicked: %v", r))
+			s.jobsFailed.Inc()
+			s.logf("serve: job %s panicked: %v", j.id, r)
+		}
+	}()
+	t0 := time.Now()
+	payload, err := s.executeJob(j.spec)
+	if err != nil {
+		j.finish(StateFailed, nil, err)
+		s.jobsFailed.Inc()
+		s.logf("serve: job %s failed: %v", j.id, err)
+		return
+	}
+	j.finish(StateDone, payload, nil)
+	s.jobsDone.Inc()
+	s.m.ObserveSince("serve.job_runtime", t0)
+	s.logf("serve: job %s done in %v (%d result bytes)", j.id, time.Since(t0).Round(time.Millisecond), len(payload))
+}
+
+// executeJob runs one spec through the pipeline and exports its JSON.
+func (s *Server) executeJob(spec JobSpec) ([]byte, error) {
+	if s.cfg.execute != nil {
+		return s.cfg.execute(spec)
+	}
+	reg, cfg, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	// The service fills in what the spec must not control: every job
+	// shares the service cache (resume mode, so stage artifacts of
+	// earlier identical jobs — and the hot tier holding them — answer
+	// repeat queries), and reports into the service collector.
+	cfg.CacheDir = s.cfg.CacheDir
+	cfg.Resume = true
+	cfg.Metrics = s.m
+	res, err := core.Run(reg, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Serve binds addr, reports the bound address through ready (may be
+// nil), and serves the front door until ctx is cancelled or the
+// listener fails. Cancellation shuts down gracefully — in-flight
+// requests drain (bounded by drainTimeout), the worker pool finishes
+// the jobs it is running — and returns nil; a listener failure returns
+// its error so the caller can exit nonzero.
+func (s *Server) Serve(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		s.logf("serve: shutting down, draining requests and running jobs")
+		dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		if serr := <-done; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		s.Close()
+		return err
+	case err := <-done:
+		s.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

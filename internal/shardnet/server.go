@@ -9,6 +9,8 @@ package shardnet
 // opts into persisting computed shards locally across requests.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -19,6 +21,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 )
+
+// drainTimeout bounds how long Serve waits for in-flight /shard requests
+// after its context is cancelled. A shard computation is minutes at the
+// absolute worst; a worker asked to stop should finish the frame it is
+// streaming, not abandon a coordinator mid-response.
+const drainTimeout = 30 * time.Second
 
 // maxRequestBytes bounds /shard request bodies; frames are fixed-size,
 // so anything larger is garbage.
@@ -60,6 +68,8 @@ func (s *Server) Handler() http.Handler {
 
 // handleShard serves one shard computation.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	s.Metrics.Counter("rpc.inflight").Add(1)
+	defer s.Metrics.Counter("rpc.inflight").Add(-1)
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -126,10 +136,15 @@ func (s *Server) refuse(w http.ResponseWriter, code int, err error) {
 	http.Error(w, err.Error(), code)
 }
 
-// ListenAndServe binds addr (host:port, port 0 for ephemeral), reports
-// the bound address through ready, and serves until the listener fails.
-// ready may be nil.
-func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
+// Serve binds addr (host:port, port 0 for ephemeral), reports the bound
+// address through ready (which may be nil), and serves until ctx is
+// cancelled or the listener fails. On cancellation the server shuts
+// down gracefully: the listener closes immediately, but requests
+// already being served — a shard computation mid-stream — drain to
+// completion (bounded by drainTimeout) before Serve returns. A clean
+// context-driven shutdown returns nil; a listener failure returns its
+// error.
+func (s *Server) Serve(ctx context.Context, addr string, ready func(net.Addr)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -141,5 +156,29 @@ func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.Serve(ln)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		s.logf("shardnet: shutting down, draining in-flight requests")
+		dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		if serr := <-done; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		return err
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// ListenAndServe is Serve without cancellation: it serves until the
+// listener fails. Kept for callers (and scripts) that manage worker
+// lifetime by killing the process.
+func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
+	return s.Serve(context.Background(), addr, ready)
 }

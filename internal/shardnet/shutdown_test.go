@@ -1,0 +1,135 @@
+package shardnet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestServeGracefulDrain is the shutdown regression test: cancelling a
+// worker's context while a /shard request is in flight must drain the
+// request — the caller still receives a complete, valid response frame —
+// and Serve must return nil (a clean shutdown, not a listener error).
+func TestServeGracefulDrain(t *testing.T) {
+	reg := testRegistry(t)
+	cfg := testConfig(t)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := core.DatasetHash(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.New()
+	srv := &Server{Reg: reg, Workers: cfg.Workers, Metrics: m}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- srv.Serve(ctx, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-serveErr:
+		t.Fatalf("Serve exited before ready: %v", err)
+	}
+
+	req := NewShardRequest(cfg, 0, 2, hash)
+	frame, err := req.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(fmt.Sprintf("http://%s/shard", addr), "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	// Cancel the moment the request is actually being served, so the
+	// shutdown genuinely races the in-flight computation. A fast shard
+	// can finish between polls of the gauge — if the response has
+	// already landed, the race simply didn't materialize this run, and
+	// the shutdown must still be clean.
+	inflight := m.Counter("rpc.inflight")
+	deadline := time.Now().Add(10 * time.Second)
+observe:
+	for inflight.Value() == 0 {
+		select {
+		case res := <-resCh:
+			resCh <- res
+			break observe
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	cancel()
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("draining worker dropped the request: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("status = %d, body %q", res.status, res.body)
+	}
+	var shardResp ShardResponse
+	if err := shardResp.UnmarshalBinary(res.body); err != nil {
+		t.Fatalf("draining worker returned an invalid frame: %v", err)
+	}
+	if shardResp.DatasetHash != hash || shardResp.Index != 0 || shardResp.Count != 2 {
+		t.Fatalf("frame mismatch: %+v", shardResp)
+	}
+	if len(shardResp.Payload) == 0 {
+		t.Fatal("drained response has an empty shard payload")
+	}
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if got := inflight.Value(); got != 0 {
+		t.Fatalf("rpc.inflight = %d after drain, want 0", got)
+	}
+
+	// The listener is closed: a new request must be refused at dial.
+	if _, err := http.Post(fmt.Sprintf("http://%s/shard", addr), "application/octet-stream", bytes.NewReader(frame)); err == nil {
+		t.Fatal("post-shutdown request was accepted")
+	}
+}
+
+// TestServeListenerError: an unusable address fails fast with an error,
+// not a hang.
+func TestServeListenerError(t *testing.T) {
+	srv := &Server{Reg: testRegistry(t)}
+	if err := srv.Serve(context.Background(), "256.0.0.1:bogus", nil); err == nil {
+		t.Fatal("bogus address should fail to bind")
+	}
+}

@@ -2,9 +2,11 @@
 # Repo verification gate: build, vet, the full test suite, the race
 # detector over every package, short fuzz runs over every binary
 # decoder, the shard-merge/resume equivalence check on the quick
-# pipeline, the incremental append byte-identity gate, and the
-# distributed loopback gate (networked workers with injected faults and
-# a mid-run worker kill). Run before every merge.
+# pipeline, the incremental append byte-identity gate, the distributed
+# loopback gate (networked workers with injected faults and a mid-run
+# worker kill), and the characterization-service loopback gate (jobs
+# over HTTP byte-identical to one-shot exports, cold and hot-warm, with
+# backpressure and latency histograms). Run before every merge.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,8 +14,15 @@ cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 WORKER_PIDS=""
 cleanup() {
-  # shellcheck disable=SC2086
-  [ -n "$WORKER_PIDS" ] && kill $WORKER_PIDS 2>/dev/null || true
+  # Force-kill and reap before removing the tree: a gracefully draining
+  # service would otherwise still be writing cache files under $tmp
+  # while rm -rf walks it.
+  if [ -n "$WORKER_PIDS" ]; then
+    # shellcheck disable=SC2086
+    kill -9 $WORKER_PIDS 2>/dev/null || true
+    # shellcheck disable=SC2086
+    wait $WORKER_PIDS 2>/dev/null || true
+  fi
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -138,5 +147,75 @@ victim="$(echo "$WORKER_PIDS" | awk '{print $2}')"
   -rpc-faults "0:5xx,corrupt;2:delay" \
   -report distributed_report.json export > "$tmp/distributed.json"
 cmp "$tmp/single.json" "$tmp/distributed.json"
+
+echo "== characterization service loopback gate"
+# The service's contract, end to end through the CLI: a job submitted
+# over HTTP must export byte-identically to the equivalent one-shot run
+# — cold, through an incremental append, and again hot-warm out of the
+# in-memory tier — while the front door sheds load with 429s at queue
+# capacity and reports per-endpoint latency percentiles in /metrics.
+six="BioPerf,BMW,MediaBenchII,SPECint2000,SPECfp2000,SPECint2006"
+"$tmp/phasechar" -quick -quiet -suites "$six" export > "$tmp/six.json"
+"$tmp/phasechar" -cache "$tmp/scache" -addr 127.0.0.1:0 \
+  -queue-depth 1 -job-workers 1 service > "$tmp/service.out" 2>&1 &
+WORKER_PIDS="$WORKER_PIDS $!"
+saddr=""
+tries=0
+while [ -z "$saddr" ]; do
+  saddr="$(sed -n 's|^phasechar: characterization service at http://||p' "$tmp/service.out")"
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "service never reported its address" >&2
+    cat "$tmp/service.out" >&2
+    exit 1
+  fi
+  [ -z "$saddr" ] && sleep 0.1
+done
+# Cold six-suite job (records the incremental baseline server-side).
+"$tmp/phasechar" -server "http://$saddr" -tenant gate -quick -quiet \
+  -incremental -suites "$six" submit > "$tmp/svc_six.json"
+cmp "$tmp/six.json" "$tmp/svc_six.json"
+# Incremental append over the full roster, through the front door.
+"$tmp/phasechar" -server "http://$saddr" -tenant gate -quick -quiet \
+  -incremental -max-pca-drift 0 -max-centroid-shift 0 submit > "$tmp/svc_full.json"
+cmp "$tmp/single.json" "$tmp/svc_full.json"
+# Hot-warm repeat: same job again, answered from cached artifacts (and
+# the in-memory tier) — still byte-identical.
+"$tmp/phasechar" -server "http://$saddr" -tenant gate -quick -quiet \
+  -incremental -suites "$six" submit > "$tmp/svc_six_warm.json"
+cmp "$tmp/six.json" "$tmp/svc_six_warm.json"
+# Saturation: with one worker pinned by a cold job and one queue slot,
+# a burst of submissions must see at least one 429.
+flood_codes=""
+for i in 1 2 3 4 5 6; do
+  flood_codes="$flood_codes $(curl -s -o /dev/null -w '%{http_code}' \
+    -X POST -H 'X-Tenant: flood' -H 'Content-Type: application/json' \
+    -d '{"preset":"quick","seed":7}' "http://$saddr/jobs")"
+done
+case "$flood_codes" in
+  *429*) echo "service gate: backpressure observed ($flood_codes)" ;;
+  *)
+    echo "service gate: no 429 under queue saturation ($flood_codes)" >&2
+    exit 1
+    ;;
+esac
+curl -s "http://$saddr/metrics" > "$tmp/service_metrics.json"
+python3 - "$tmp/service_metrics.json" <<'EOF'
+import json, sys
+
+rep = json.load(open(sys.argv[1]))
+c = rep["counters"]
+assert c.get("fcache.hot_hits", 0) > 0, f"no hot-tier hits in report: {c}"
+assert c.get("serve.admission_rejects", 0) > 0, "no admission rejects recorded"
+assert c.get("serve.jobs_done", 0) >= 3, f"jobs_done = {c.get('serve.jobs_done')}"
+h = rep.get("histograms", {})
+post = h.get("serve.http.post_jobs")
+assert post and post["count"] > 0, f"missing post_jobs histogram: {sorted(h)}"
+for k in ("p50_seconds", "p95_seconds", "p99_seconds"):
+    assert k in post, f"{k} missing from histogram summary"
+assert post["p50_seconds"] <= post["p95_seconds"] <= post["p99_seconds"] <= post["max_seconds"] + 1e-12
+print("service gate: hot hits =", c["fcache.hot_hits"],
+      "| post_jobs p50/p95/p99 =", post["p50_seconds"], post["p95_seconds"], post["p99_seconds"])
+EOF
 
 echo "verify: OK"
