@@ -52,6 +52,7 @@ func run() (err error) {
 		kiviat       = flag.Bool("kiviat", false, "print an ASCII kiviat over the paper's 12 key characteristics")
 		traceFile    = flag.String("trace", "", "characterize a binary trace file instead of a benchmark model")
 		list         = flag.Bool("list", false, "list available benchmarks and exit")
+		models       = flag.String("models", "", "workload-model file or directory of *.json files: loaded suites replace same-named built-in suites and append otherwise")
 		cacheDir     = flag.String("cache", "", "interval-vector cache directory for -timeline analysis (empty: no cache)")
 		resume       = flag.Bool("resume", false, "serve the whole -timeline analysis from its cached stage artifact when present and valid (requires -cache)")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,6 +97,15 @@ func run() (err error) {
 	reg, err := bench.StandardRegistry()
 	if err != nil {
 		return err
+	}
+	if *models != "" {
+		mf, err := bench.ReadModelFiles(*models)
+		if err != nil {
+			return err
+		}
+		if reg, err = reg.WithModels(mf); err != nil {
+			return err
+		}
 	}
 	if *list {
 		for _, s := range reg.SuiteNames() {

@@ -50,10 +50,21 @@
 //	phasechar -cache .cache -addr 127.0.0.1:8430 service   # the server
 //	phasechar -server http://127.0.0.1:8430 -tenant alice \
 //	    -quick -suites BioPerf submit > result.json        # a client
+//
+// Suites are data: the roster can be exported as a declarative model
+// file, edited or extended (models/ ships an emerging big-data suite),
+// and loaded back — locally, or inline in a service job so tenants
+// characterize their own workloads against the shared cache:
+//
+//	phasechar -export-models > roster.json               # dump the built-ins
+//	phasechar -models models -suites BigData export      # run a loaded suite
+//	phasechar -server http://127.0.0.1:8430 \
+//	    -models models -suites BigData submit            # ship it inline
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -104,7 +115,9 @@ func run() (err error) {
 		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "per-shard-request deadline for -workers-addr runs")
 		rpcRetries  = flag.Int("rpc-retries", 2, "extra attempts per worker per shard before the worker is declared dead")
 		rpcFaults   = flag.String("rpc-faults", "", "inject transport faults into -workers-addr runs, e.g. '0:5xx,corrupt;2:down' (workerIndex:kinds; kinds: drop delay corrupt 5xx hang down) — for testing; never changes results")
-		suites      = flag.String("suites", "", "comma-separated suite filter (e.g. BioPerf,SPECint2000): run the pipeline over only these suites' benchmarks (empty: all seven)")
+		suites      = flag.String("suites", "", "comma-separated suite filter (e.g. BioPerf,SPECint2000): run the pipeline over only these suites' benchmarks (empty: all loaded suites)")
+		models      = flag.String("models", "", "workload-model file or directory of *.json files: loaded suites replace same-named built-in suites and append otherwise (see DESIGN.md 'Workload model format')")
+		exportM     = flag.Bool("export-models", false, "print the loaded benchmark roster (after -models and -suites) as a model file on stdout and exit")
 		serverURL   = flag.String("server", "", "with the 'submit' target: base URL of a running characterization service (e.g. http://127.0.0.1:8430)")
 		tenant      = flag.String("tenant", "", "with the 'submit' target: tenant name sent as X-Tenant (empty: anonymous)")
 		queueDepth  = flag.Int("queue-depth", 16, "with the 'service' target: max queued jobs beyond the running ones; submissions past it get 429")
@@ -164,7 +177,7 @@ func run() (err error) {
 		return err
 	}
 	defer finishObs(&err)
-	if flag.NArg() < 1 {
+	if flag.NArg() < 1 && !*exportM {
 		flag.Usage()
 		return fmt.Errorf("expected an experiment id (or 'all' / 'list' / 'export' / 'simpoints <benchmark>')")
 	}
@@ -246,10 +259,29 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	var modelFile *bench.ModelFile
+	if *models != "" {
+		if modelFile, err = bench.ReadModelFiles(*models); err != nil {
+			return err
+		}
+		if reg, err = reg.WithModels(modelFile); err != nil {
+			return err
+		}
+	}
 	if *suites != "" {
 		if reg, err = reg.FilterSuites(*suites); err != nil {
 			return err
 		}
+	}
+	cfg.Registry = reg
+
+	if *exportM {
+		data, err := reg.ExportModels()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
 	}
 
 	if target == "serve" {
@@ -318,6 +350,11 @@ func run() (err error) {
 			spec.Preset = "paper-scale"
 		case *quick:
 			spec.Preset = "quick"
+		}
+		if modelFile != nil {
+			if spec.Models, err = json.Marshal(modelFile); err != nil {
+				return err
+			}
 		}
 		if *incremental {
 			spec.MaxPCADrift = &incTol.MaxPCADrift

@@ -48,6 +48,7 @@ func run() (err error) {
 		workers      = flag.Int("workers", 0, "parallel workers for -all generation (0: GOMAXPROCS; output is worker-count independent)")
 		outFile      = flag.String("o", "", "write a binary trace to this file instead of text to stdout")
 		cacheDir     = flag.String("cache", "", "with -all: also characterize each interval and store its vector in this cache directory, pre-warming later phasechar/micastat runs")
+		models       = flag.String("models", "", "workload-model file or directory of *.json files: loaded suites replace same-named built-in suites and append otherwise")
 		obsFlags     = cliobs.RegisterObsFlags(flag.CommandLine)
 		incremental  = cliobs.RegisterIncremental(flag.CommandLine)
 	)
@@ -69,6 +70,15 @@ func run() (err error) {
 	reg, err := bench.StandardRegistry()
 	if err != nil {
 		return err
+	}
+	if *models != "" {
+		mf, err := bench.ReadModelFiles(*models)
+		if err != nil {
+			return err
+		}
+		if reg, err = reg.WithModels(mf); err != nil {
+			return err
+		}
 	}
 	b, err := reg.Lookup(flag.Arg(0))
 	if err != nil {

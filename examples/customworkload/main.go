@@ -1,12 +1,14 @@
-// Customworkload: define a brand-new benchmark as a behaviour model, drop
-// it into the reference workload space, and ask the paper's practical
-// question (section 5.3): does this workload exhibit behaviour the existing
-// suites already cover — in which case simulating the matching phases
-// suffices — or does it bring genuinely new behaviour?
+// Customworkload: define a brand-new benchmark as a declarative workload
+// model, drop it into the reference workload space, and ask the paper's
+// practical question (section 5.3): does this workload exhibit behaviour
+// the existing suites already cover — in which case simulating the
+// matching phases suffices — or does it bring genuinely new behaviour?
 //
-// The custom benchmark below sketches a key-value store: a hash-probe
-// phase (random accesses over a big table, hard-to-predict comparisons)
-// and a log-flush phase (store-heavy sequential streaming).
+// The custom benchmark lives in kvstore.json — pure data, no Go: a
+// hash-probe phase (random accesses over a big table, hard-to-predict
+// comparisons) and a log-flush phase (store-heavy sequential streaming).
+// The same file works unchanged with the CLIs (`phasechar -models
+// kvstore.json`) and inline in a service job spec.
 //
 // Run with:
 //
@@ -14,6 +16,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -21,74 +24,25 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/isa"
-	"repro/internal/trace"
 )
 
-func customBenchmark() *bench.Benchmark {
+//go:embed kvstore.json
+var kvstoreModel []byte
+
+func main() {
 	// The probe phase is classic pointer chasing over a big hash table —
 	// behaviour SPEC's mcf exhibits too, so the analysis should find the
 	// match. The log-flush phase (store-heavy sequential writer) is the
 	// genuinely new part.
-	var probeMix trace.MixSpec
-	probeMix[isa.OpLoad] = 0.30
-	probeMix[isa.OpStore] = 0.06
-	probeMix[isa.OpBranchCond] = 0.13
-	probeMix[isa.OpBranchJump] = 0.01
-	probeMix[isa.OpCall] = 0.01
-	probeMix[isa.OpReturn] = 0.01
-	probeMix[isa.OpIntAdd] = 0.30
-	probeMix[isa.OpCompare] = 0.11
-	probeMix[isa.OpLogic] = 0.04
-	probeMix[isa.OpMove] = 0.03
-
-	var flushMix trace.MixSpec
-	flushMix[isa.OpLoad] = 0.20
-	flushMix[isa.OpStore] = 0.24
-	flushMix[isa.OpBranchCond] = 0.08
-	flushMix[isa.OpIntAdd] = 0.28
-	flushMix[isa.OpLogic] = 0.10
-	flushMix[isa.OpShift] = 0.06
-	flushMix[isa.OpMove] = 0.04
-
-	const MB = 1 << 20
-	return &bench.Benchmark{
-		Name:           "kvstore",
-		Suite:          "Custom",
-		PaperIntervals: 500,
-		Layout:         bench.LayoutPeriodic,
-		Phases: []bench.Phase{
-			{Weight: 0.7, Behavior: trace.PhaseBehavior{
-				Name:     "kvstore/probe",
-				Mix:      probeMix,
-				CodeSize: 6000,
-				Branch:   trace.BranchSpec{TakenBias: 0.55, PatternPeriod: 8, NoiseLevel: 0.2},
-				Reg:      trace.RegDepSpec{MeanDepDist: 3, AvgSrcRegs: 1.4, WriteFraction: 0.5},
-				Loads:    []trace.AccessPattern{{Kind: trace.PatternChase, Weight: 0.7, Region: 28 * MB}, {Kind: trace.PatternRandom, Weight: 0.3, Region: 28 * MB}},
-				Stores:   []trace.AccessPattern{{Kind: trace.PatternRandom, Weight: 1, Region: 7 * MB}},
-				Jitter:   0.08,
-			}},
-			{Weight: 0.3, Behavior: trace.PhaseBehavior{
-				Name:     "kvstore/logflush",
-				Mix:      flushMix,
-				CodeSize: 1500,
-				Branch:   trace.BranchSpec{TakenBias: 0.9, PatternPeriod: 24, NoiseLevel: 0.03},
-				Reg:      trace.RegDepSpec{MeanDepDist: 8, AvgSrcRegs: 1.5, WriteFraction: 0.75},
-				Loads:    []trace.AccessPattern{{Kind: trace.PatternStride, Weight: 1, Region: 8 * MB, Stride: 8}},
-				Stores:   []trace.AccessPattern{{Kind: trace.PatternStride, Weight: 1, Region: 16 * MB, Stride: 8}},
-				Jitter:   0.08,
-			}},
-		},
+	mf, err := bench.DecodeModels(kvstoreModel)
+	if err != nil {
+		log.Fatal(err)
 	}
-}
-
-func main() {
 	std, err := bench.StandardRegistry()
 	if err != nil {
 		log.Fatal(err)
 	}
-	custom := customBenchmark()
-	reg, err := bench.NewRegistry(append(std.All(), custom))
+	reg, err := std.WithModels(mf)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,19 +35,65 @@ const (
 	SuiteSPECfp2006  Suite = "SPECfp2006"
 )
 
-// Suites lists the seven sub-suites in the paper's presentation order.
+// SuiteInfo is a suite's registry metadata: what used to be hard-coded
+// enum switches (domain-specific or not, presentation order) plus a
+// human-readable description. Suites are open — any registry may carry
+// suites beyond the paper's seven, loaded from declarative model files.
+type SuiteInfo struct {
+	// Name is the suite identifier, e.g. "BioPerf".
+	Name Suite
+	// Description is a one-line human-readable summary.
+	Description string
+	// DomainSpecific marks suites targeting a specific application
+	// domain rather than general-purpose computing.
+	DomainSpecific bool
+}
+
+// standardSuiteInfos is the paper's seven sub-suites in presentation
+// order — the metadata NewRegistry derives for benchmarks that use the
+// canonical suite names without declaring SuiteInfo explicitly.
+var standardSuiteInfos = []SuiteInfo{
+	{SuiteBioPerf, "BioPerf: bio-informatics workloads", true},
+	{SuiteBMW, "BioMetricsWorkload: biometric recognition workloads", true},
+	{SuiteSPECint2000, "SPEC CPU2000 integer benchmarks", false},
+	{SuiteSPECfp2000, "SPEC CPU2000 floating-point benchmarks", false},
+	{SuiteSPECint2006, "SPEC CPU2006 integer benchmarks", false},
+	{SuiteSPECfp2006, "SPEC CPU2006 floating-point benchmarks", false},
+	{SuiteMediaBench, "MediaBench II: media encode/decode workloads", true},
+}
+
+// Suites lists the seven canonical sub-suites in the paper's
+// presentation order.
+//
+// Deprecated: the suite world is open; enumerate a registry's actual
+// suites with Registry.SuiteNames or Registry.SuiteInfos instead.
 func Suites() []Suite {
-	return []Suite{
-		SuiteBioPerf, SuiteBMW,
-		SuiteSPECint2000, SuiteSPECfp2000,
-		SuiteSPECint2006, SuiteSPECfp2006,
-		SuiteMediaBench,
+	out := make([]Suite, len(standardSuiteInfos))
+	for i, si := range standardSuiteInfos {
+		out[i] = si.Name
 	}
+	return out
+}
+
+// IsStandardSuite reports whether s is one of the paper's seven 2008-era
+// sub-suites (as opposed to a custom or emerging-era suite loaded from
+// model files).
+func IsStandardSuite(s Suite) bool {
+	for _, si := range standardSuiteInfos {
+		if si.Name == s {
+			return true
+		}
+	}
+	return false
 }
 
 // IsDomainSpecific reports whether the suite targets a specific application
 // domain (BioPerf, BMW, MediaBench II) rather than general-purpose
 // computing (SPEC CPU).
+//
+// Deprecated: this enum switch only knows the seven canonical suites.
+// Registry.IsDomainSpecific answers from the registry's suite metadata
+// and covers loaded suites too.
 func (s Suite) IsDomainSpecific() bool {
 	switch s {
 	case SuiteBioPerf, SuiteBMW, SuiteMediaBench:
@@ -245,27 +291,115 @@ func (b *Benchmark) IntervalSeed(i int) uint64 {
 	return trace.HashString(b.ID()) ^ trace.Hash64(uint64(i)+0x51ed)
 }
 
-// Registry is an ordered collection of benchmarks grouped by suite.
+// Registry is an ordered collection of benchmarks grouped by suite,
+// carrying per-suite metadata (SuiteInfo) in display order.
 type Registry struct {
 	benchmarks []*Benchmark
 	byID       map[string]*Benchmark
+	suites     []SuiteInfo        // display order
+	suiteIdx   map[Suite]int      // suite name -> index into suites
 }
 
 // NewRegistry builds a registry, validating every benchmark and rejecting
-// duplicate IDs.
+// duplicate IDs. Suite metadata is derived: canonical suite names get the
+// standard metadata in the paper's presentation order; any other suites
+// follow, sorted by name, with empty descriptions.
 func NewRegistry(benchmarks []*Benchmark) (*Registry, error) {
-	r := &Registry{byID: make(map[string]*Benchmark, len(benchmarks))}
+	present := map[Suite]bool{}
+	for _, b := range benchmarks {
+		present[b.Suite] = true
+	}
+	var infos []SuiteInfo
+	for _, si := range standardSuiteInfos {
+		if present[si.Name] {
+			infos = append(infos, si)
+			delete(present, si.Name)
+		}
+	}
+	var rest []Suite
+	for s := range present {
+		rest = append(rest, s)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, s := range rest {
+		infos = append(infos, SuiteInfo{Name: s})
+	}
+	return NewRegistryWithSuites(infos, benchmarks)
+}
+
+// NewRegistryWithSuites builds a registry with explicit suite metadata in
+// display order. Every benchmark must belong to a declared suite, every
+// declared suite must have at least one benchmark, and benchmark IDs must
+// be unique.
+//
+// The registry's benchmark order is normalized to suite display order
+// (stable within each suite). Registration order and display order
+// therefore always agree — the invariant that makes a registry exported
+// as a model file and reloaded reproduce the exact same dataset row
+// order, and with it byte-identical pipeline exports.
+func NewRegistryWithSuites(suites []SuiteInfo, benchmarks []*Benchmark) (*Registry, error) {
+	r := &Registry{
+		byID:     make(map[string]*Benchmark, len(benchmarks)),
+		suiteIdx: make(map[Suite]int, len(suites)),
+	}
+	for _, si := range suites {
+		if si.Name == "" {
+			return nil, fmt.Errorf("bench: suite with empty name")
+		}
+		if _, dup := r.suiteIdx[si.Name]; dup {
+			return nil, fmt.Errorf("bench: duplicate suite %q", si.Name)
+		}
+		r.suiteIdx[si.Name] = len(r.suites)
+		r.suites = append(r.suites, si)
+	}
+	used := make(map[Suite]bool, len(suites))
 	for _, b := range benchmarks {
 		if err := b.Validate(); err != nil {
 			return nil, err
 		}
+		if _, ok := r.suiteIdx[b.Suite]; !ok {
+			return nil, fmt.Errorf("bench: benchmark %s belongs to undeclared suite %q", b.ID(), b.Suite)
+		}
 		if _, dup := r.byID[b.ID()]; dup {
 			return nil, fmt.Errorf("bench: duplicate benchmark %s", b.ID())
 		}
+		used[b.Suite] = true
 		r.byID[b.ID()] = b
 		r.benchmarks = append(r.benchmarks, b)
 	}
+	for _, si := range r.suites {
+		if !used[si.Name] {
+			return nil, fmt.Errorf("bench: suite %q has no benchmarks", si.Name)
+		}
+	}
+	sort.SliceStable(r.benchmarks, func(i, j int) bool {
+		return r.suiteIdx[r.benchmarks[i].Suite] < r.suiteIdx[r.benchmarks[j].Suite]
+	})
 	return r, nil
+}
+
+// SuiteInfos returns the registry's suite metadata in display order.
+func (r *Registry) SuiteInfos() []SuiteInfo {
+	out := make([]SuiteInfo, len(r.suites))
+	copy(out, r.suites)
+	return out
+}
+
+// SuiteMeta returns one suite's metadata.
+func (r *Registry) SuiteMeta(s Suite) (SuiteInfo, bool) {
+	i, ok := r.suiteIdx[s]
+	if !ok {
+		return SuiteInfo{}, false
+	}
+	return r.suites[i], true
+}
+
+// IsDomainSpecific answers from the registry's suite metadata whether
+// the suite targets a specific application domain. Unknown suites report
+// false.
+func (r *Registry) IsDomainSpecific(s Suite) bool {
+	si, ok := r.SuiteMeta(s)
+	return ok && si.DomainSpecific
 }
 
 // All returns all benchmarks in registration order.
@@ -324,19 +458,25 @@ func (r *Registry) FilterSuites(spec string) (*Registry, error) {
 			return nil, fmt.Errorf("bench: suite list %q has an empty entry", spec)
 		}
 		found := false
-		for _, s := range Suites() {
-			if strings.EqualFold(string(s), name) {
-				want[s] = true
+		for _, si := range r.suites {
+			if strings.EqualFold(string(si.Name), name) {
+				want[si.Name] = true
 				found = true
 				break
 			}
 		}
 		if !found {
 			var known []string
-			for _, s := range Suites() {
-				known = append(known, string(s))
+			for _, si := range r.suites {
+				known = append(known, string(si.Name))
 			}
 			return nil, fmt.Errorf("bench: unknown suite %q (suites: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	var suites []SuiteInfo
+	for _, si := range r.suites {
+		if want[si.Name] {
+			suites = append(suites, si)
 		}
 	}
 	var keep []*Benchmark
@@ -345,27 +485,16 @@ func (r *Registry) FilterSuites(spec string) (*Registry, error) {
 			keep = append(keep, b)
 		}
 	}
-	return NewRegistry(keep)
+	return NewRegistryWithSuites(suites, keep)
 }
 
-// SuiteNames returns the suites present in the registry, in canonical
-// order, followed by any non-canonical suites sorted by name.
+// SuiteNames returns the registry's suites in display order: canonical
+// suites in the paper's presentation order, loaded suites in declaration
+// order after them.
 func (r *Registry) SuiteNames() []Suite {
-	present := map[Suite]bool{}
-	for _, b := range r.benchmarks {
-		present[b.Suite] = true
+	out := make([]Suite, len(r.suites))
+	for i, si := range r.suites {
+		out[i] = si.Name
 	}
-	var out []Suite
-	for _, s := range Suites() {
-		if present[s] {
-			out = append(out, s)
-			delete(present, s)
-		}
-	}
-	var rest []Suite
-	for s := range present {
-		rest = append(rest, s)
-	}
-	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
-	return append(out, rest...)
+	return out
 }

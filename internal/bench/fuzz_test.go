@@ -1,0 +1,93 @@
+package bench
+
+// Native fuzz target for the workload-model decoder. The contract:
+// arbitrary bytes must produce an error or a valid model, never a panic
+// — model files come from user disks and inline service payloads cross
+// the HTTP trust boundary before they reach this decoder. Accepted
+// payloads must build a registry and survive an export → decode round
+// trip (the round-trip gate depends on that).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeeds returns the seed corpus: the full standard-roster export,
+// a minimal hand-written model, and structurally hostile variants.
+func fuzzSeeds(t interface{ Fatal(args ...any) }) map[string][][]byte {
+	std, err := StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := std.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := []byte(`{"version":1,"suites":[{"name":"S","benchmarks":[{"name":"b","paper_intervals":4,"phases":[{"name":"p","weight":1,"mix":{"load":0.4,"store":0.1,"int_add":0.5},"code_size":100,"branch":{"taken_bias":0.5},"reg":{"mean_dep_dist":2,"avg_src_regs":1,"write_fraction":0.5},"loads":[{"kind":"random","weight":1,"region":4096}],"stores":[{"kind":"stride","weight":1,"region":4096,"stride":8}]}]}]}]}`)
+	return map[string][][]byte{
+		"FuzzDecodeModels": {
+			full,
+			full[:len(full)/2],
+			tiny,
+			[]byte(`{"version":2,"suites":[]}`),
+			[]byte(`{"version":1,"suites":[{"name":"","benchmarks":[]}]}`),
+			[]byte(`{"version":1,"suites":[{"name":"S/x","benchmarks":[]}]}`),
+			[]byte(`[]`),
+			[]byte(`{`),
+			{},
+		},
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Run with WRITE_FUZZ_CORPUS=1 after changing the codec.
+func TestWriteFuzzCorpus(t *testing.T) {
+	writeFuzzCorpus(t, fuzzSeeds(t))
+}
+
+// writeFuzzCorpus is shared by every package's corpus test (duplicated
+// locally; test helpers cannot be imported across packages).
+func writeFuzzCorpus(t *testing.T, seeds map[string][][]byte) {
+	t.Helper()
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for target, entries := range seeds {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range entries {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func FuzzDecodeModels(f *testing.F) {
+	for _, s := range fuzzSeeds(f)["FuzzDecodeModels"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mf, err := DecodeModels(data)
+		if err != nil {
+			return
+		}
+		reg, err := mf.Registry()
+		if err != nil {
+			t.Fatalf("accepted model does not build a registry: %v", err)
+		}
+		out, err := reg.ExportModels()
+		if err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		if _, err := DecodeModels(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,441 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// This file is the declarative workload-model codec: suites as data.
+// A model file is versioned JSON describing suites, their benchmarks and
+// every phase-behaviour parameter the synthetic generator consumes. The
+// codec is bit-exact — encoding/json round-trips float64 values through
+// their shortest exact decimal representation and integers literally, so
+// a decoded model reproduces the BehaviorHash of the model it was
+// exported from, and with it every interval-vector and stage-artifact
+// cache key. The golden invariant (pinned by tests and scripts/verify.sh):
+// StandardRegistry -> ExportModels -> DecodeModels -> run is byte-identical
+// to running the built-in registry directly.
+
+const (
+	// ModelSchemaVersion is the model-file format version. Decoders
+	// reject any other version; additive format changes bump it.
+	ModelSchemaVersion = 1
+
+	// MaxModelBytes caps one model payload (a file on disk or an inline
+	// blob in a service job spec). Workload models are a few hundred
+	// bytes per phase; anything near the cap is garbage or abuse.
+	MaxModelBytes = 1 << 20
+)
+
+// ModelFile is the root of one declarative workload-model payload.
+type ModelFile struct {
+	// Version must equal ModelSchemaVersion.
+	Version int `json:"version"`
+	// Suites declares the suites in display order.
+	Suites []SuiteModel `json:"suites"`
+}
+
+// SuiteModel declares one suite and its benchmarks.
+type SuiteModel struct {
+	Name           string           `json:"name"`
+	Description    string           `json:"description,omitempty"`
+	DomainSpecific bool             `json:"domain_specific,omitempty"`
+	Benchmarks     []BenchmarkModel `json:"benchmarks"`
+}
+
+// BenchmarkModel is the declarative form of Benchmark.
+type BenchmarkModel struct {
+	Name           string       `json:"name"`
+	PaperIntervals int          `json:"paper_intervals"`
+	// Layout is "sequential" (the default, omitted on export) or
+	// "periodic".
+	Layout string       `json:"layout,omitempty"`
+	Inputs []InputModel `json:"inputs,omitempty"`
+	Phases []PhaseModel `json:"phases"`
+}
+
+// InputModel is the declarative form of Input.
+type InputModel struct {
+	Name            string  `json:"name"`
+	WorkingSetScale float64 `json:"working_set_scale"`
+	BranchShift     float64 `json:"branch_shift,omitempty"`
+}
+
+// PhaseModel is the declarative form of Phase plus its
+// trace.PhaseBehavior.
+type PhaseModel struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	// Mix maps operation-class names (isa.OpClass.String: "load",
+	// "store", "branch", "int_add", ...) to relative weights; classes
+	// absent from the map carry zero weight.
+	Mix      map[string]float64 `json:"mix"`
+	CodeSize int                `json:"code_size"`
+	Branch   BranchModel        `json:"branch"`
+	Reg      RegModel           `json:"reg"`
+	Loads    []PatternModel     `json:"loads"`
+	Stores   []PatternModel     `json:"stores"`
+	Jitter   float64            `json:"jitter,omitempty"`
+}
+
+// BranchModel is the declarative form of trace.BranchSpec.
+type BranchModel struct {
+	TakenBias     float64 `json:"taken_bias"`
+	PatternPeriod int     `json:"pattern_period,omitempty"`
+	NoiseLevel    float64 `json:"noise_level,omitempty"`
+}
+
+// RegModel is the declarative form of trace.RegDepSpec.
+type RegModel struct {
+	MeanDepDist   float64 `json:"mean_dep_dist"`
+	AvgSrcRegs    float64 `json:"avg_src_regs"`
+	WriteFraction float64 `json:"write_fraction"`
+}
+
+// PatternModel is the declarative form of trace.AccessPattern. Kind is
+// "stride", "random" or "chase" (trace.PatternKind.String).
+type PatternModel struct {
+	Kind   string  `json:"kind"`
+	Weight float64 `json:"weight"`
+	Region uint64  `json:"region"`
+	Stride uint64  `json:"stride,omitempty"`
+}
+
+// layout name <-> Layout.
+const (
+	layoutSequentialName = "sequential"
+	layoutPeriodicName   = "periodic"
+)
+
+// DecodeModels parses one model payload, rejecting oversized input,
+// unknown fields, unknown versions, and any structurally or semantically
+// invalid model (bad weights, unknown mix classes or pattern kinds,
+// duplicate suite or benchmark names). A nil error means the file builds
+// into valid benchmarks: every suite and benchmark passed the same
+// validation NewRegistry applies.
+func DecodeModels(data []byte) (*ModelFile, error) {
+	if len(data) > MaxModelBytes {
+		return nil, fmt.Errorf("bench: model payload is %d bytes (cap %d)", len(data), MaxModelBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var mf ModelFile
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("bench: model payload: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("bench: model payload has trailing data")
+	}
+	if mf.Version != ModelSchemaVersion {
+		return nil, fmt.Errorf("bench: model version %d (this build reads version %d)", mf.Version, ModelSchemaVersion)
+	}
+	if len(mf.Suites) == 0 {
+		return nil, fmt.Errorf("bench: model declares no suites")
+	}
+	// Building the registry runs every structural and semantic check —
+	// and proves the decoded models are usable, not just parseable.
+	if _, err := mf.Registry(); err != nil {
+		return nil, err
+	}
+	return &mf, nil
+}
+
+// Registry materializes the model file into a registry of exactly its
+// suites, in declaration order.
+func (mf *ModelFile) Registry() (*Registry, error) {
+	var infos []SuiteInfo
+	var benches []*Benchmark
+	for si := range mf.Suites {
+		sm := &mf.Suites[si]
+		if err := validateModelName("suite", sm.Name); err != nil {
+			return nil, err
+		}
+		infos = append(infos, SuiteInfo{
+			Name:           Suite(sm.Name),
+			Description:    sm.Description,
+			DomainSpecific: sm.DomainSpecific,
+		})
+		if len(sm.Benchmarks) == 0 {
+			return nil, fmt.Errorf("bench: suite %q declares no benchmarks", sm.Name)
+		}
+		for bi := range sm.Benchmarks {
+			b, err := sm.Benchmarks[bi].benchmark(Suite(sm.Name))
+			if err != nil {
+				return nil, err
+			}
+			benches = append(benches, b)
+		}
+	}
+	return NewRegistryWithSuites(infos, benches)
+}
+
+// benchmark converts one declarative benchmark into the executable form.
+func (bm *BenchmarkModel) benchmark(suite Suite) (*Benchmark, error) {
+	if err := validateModelName("benchmark", bm.Name); err != nil {
+		return nil, fmt.Errorf("suite %s: %w", suite, err)
+	}
+	id := string(suite) + "/" + bm.Name
+	b := &Benchmark{Name: bm.Name, Suite: suite, PaperIntervals: bm.PaperIntervals}
+	switch bm.Layout {
+	case "", layoutSequentialName:
+		b.Layout = LayoutSequential
+	case layoutPeriodicName:
+		b.Layout = LayoutPeriodic
+	default:
+		return nil, fmt.Errorf("bench: %s: unknown layout %q (want %q or %q)",
+			id, bm.Layout, layoutSequentialName, layoutPeriodicName)
+	}
+	for _, im := range bm.Inputs {
+		b.Inputs = append(b.Inputs, Input{
+			Name:            im.Name,
+			WorkingSetScale: im.WorkingSetScale,
+			BranchShift:     im.BranchShift,
+		})
+	}
+	for pi := range bm.Phases {
+		pm := &bm.Phases[pi]
+		beh, err := pm.behavior(id)
+		if err != nil {
+			return nil, err
+		}
+		b.Phases = append(b.Phases, Phase{Weight: pm.Weight, Behavior: beh})
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// behavior converts one declarative phase into a trace.PhaseBehavior.
+func (pm *PhaseModel) behavior(benchID string) (trace.PhaseBehavior, error) {
+	beh := trace.PhaseBehavior{
+		Name:     pm.Name,
+		CodeSize: pm.CodeSize,
+		Branch: trace.BranchSpec{
+			TakenBias:     pm.Branch.TakenBias,
+			PatternPeriod: pm.Branch.PatternPeriod,
+			NoiseLevel:    pm.Branch.NoiseLevel,
+		},
+		Reg: trace.RegDepSpec{
+			MeanDepDist:   pm.Reg.MeanDepDist,
+			AvgSrcRegs:    pm.Reg.AvgSrcRegs,
+			WriteFraction: pm.Reg.WriteFraction,
+		},
+		Jitter: pm.Jitter,
+	}
+	for name, w := range pm.Mix {
+		c, ok := isa.OpClassByName(name)
+		if !ok {
+			return beh, fmt.Errorf("bench: %s phase %q: unknown mix class %q", benchID, pm.Name, name)
+		}
+		beh.Mix[c] = w
+	}
+	var err error
+	if beh.Loads, err = decodePatterns(benchID, pm.Name, "loads", pm.Loads); err != nil {
+		return beh, err
+	}
+	if beh.Stores, err = decodePatterns(benchID, pm.Name, "stores", pm.Stores); err != nil {
+		return beh, err
+	}
+	return beh, nil
+}
+
+func decodePatterns(benchID, phase, which string, pms []PatternModel) ([]trace.AccessPattern, error) {
+	var out []trace.AccessPattern
+	for _, pm := range pms {
+		var kind trace.PatternKind
+		switch pm.Kind {
+		case trace.PatternStride.String():
+			kind = trace.PatternStride
+		case trace.PatternRandom.String():
+			kind = trace.PatternRandom
+		case trace.PatternChase.String():
+			kind = trace.PatternChase
+		default:
+			return nil, fmt.Errorf("bench: %s phase %q %s: unknown pattern kind %q (want stride, random or chase)",
+				benchID, phase, which, pm.Kind)
+		}
+		out = append(out, trace.AccessPattern{Kind: kind, Weight: pm.Weight, Region: pm.Region, Stride: pm.Stride})
+	}
+	return out, nil
+}
+
+// validateModelName rejects names that would corrupt the "suite/name" ID
+// scheme or the comma-separated -suites roster syntax.
+func validateModelName(kind, name string) error {
+	if name == "" {
+		return fmt.Errorf("bench: %s with empty name", kind)
+	}
+	if strings.ContainsAny(name, "/,") || strings.TrimSpace(name) != name {
+		return fmt.Errorf("bench: %s name %q may not contain '/', ',' or surrounding spaces", kind, name)
+	}
+	return nil
+}
+
+// ExportModels renders the registry as a model file: suites in display
+// order with their metadata, benchmarks in registration order, every
+// behaviour parameter spelled out. The output is deterministic (map keys
+// sort) and decodes back to an equivalent registry whose benchmarks hash
+// identically — the round-trip invariant.
+func (r *Registry) ExportModels() ([]byte, error) {
+	mf := ModelFile{Version: ModelSchemaVersion}
+	for _, si := range r.suites {
+		sm := SuiteModel{
+			Name:           string(si.Name),
+			Description:    si.Description,
+			DomainSpecific: si.DomainSpecific,
+		}
+		for _, b := range r.BySuite(si.Name) {
+			sm.Benchmarks = append(sm.Benchmarks, benchmarkModel(b))
+		}
+		mf.Suites = append(mf.Suites, sm)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&mf); err != nil {
+		return nil, fmt.Errorf("bench: export models: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// benchmarkModel converts one benchmark to its declarative form.
+func benchmarkModel(b *Benchmark) BenchmarkModel {
+	bm := BenchmarkModel{Name: b.Name, PaperIntervals: b.PaperIntervals}
+	if b.Layout == LayoutPeriodic {
+		bm.Layout = layoutPeriodicName
+	}
+	for _, in := range b.Inputs {
+		bm.Inputs = append(bm.Inputs, InputModel{
+			Name:            in.Name,
+			WorkingSetScale: in.WorkingSetScale,
+			BranchShift:     in.BranchShift,
+		})
+	}
+	for i := range b.Phases {
+		p := &b.Phases[i]
+		beh := &p.Behavior
+		pm := PhaseModel{
+			Name:     beh.Name,
+			Weight:   p.Weight,
+			Mix:      map[string]float64{},
+			CodeSize: beh.CodeSize,
+			Branch: BranchModel{
+				TakenBias:     beh.Branch.TakenBias,
+				PatternPeriod: beh.Branch.PatternPeriod,
+				NoiseLevel:    beh.Branch.NoiseLevel,
+			},
+			Reg: RegModel{
+				MeanDepDist:   beh.Reg.MeanDepDist,
+				AvgSrcRegs:    beh.Reg.AvgSrcRegs,
+				WriteFraction: beh.Reg.WriteFraction,
+			},
+			Loads:  patternModels(beh.Loads),
+			Stores: patternModels(beh.Stores),
+			Jitter: beh.Jitter,
+		}
+		for c, w := range beh.Mix {
+			if w != 0 {
+				pm.Mix[isa.OpClass(c).String()] = w
+			}
+		}
+		bm.Phases = append(bm.Phases, pm)
+	}
+	return bm
+}
+
+func patternModels(ps []trace.AccessPattern) []PatternModel {
+	out := make([]PatternModel, len(ps))
+	for i, p := range ps {
+		out[i] = PatternModel{Kind: p.Kind.String(), Weight: p.Weight, Region: p.Region, Stride: p.Stride}
+	}
+	return out
+}
+
+// WithModels extends r with mf's suites: a loaded suite whose name
+// matches an existing suite replaces that suite's benchmarks and
+// metadata in place (so reloading an exported roster reproduces it
+// exactly); new suites append after the existing ones in declaration
+// order. r is unchanged; the result is a new registry.
+func (r *Registry) WithModels(mf *ModelFile) (*Registry, error) {
+	loaded, err := mf.Registry()
+	if err != nil {
+		return nil, err
+	}
+	replaced := map[Suite]bool{}
+	for _, si := range loaded.SuiteInfos() {
+		replaced[si.Name] = true
+	}
+	var suites []SuiteInfo
+	for _, si := range r.suites {
+		if replaced[si.Name] {
+			li, _ := loaded.SuiteMeta(si.Name)
+			suites = append(suites, li)
+		} else {
+			suites = append(suites, si)
+		}
+	}
+	for _, si := range loaded.SuiteInfos() {
+		if _, exists := r.suiteIdx[si.Name]; !exists {
+			suites = append(suites, si)
+		}
+	}
+	var benches []*Benchmark
+	for _, b := range r.benchmarks {
+		if !replaced[b.Suite] {
+			benches = append(benches, b)
+		}
+	}
+	benches = append(benches, loaded.All()...)
+	return NewRegistryWithSuites(suites, benches)
+}
+
+// ReadModelFiles reads one model file, or every *.json file of a
+// directory (in sorted name order), and returns the concatenation as a
+// single ModelFile. Suites must be unique across the files read.
+func ReadModelFiles(path string) (*ModelFile, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: models: %w", err)
+	}
+	files := []string{path}
+	if info.IsDir() {
+		entries, err := filepath.Glob(filepath.Join(path, "*.json"))
+		if err != nil {
+			return nil, fmt.Errorf("bench: models: %w", err)
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("bench: models: no *.json model files in %s", path)
+		}
+		sort.Strings(entries)
+		files = entries
+	}
+	merged := &ModelFile{Version: ModelSchemaVersion}
+	seen := map[string]string{} // suite name -> file it came from
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("bench: models: %w", err)
+		}
+		mf, err := DecodeModels(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		for _, sm := range mf.Suites {
+			if prev, dup := seen[sm.Name]; dup {
+				return nil, fmt.Errorf("bench: models: suite %q declared in both %s and %s", sm.Name, prev, f)
+			}
+			seen[sm.Name] = f
+			merged.Suites = append(merged.Suites, sm)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModelRoundTripGolden pins the codec's golden invariant: the
+// standard registry exported, decoded and re-exported is byte-identical,
+// and the reloaded registry matches the built-in one benchmark for
+// benchmark — same IDs in the same order, same behaviour hashes at every
+// interval, same interval seeds.
+func TestModelRoundTripGolden(t *testing.T) {
+	std := MustStandardRegistry()
+	data, err := std.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := DecodeModels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mf.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := loaded.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-export of reloaded registry is not byte-identical to the original export")
+	}
+
+	sb, lb := std.All(), loaded.All()
+	if len(lb) != len(sb) {
+		t.Fatalf("reloaded registry has %d benchmarks, want %d", len(lb), len(sb))
+	}
+	const maxIntervals = 16
+	for i := range sb {
+		a, b := sb[i], lb[i]
+		if a.ID() != b.ID() {
+			t.Fatalf("benchmark %d: reloaded ID %s, want %s", i, b.ID(), a.ID())
+		}
+		ta, tb := a.ScaledIntervals(maxIntervals), b.ScaledIntervals(maxIntervals)
+		if ta != tb {
+			t.Fatalf("%s: scaled intervals %d, want %d", a.ID(), tb, ta)
+		}
+		for k := 0; k < ta; k++ {
+			if a.BehaviorAt(k, ta).BehaviorHash() != b.BehaviorAt(k, ta).BehaviorHash() {
+				t.Fatalf("%s: behaviour hash differs at interval %d", a.ID(), k)
+			}
+			if a.IntervalSeed(k) != b.IntervalSeed(k) {
+				t.Fatalf("%s: interval seed differs at interval %d", a.ID(), k)
+			}
+		}
+	}
+
+	for i, si := range std.SuiteInfos() {
+		li := loaded.SuiteInfos()[i]
+		if si != li {
+			t.Fatalf("suite %d metadata changed across round-trip: %+v != %+v", i, li, si)
+		}
+	}
+}
+
+// validModelJSON returns a minimal valid single-suite model payload that
+// mutate can deform before encoding.
+func validModelJSON(t *testing.T, mutate func(mf *ModelFile)) []byte {
+	t.Helper()
+	mf := &ModelFile{
+		Version: ModelSchemaVersion,
+		Suites: []SuiteModel{{
+			Name:           "Custom",
+			DomainSpecific: true,
+			Benchmarks: []BenchmarkModel{{
+				Name:           "probe",
+				PaperIntervals: 12,
+				Phases: []PhaseModel{{
+					Name:     "probe/main",
+					Weight:   1,
+					Mix:      map[string]float64{"load": 0.3, "store": 0.1, "branch": 0.1, "int_add": 0.5},
+					CodeSize: 1000,
+					Branch:   BranchModel{TakenBias: 0.6, NoiseLevel: 0.1},
+					Reg:      RegModel{MeanDepDist: 3, AvgSrcRegs: 1.5, WriteFraction: 0.6},
+					Loads:    []PatternModel{{Kind: "random", Weight: 1, Region: 1 << 20}},
+					Stores:   []PatternModel{{Kind: "stride", Weight: 1, Region: 1 << 16, Stride: 64}},
+				}},
+			}},
+		}},
+	}
+	if mutate != nil {
+		mutate(mf)
+	}
+	data, err := json.Marshal(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeModelsValid(t *testing.T) {
+	mf, err := DecodeModels(validModelJSON(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := mf.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Lookup("Custom/probe"); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.IsDomainSpecific("Custom") {
+		t.Fatal("Custom suite lost its domain-specific flag")
+	}
+}
+
+func TestDecodeModelsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"not json", []byte("phases: everywhere"), "model payload"},
+		{"unknown field", []byte(`{"version":1,"bonus":true,"suites":[]}`), "bonus"},
+		{"trailing data", append(validModelJSON(t, nil), []byte("{}")...), "trailing"},
+		{"wrong version", validModelJSON(t, func(mf *ModelFile) { mf.Version = 99 }), "version 99"},
+		{"no suites", []byte(`{"version":1,"suites":[]}`), "no suites"},
+		{"oversized", append(validModelJSON(t, nil), bytes.Repeat([]byte(" "), MaxModelBytes)...), "cap"},
+		{"empty suite name", validModelJSON(t, func(mf *ModelFile) { mf.Suites[0].Name = "" }), "empty name"},
+		{"suite name with comma", validModelJSON(t, func(mf *ModelFile) { mf.Suites[0].Name = "a,b" }), "may not contain"},
+		{"bench name with slash", validModelJSON(t, func(mf *ModelFile) { mf.Suites[0].Benchmarks[0].Name = "a/b" }), "may not contain"},
+		{"duplicate suites", validModelJSON(t, func(mf *ModelFile) { mf.Suites = append(mf.Suites, mf.Suites[0]) }), "duplicate suite"},
+		{"duplicate benchmarks", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks = append(mf.Suites[0].Benchmarks, mf.Suites[0].Benchmarks[0])
+		}), "duplicate benchmark"},
+		{"suite without benchmarks", validModelJSON(t, func(mf *ModelFile) { mf.Suites[0].Benchmarks = nil }), "no benchmarks"},
+		{"unknown mix class", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Mix["simd_gather"] = 0.1
+		}), "unknown mix class"},
+		{"negative mix weight", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Mix["load"] = -0.3
+		}), ""},
+		{"unknown pattern kind", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Loads[0].Kind = "teleport"
+		}), "unknown pattern kind"},
+		{"unknown layout", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Layout = "spiral"
+		}), "unknown layout"},
+		{"bad phase weight", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Weight = -1
+		}), ""},
+		{"zero pattern region", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Loads[0].Region = 0
+		}), ""},
+		{"stride without stride", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Stores[0].Stride = 0
+		}), ""},
+		{"bad write fraction", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Phases[0].Reg.WriteFraction = 1.5
+		}), ""},
+		{"bad input scale", validModelJSON(t, func(mf *ModelFile) {
+			mf.Suites[0].Benchmarks[0].Inputs = []InputModel{{Name: "in", WorkingSetScale: -1}}
+		}), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeModels(tc.data)
+			if err == nil {
+				t.Fatal("DecodeModels accepted an invalid payload")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestWithModels pins the merge semantics: new suites append after the
+// existing ones, same-named suites replace benchmarks and metadata, and
+// the receiver registry is left untouched.
+func TestWithModels(t *testing.T) {
+	std := MustStandardRegistry()
+	mf, err := DecodeModels(validModelJSON(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := std.WithModels(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != std.Len()+1 {
+		t.Fatalf("merged registry has %d benchmarks, want %d", merged.Len(), std.Len()+1)
+	}
+	names := merged.SuiteNames()
+	if names[len(names)-1] != "Custom" {
+		t.Fatalf("appended suite is %s, want Custom last; names = %v", names[len(names)-1], names)
+	}
+	for i, s := range std.SuiteNames() {
+		if names[i] != s {
+			t.Fatalf("existing suite order disturbed: %v", names)
+		}
+	}
+	if _, err := merged.Lookup("Custom/probe"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := std.Lookup("Custom/probe"); err == nil {
+		t.Fatal("WithModels mutated its receiver")
+	}
+
+	// Same-named suite: replaces wholesale.
+	shadow, err := DecodeModels(validModelJSON(t, func(m *ModelFile) {
+		m.Suites[0].Name = string(SuiteBioPerf)
+		m.Suites[0].Description = "replaced"
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := std.WithModels(shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(replaced.BySuite(SuiteBioPerf)); got != 1 {
+		t.Fatalf("shadowed BioPerf has %d benchmarks, want 1", got)
+	}
+	if si, _ := replaced.SuiteMeta(SuiteBioPerf); si.Description != "replaced" {
+		t.Fatalf("shadowed BioPerf metadata not replaced: %+v", si)
+	}
+	if replaced.SuiteNames()[0] != SuiteBioPerf {
+		t.Fatalf("shadowed suite lost its display position: %v", replaced.SuiteNames())
+	}
+
+	// Reloading a full exported roster over the standard registry is a
+	// pure shadow: same suites, same benchmarks, same export.
+	data, err := std.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DecodeModels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := std.WithModels(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfData, err := self.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(selfData, data) {
+		t.Fatal("reloading the full exported roster changed the registry")
+	}
+}
+
+// TestFilterSuitesCustom pins the satellite fix: suite selection works
+// over whatever the registry holds, not the built-in enum.
+func TestFilterSuitesCustom(t *testing.T) {
+	std := MustStandardRegistry()
+	mf, err := DecodeModels(validModelJSON(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := std.WithModels(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := merged.FilterSuites("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.Len() != 1 || only.All()[0].ID() != "Custom/probe" {
+		t.Fatalf("filtered registry = %v", only.All())
+	}
+	if _, err := std.FilterSuites("Custom"); err == nil {
+		t.Fatal("standard registry accepted an unknown suite name")
+	} else if !strings.Contains(err.Error(), "BioPerf") {
+		t.Fatalf("unknown-suite error does not list known suites: %v", err)
+	}
+}
+
+func TestReadModelFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := validModelJSON(t, nil)
+	b := validModelJSON(t, func(mf *ModelFile) {
+		mf.Suites[0].Name = "Custom2"
+		mf.Suites[0].Benchmarks[0].Name = "probe2"
+	})
+	if err := os.WriteFile(filepath.Join(dir, "a.json"), a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mf, err := ReadModelFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Suites) != 2 || mf.Suites[0].Name != "Custom" || mf.Suites[1].Name != "Custom2" {
+		t.Fatalf("merged suites = %+v", mf.Suites)
+	}
+	single, err := ReadModelFiles(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Suites) != 1 {
+		t.Fatalf("single file read %d suites", len(single.Suites))
+	}
+
+	// Duplicate suite across files: rejected with both file names.
+	if err := os.WriteFile(filepath.Join(dir, "c.json"), a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModelFiles(dir); err == nil {
+		t.Fatal("duplicate suite across files accepted")
+	} else if !strings.Contains(err.Error(), "a.json") || !strings.Contains(err.Error(), "c.json") {
+		t.Fatalf("duplicate-suite error does not name both files: %v", err)
+	}
+
+	if _, err := ReadModelFiles(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+// TestShippedModels loads the checked-in emerging-era suite files and
+// verifies they merge and filter like any other suite.
+func TestShippedModels(t *testing.T) {
+	mf, err := ReadModelFiles("../../models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := MustStandardRegistry()
+	merged, err := std.WithModels(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := merged.FilterSuites("BigData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Len() < 6 {
+		t.Fatalf("BigData suite has %d benchmarks, want >= 6", bd.Len())
+	}
+	if !merged.IsDomainSpecific("BigData") {
+		t.Fatal("BigData should be domain-specific")
+	}
+	if IsStandardSuite("BigData") {
+		t.Fatal("BigData misclassified as a 2008 standard suite")
+	}
+	for _, b := range bd.All() {
+		if b.PaperIntervals <= 0 {
+			t.Fatalf("%s has no interval count", b.ID())
+		}
+	}
+}

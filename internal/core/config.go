@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/ga"
 	"repro/internal/obs"
@@ -141,6 +142,14 @@ type Config struct {
 	// GA.Workers inherit Config.Seed / Config.Workers exactly as for
 	// KMeans above.
 	GA ga.Config
+	// Registry, when non-nil, names the benchmark roster the run is
+	// over; Run falls back to it when called with a nil registry
+	// argument. The registry never feeds the artifact key chain directly
+	// — dataset and stage keys fold each benchmark's behavior hashes, so
+	// two registries with identical rosters share cache entries and a
+	// roster change (loaded models, filtered suites) re-keys exactly the
+	// affected artifacts.
+	Registry *bench.Registry `json:"-"`
 }
 
 // DefaultConfig returns the default, laptop-scale configuration.

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestArtifactKeysModelRoundTrip pins the cache-key half of the
+// suites-as-data invariant: a registry reloaded from its own exported
+// model file produces exactly the artifact key chain of the built-in
+// registry (so loaded rosters share every cached artifact), while a
+// roster whose behaviour differs re-keys the dataset.
+func TestArtifactKeysModelRoundTrip(t *testing.T) {
+	std, err := bench.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := std.ExportModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := bench.DecodeModels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mf.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != std.Len() {
+		t.Fatalf("reloaded registry has %d benchmarks, want %d", loaded.Len(), std.Len())
+	}
+
+	cfg := TestConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rows := len(SampleRefs(std, cfg))
+	want := newArtifactKeys(std, cfg, rows)
+	got := newArtifactKeys(loaded, cfg, rows)
+	if got.params != want.params {
+		t.Fatalf("params key changed across model round-trip: %#x != %#x", got.params, want.params)
+	}
+	if got.dataset != want.dataset {
+		t.Fatalf("dataset key changed across model round-trip: %#x != %#x", got.dataset, want.dataset)
+	}
+	for i := range want.bench {
+		if got.bench[i] != want.bench[i] {
+			t.Fatalf("benchmark %d (%s) re-keyed across model round-trip", i, std.All()[i].ID())
+		}
+	}
+
+	// A genuinely different roster must not collide: nudge one phase's
+	// branch bias through the model layer and require a new dataset key.
+	mf.Suites[0].Benchmarks[0].Phases[0].Branch.TakenBias = 0.123
+	changed, err := mf.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := newArtifactKeys(changed, cfg, rows); k.dataset == want.dataset {
+		t.Fatal("modified roster kept the standard dataset key")
+	}
+}
+
+// TestRunUsesConfigRegistry pins the Config.Registry fallback: Run with
+// a nil registry argument uses cfg.Registry, and fails cleanly when
+// neither is set.
+func TestRunUsesConfigRegistry(t *testing.T) {
+	std, err := bench.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := std.FilterSuites("BioPerf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TestConfig()
+	cfg.Registry = reg
+	res, err := Run(nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Registry != reg {
+		t.Fatal("result does not carry the config registry")
+	}
+
+	cfg.Registry = nil
+	if _, err := Run(nil, cfg, nil); err == nil {
+		t.Fatal("Run with no registry anywhere succeeded")
+	}
+}

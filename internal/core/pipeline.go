@@ -107,6 +107,12 @@ func Run(reg *bench.Registry, cfg Config, logf func(format string, args ...any))
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if reg == nil {
+		reg = cfg.Registry
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("core: no benchmark registry (nil argument and nil Config.Registry)")
+	}
 	if reg.Len() == 0 {
 		return nil, fmt.Errorf("core: empty benchmark registry")
 	}

@@ -207,7 +207,7 @@ func AblationGranularity(e *Env) (string, error) {
 		cov := res.SuiteCoverage()
 		var spec, dom, nSpec, nDom float64
 		for s, c := range cov {
-			if s.IsDomainSpecific() {
+			if e.Registry.IsDomainSpecific(s) {
 				dom += float64(c)
 				nDom++
 			} else {

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// CrossEra compares the 2008-era standard suites against emerging-era
+// suites loaded from workload-model files (e.g. models/bigdata.json):
+// per-suite and per-era workload-space coverage, diversity and
+// uniqueness — the paper's section 5 questions asked across benchmark
+// generations. Suites are classified by name: the paper's five 2008
+// suites are "2008", everything else loaded into the registry is
+// "emerging".
+func CrossEra(e *Env) (string, error) {
+	suites := e.sortedSuites()
+	var standard, emerging []bench.Suite
+	for _, s := range suites {
+		if bench.IsStandardSuite(s) {
+			standard = append(standard, s)
+		} else {
+			emerging = append(emerging, s)
+		}
+	}
+	if len(emerging) == 0 {
+		return "Cross-era comparison: no emerging-era suites loaded.\n" +
+			"Load one with -models, e.g.:\n\n" +
+			"  phasechar -models models crossera\n\n" +
+			"(models/ ships a big-data suite modelled after Jia et al.,\n" +
+			"'Characterizing data analysis workloads in data centers'.)\n", nil
+	}
+
+	res, err := e.Result()
+	if err != nil {
+		return "", err
+	}
+	cov := res.SuiteCoverage()
+	uf := res.UniqueFraction()
+
+	// Era-level aggregates over the raw assignments: coverage is the
+	// number of clusters any of the era's suites touch; uniqueness is the
+	// fraction of the era's sampled execution living in clusters no suite
+	// of the other era reaches.
+	isEmerging := map[bench.Suite]bool{}
+	for _, s := range emerging {
+		isEmerging[s] = true
+	}
+	clusterEras := map[int][2]bool{} // cluster -> {has 2008 rows, has emerging rows}
+	for i, ref := range res.Dataset.Refs {
+		c := res.Clusters.Assignments[i]
+		eras := clusterEras[c]
+		if isEmerging[ref.Bench.Suite] {
+			eras[1] = true
+		} else {
+			eras[0] = true
+		}
+		clusterEras[c] = eras
+	}
+	var eraClusters, eraUniqueRows, eraRows [2]int
+	for c, eras := range clusterEras {
+		_ = c
+		if eras[0] {
+			eraClusters[0]++
+		}
+		if eras[1] {
+			eraClusters[1]++
+		}
+	}
+	for i, ref := range res.Dataset.Refs {
+		era := 0
+		if isEmerging[ref.Bench.Suite] {
+			era = 1
+		}
+		eraRows[era]++
+		eras := clusterEras[res.Clusters.Assignments[i]]
+		if !eras[1-era] {
+			eraUniqueRows[era]++
+		}
+	}
+
+	var csv strings.Builder
+	csv.WriteString(csvJoin("suite", "era", "benchmarks", "coverage_clusters", "clusters_for_80pct", "unique_fraction"))
+	writeRows := func(era string, list []bench.Suite) {
+		for _, s := range list {
+			csv.WriteString(csvJoin(string(s), era,
+				fmt.Sprint(len(e.Registry.BySuite(s))),
+				fmt.Sprint(cov[s]),
+				fmt.Sprint(res.ClustersFor(s, 0.8)),
+				fmt.Sprintf("%.4f", uf[s])))
+		}
+	}
+	writeRows("2008", standard)
+	writeRows("emerging", emerging)
+	if _, err := e.WriteArtifact("crossera.csv", csv.String()); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("Cross-era comparison: 2008 standard suites vs emerging suites\n")
+	b.WriteString(fmt.Sprintf("(%d clusters over %d sampled intervals)\n\n", res.Config.NumClusters, len(res.Dataset.Refs)))
+	b.WriteString(fmt.Sprintf("%-16s %-9s %6s %9s %8s %8s\n", "suite", "era", "bench", "coverage", "k(80%)", "unique"))
+	printRows := func(era string, list []bench.Suite) {
+		for _, s := range list {
+			b.WriteString(fmt.Sprintf("%-16s %-9s %6d %9d %8d %7.1f%%\n",
+				s, era, len(e.Registry.BySuite(s)), cov[s], res.ClustersFor(s, 0.8), 100*uf[s]))
+		}
+	}
+	printRows("2008", standard)
+	printRows("emerging", emerging)
+	b.WriteString("\nEra aggregates:\n")
+	for era, name := range [2]string{"2008", "emerging"} {
+		if eraRows[era] == 0 {
+			continue
+		}
+		b.WriteString(fmt.Sprintf("  %-9s %4d clusters covered, %5.1f%% of execution in era-unique clusters\n",
+			name, eraClusters[era], 100*float64(eraUniqueRows[era])/float64(eraRows[era])))
+	}
+	b.WriteString("\nA high emerging-era unique fraction says what BioPerf said in 2008:\n")
+	b.WriteString("the new workloads occupy workload-space regions the incumbent suites\n")
+	b.WriteString("do not reach, so they earn their place in a composed suite.\n")
+	return b.String(), nil
+}

@@ -128,6 +128,7 @@ func All() []Experiment {
 		{"validation-phases", "Validation: detected phases vs modelled ground truth", ValidationPhases},
 		{"validation-generator", "Validation: generator fidelity against the behaviour models", ValidationGenerator},
 		{"validation-convergence", "Validation: characteristic convergence vs interval length", ValidationConvergence},
+		{"crossera", "Extension: 2008 suites vs emerging suites loaded from -models", CrossEra},
 	}
 }
 

@@ -69,7 +69,7 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
+	if len(all) != 21 {
 		t.Fatalf("registered %d experiments", len(all))
 	}
 	seen := map[string]bool{}

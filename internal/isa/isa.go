@@ -57,6 +57,18 @@ func (c OpClass) String() string {
 	return fmt.Sprintf("opclass(%d)", uint8(c))
 }
 
+// OpClassByName resolves a canonical class name (as produced by String)
+// back to its OpClass — the inverse mapping declarative workload models
+// use for their instruction-mix keys.
+func OpClassByName(name string) (OpClass, bool) {
+	for i, n := range opClassNames {
+		if n == name {
+			return OpClass(i), true
+		}
+	}
+	return 0, false
+}
+
 // IsMemRead reports whether the class reads memory.
 func (c OpClass) IsMemRead() bool { return c == OpLoad }
 

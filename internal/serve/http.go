@@ -7,11 +7,14 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/bench"
 )
 
-// maxSpecBytes bounds POST /jobs bodies; a JobSpec is a handful of
-// scalars, so anything larger is garbage.
-const maxSpecBytes = 1 << 20
+// maxSpecBytes bounds POST /jobs bodies: a handful of scalar knobs plus
+// an optional inline workload-model payload (itself capped at
+// bench.MaxModelBytes by the spec validator).
+const maxSpecBytes = bench.MaxModelBytes + 64<<10
 
 // Handler returns the service's front-door HTTP handler.
 func (s *Server) Handler() http.Handler {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -40,6 +41,12 @@ type JobSpec struct {
 	// gates; nil means the CLI defaults (0.05 and 0.25).
 	MaxPCADrift      *float64 `json:"max_pca_drift,omitempty"`
 	MaxCentroidShift *float64 `json:"max_centroid_shift,omitempty"`
+	// Models is an optional inline workload-model file (the -models
+	// payload): its suites replace same-named built-in suites and append
+	// otherwise, before Suites filters the roster. Capped at
+	// bench.MaxModelBytes and fully validated at submit time — a bad
+	// model is a 400, never a failed job.
+	Models json.RawMessage `json:"models,omitempty"`
 }
 
 // build materializes the spec into the registry and config the
@@ -99,11 +106,24 @@ func (sp JobSpec) build() (*bench.Registry, core.Config, error) {
 	if err != nil {
 		return nil, cfg, err
 	}
+	if len(sp.Models) > 0 {
+		if len(sp.Models) > bench.MaxModelBytes {
+			return nil, cfg, fmt.Errorf("serve: inline models are %d bytes (cap %d)", len(sp.Models), bench.MaxModelBytes)
+		}
+		mf, err := bench.DecodeModels(sp.Models)
+		if err != nil {
+			return nil, cfg, err
+		}
+		if reg, err = reg.WithModels(mf); err != nil {
+			return nil, cfg, err
+		}
+	}
 	if sp.Suites != "" {
 		if reg, err = reg.FilterSuites(sp.Suites); err != nil {
 			return nil, cfg, err
 		}
 	}
+	cfg.Registry = reg
 	return reg, cfg, nil
 }
 

@@ -4,9 +4,13 @@
 # decoder, the shard-merge/resume equivalence check on the quick
 # pipeline, the incremental append byte-identity gate, the distributed
 # loopback gate (networked workers with injected faults and a mid-run
-# worker kill), and the characterization-service loopback gate (jobs
-# over HTTP byte-identical to one-shot exports, cold and hot-warm, with
-# backpressure and latency histograms). Run before every merge.
+# worker kill), the workload-model round-trip gate (the roster exported
+# as declarative model files and reloaded runs byte-identically, and the
+# checked-in emerging-era suites load and analyze), and the
+# characterization-service loopback gate (jobs over HTTP byte-identical
+# to one-shot exports — including jobs shipping inline tenant models —
+# cold and hot-warm, with backpressure and latency histograms). Run
+# before every merge.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,6 +63,7 @@ FuzzSummaryArtifact ./internal/core/
 FuzzTimelineArtifact ./internal/core/
 FuzzShardRequest ./internal/shardnet/
 FuzzShardResponse ./internal/shardnet/
+FuzzDecodeModels ./internal/bench/
 EOF
 
 echo "== allocation gate (BenchmarkCharacterizeCached)"
@@ -94,6 +99,22 @@ done
 cmp "$tmp/single.json" "$tmp/merged.json"
 "$tmp/phasechar" -quick -quiet -cache "$tmp/cache" -resume export > "$tmp/resumed.json"
 cmp "$tmp/single.json" "$tmp/resumed.json"
+
+echo "== workload-model round-trip gate"
+# Suites as data, end to end through the CLI: the built-in roster
+# exported as a declarative model file and reloaded via -models must run
+# byte-identically to the built-in run — the codec loses nothing. The
+# checked-in emerging-era suites must load, validate, and surface in the
+# cross-era experiment.
+"$tmp/phasechar" -export-models > "$tmp/models_std.json"
+"$tmp/phasechar" -quick -quiet -models "$tmp/models_std.json" export > "$tmp/models_reloaded.json"
+cmp "$tmp/single.json" "$tmp/models_reloaded.json"
+"$tmp/phasechar" -quick -quiet -models models -clusters 80 -prominent 30 crossera > "$tmp/crossera.out"
+if ! grep -q "BigData" "$tmp/crossera.out"; then
+  echo "model gate: crossera output does not mention the BigData suite" >&2
+  cat "$tmp/crossera.out" >&2
+  exit 1
+fi
 
 echo "== incremental append gate (quick pipeline)"
 # The incremental engine's golden invariant, end to end through the CLI:
@@ -184,6 +205,14 @@ cmp "$tmp/single.json" "$tmp/svc_full.json"
 "$tmp/phasechar" -server "http://$saddr" -tenant gate -quick -quiet \
   -incremental -suites "$six" submit > "$tmp/svc_six_warm.json"
 cmp "$tmp/six.json" "$tmp/svc_six_warm.json"
+# Inline tenant models: a job shipping the emerging-era suite inline
+# must export byte-identically to the same roster run locally via
+# -models (invalid models are covered by the serve tests: 400 at submit).
+"$tmp/phasechar" -quick -quiet -models models -suites BigData \
+  -clusters 40 -prominent 20 export > "$tmp/bigdata.json"
+"$tmp/phasechar" -server "http://$saddr" -tenant gate -quick -quiet \
+  -models models -suites BigData -clusters 40 -prominent 20 submit > "$tmp/svc_bigdata.json"
+cmp "$tmp/bigdata.json" "$tmp/svc_bigdata.json"
 # Saturation: with one worker pinned by a cold job and one queue slot,
 # a burst of submissions must see at least one 429.
 flood_codes=""
