@@ -19,6 +19,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/ga"
 	"repro/internal/isa"
@@ -577,6 +578,69 @@ func BenchmarkTraceEncode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCorpusQuery prices the phase corpus's online queries on a
+// paper-scale database: 77 benchmarks x 150 interval vectors = 11,550
+// rows of 69 characteristics — the corpus a full-roster campaign at 150
+// samples per benchmark would accumulate. The exact blocked scan is the
+// baseline (the target is sub-millisecond); the probed variant is the
+// IVF partition layer at a fraction of the rows.
+func BenchmarkCorpusQuery(b *testing.B) {
+	const (
+		nBenches = 77
+		perBench = 150
+	)
+	dir := b.TempDir()
+	c, err := corpus.Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := trace.NewRNG(11)
+	batch := corpus.Batch{Dataset: 0xC0FFEE, Params: 1, Seed: 1}
+	for bi := 0; bi < nBenches; bi++ {
+		suite := fmt.Sprintf("Suite%d", bi%7)
+		name := fmt.Sprintf("%s/bench%02d", suite, bi)
+		for s := 0; s < perBench; s++ {
+			vec := make([]float64, mica.NumMetrics)
+			for j := range vec {
+				vec[j] = rng.Float64() + float64(bi%11)*0.1
+			}
+			batch.Entries = append(batch.Entries, corpus.Entry{
+				Bench: name, Suite: suite, Kind: corpus.KindInterval,
+				Index: s, Vector: vec,
+			})
+		}
+	}
+	if _, err := c.IngestBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	probe := make([]float64, mica.NumMetrics)
+	for j := range probe {
+		probe[j] = rng.Float64()
+	}
+	query := func(b *testing.B, req corpus.QueryRequest) {
+		b.Helper()
+		var rows int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := c.Query(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += int64(resp.Scanned)
+		}
+		b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+	}
+	b.Run("nearest-exact", func(b *testing.B) {
+		query(b, corpus.QueryRequest{Op: "nearest", Vector: probe, K: 10})
+	})
+	b.Run("nearest-probed", func(b *testing.B) {
+		query(b, corpus.QueryRequest{Op: "nearest", Vector: probe, K: 10, Probe: 8})
+	})
+	b.Run("uniqueness", func(b *testing.B) {
+		query(b, corpus.QueryRequest{Op: "uniqueness", Bench: "Suite0/bench00"})
+	})
 }
 
 func BenchmarkHierarchicalClustering(b *testing.B) {

@@ -60,6 +60,19 @@
 //	phasechar -models models -suites BigData export      # run a loaded suite
 //	phasechar -server http://127.0.0.1:8430 \
 //	    -models models -suites BigData submit            # ship it inline
+//
+// Runs accumulate into a persistent phase corpus: -corpus ingests each
+// completed run's interval vectors and cluster centroids (idempotently —
+// re-running the same dataset is a no-op), and the corpus answers
+// similarity and uniqueness questions offline or through the service:
+//
+//	phasechar -quick -corpus .corpus export > run.json   # run + ingest
+//	phasechar -corpus .corpus query stats
+//	phasechar -corpus .corpus -topk 3 query nearest BioPerf/blastp#12
+//	phasechar -corpus .corpus -radius 1.5 query novelty BigData
+//	phasechar -corpus .corpus compact
+//	phasechar -cache .cache -corpus .corpus -corpus-ingest \
+//	    -addr 127.0.0.1:8430 service     # + POST /corpus/query
 package main
 
 import (
@@ -77,6 +90,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cliobs"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -128,6 +142,7 @@ func run() (err error) {
 		obsFlags    = cliobs.RegisterObsFlags(flag.CommandLine)
 		incremental = cliobs.RegisterIncremental(flag.CommandLine)
 		incTol      = cliobs.RegisterIncrementalTolerances(flag.CommandLine)
+		corpusFlags = cliobs.RegisterCorpusFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -147,6 +162,9 @@ func run() (err error) {
 	}
 	if *workersAddr != "" && *cacheDir == "" {
 		return fmt.Errorf("-workers-addr needs -cache (fetched shard artifacts are stored there for the merge)")
+	}
+	if corpusFlags.Ingest && corpusFlags.Dir == "" {
+		return fmt.Errorf("-corpus-ingest needs -corpus (the phase database completed jobs accumulate into)")
 	}
 	if *incremental {
 		// A submitted job's cache lives server-side, so submit is exempt
@@ -252,7 +270,13 @@ func run() (err error) {
 		fmt.Printf("  %-19s %s\n", "serve", "serve shard computations over HTTP for a -workers-addr coordinator (-addr host:port)")
 		fmt.Printf("  %-19s %s\n", "service", "run the long-lived characterization service: analysis jobs over HTTP against a shared -cache (-addr host:port)")
 		fmt.Printf("  %-19s %s\n", "submit", "submit this invocation's parameters as a job to a running service (-server URL) and print the result JSON")
+		fmt.Printf("  %-19s %s\n", "query <op> [arg]", "answer a phase-corpus question from -corpus: stats | nearest suite/bench#index | uniqueness suite/bench | novelty Suite")
+		fmt.Printf("  %-19s %s\n", "compact", "merge the -corpus segments into one (queries answer identically before and after)")
 		return nil
+	}
+
+	if target == "query" || target == "compact" {
+		return runCorpus(target, corpusFlags, m)
 	}
 
 	reg, err := bench.StandardRegistry()
@@ -301,6 +325,9 @@ func run() (err error) {
 		if *cacheDir == "" {
 			return fmt.Errorf("the service target needs -cache (jobs share artifacts through it)")
 		}
+		if corpusFlags.TopK != 0 || corpusFlags.Radius != 0 || corpusFlags.Probe != 0 {
+			return fmt.Errorf("-topk, -radius and -probe shape local 'query' runs; service clients send them in the /corpus/query body")
+		}
 		// The service always runs with a live collector: /metrics is part
 		// of its API. The obs flags still control report/summary output.
 		sm := m
@@ -317,6 +344,8 @@ func run() (err error) {
 			QuotaBurst:  *quotaBurst,
 			Metrics:     sm,
 			Logf:        logf,
+			CorpusDir:   corpusFlags.Dir,
+			IngestJobs:  corpusFlags.Ingest,
 		})
 		if err != nil {
 			return err
@@ -450,6 +479,9 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
+		if err := ingestCorpus(env, corpusFlags, m, logf); err != nil {
+			return err
+		}
 		return res.WriteJSON(os.Stdout)
 	case "simpoints":
 		if flag.NArg() != 2 {
@@ -477,7 +509,7 @@ func run() (err error) {
 			return err
 		}
 		fmt.Printf("mean relative characteristic error vs full run: %.1f%%\n", 100*acc)
-		return nil
+		return ingestCorpus(env, corpusFlags, m, logf)
 	}
 
 	var todo []experiments.Experiment
@@ -503,6 +535,81 @@ func run() (err error) {
 	if target == "all" && *out != "" {
 		if err := experiments.WriteGallery(*out); err != nil {
 			return err
+		}
+	}
+	return ingestCorpus(env, corpusFlags, m, logf)
+}
+
+// runCorpus answers the corpus-only targets — "query <op> [arg]" asks
+// one question of the -corpus phase database, "compact" merges its
+// segments — without building a benchmark registry: both work purely
+// from what earlier runs persisted.
+func runCorpus(target string, cf *cliobs.CorpusFlags, m *obs.Metrics) error {
+	if cf.Dir == "" {
+		return fmt.Errorf("the %s target needs -corpus <dir> (the phase database to answer from)", target)
+	}
+	c, err := corpus.Open(cf.Dir, m)
+	if err != nil {
+		return err
+	}
+	if target == "compact" {
+		info, err := c.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted %s: %d segments -> %d, %d records\n", cf.Dir, info.Before, info.After, info.Records)
+		return nil
+	}
+	if flag.NArg() < 2 {
+		return fmt.Errorf("usage: phasechar -corpus <dir> query stats|nearest|uniqueness|novelty [arg]")
+	}
+	req := corpus.QueryRequest{
+		Op:     flag.Arg(1),
+		K:      cf.TopK,
+		Radius: cf.Radius,
+		Probe:  cf.Probe,
+	}
+	// An unknown op flows through to Query, which names the valid ones.
+	switch arg := flag.Arg(2); req.Op {
+	case "nearest":
+		req.Ref = arg
+	case "uniqueness":
+		req.Bench = arg
+	case "novelty":
+		req.Suite = arg
+	}
+	resp, err := c.Query(req)
+	if err != nil {
+		return err
+	}
+	return corpus.WriteResponse(os.Stdout, resp)
+}
+
+// ingestCorpus adds a completed run's phases to the -corpus database;
+// without -corpus it is a no-op. Ingestion is keyed by the dataset
+// hash, so re-running an already-ingested dataset changes nothing.
+func ingestCorpus(env *experiments.Env, cf *cliobs.CorpusFlags, m *obs.Metrics, logf func(string, ...any)) error {
+	if cf.Dir == "" {
+		return nil
+	}
+	res, err := env.Result()
+	if err != nil {
+		return err
+	}
+	c, err := corpus.Open(cf.Dir, m)
+	if err != nil {
+		return err
+	}
+	info, err := c.IngestResult(res)
+	if err != nil {
+		return err
+	}
+	if logf != nil {
+		if info.Skipped {
+			logf("corpus: dataset %016x already in %s; ingest skipped", info.Dataset, cf.Dir)
+		} else {
+			logf("corpus: ingested %d intervals + %d centroids into %s (dataset %016x)",
+				info.Intervals, info.Centroids, cf.Dir, info.Dataset)
 		}
 	}
 	return nil

@@ -296,8 +296,8 @@ func (b *Benchmark) IntervalSeed(i int) uint64 {
 type Registry struct {
 	benchmarks []*Benchmark
 	byID       map[string]*Benchmark
-	suites     []SuiteInfo        // display order
-	suiteIdx   map[Suite]int      // suite name -> index into suites
+	suites     []SuiteInfo   // display order
+	suiteIdx   map[Suite]int // suite name -> index into suites
 }
 
 // NewRegistry builds a registry, validating every benchmark and rejecting

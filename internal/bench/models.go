@@ -53,8 +53,8 @@ type SuiteModel struct {
 
 // BenchmarkModel is the declarative form of Benchmark.
 type BenchmarkModel struct {
-	Name           string       `json:"name"`
-	PaperIntervals int          `json:"paper_intervals"`
+	Name           string `json:"name"`
+	PaperIntervals int    `json:"paper_intervals"`
 	// Layout is "sequential" (the default, omitted on export) or
 	// "periodic".
 	Layout string       `json:"layout,omitempty"`

@@ -78,6 +78,36 @@ func RegisterIncrementalTolerances(fs *flag.FlagSet) *IncrementalTolerances {
 	return f
 }
 
+// CorpusFlags carries the shared phase-corpus flags. As with the
+// observability flags, the spelling, defaults and help text live here
+// so every tool that grows a -corpus flag stays consistent.
+type CorpusFlags struct {
+	// Dir is -corpus: the phase-corpus directory.
+	Dir string
+	// TopK is -topk: how many neighbors `query nearest` returns.
+	TopK int
+	// Radius is -radius: the uniqueness/novelty neighbor radius in the
+	// corpus-normalized characteristic space.
+	Radius float64
+	// Probe is -probe: IVF partitions to scan for `query nearest`
+	// (0: exact full scan).
+	Probe int
+	// Ingest is -corpus-ingest: with the 'service' target, ingest every
+	// completed job's result into -corpus.
+	Ingest bool
+}
+
+// RegisterCorpusFlags registers the shared corpus flags on fs.
+func RegisterCorpusFlags(fs *flag.FlagSet) *CorpusFlags {
+	f := &CorpusFlags{}
+	fs.StringVar(&f.Dir, "corpus", "", "phase-corpus directory: runs ingest their interval vectors and centroids into it (idempotently), and the 'query'/'compact' targets and the service's /corpus/query answer from it")
+	fs.IntVar(&f.TopK, "topk", 0, "with 'query nearest': how many neighbors to return (0: default 5)")
+	fs.Float64Var(&f.Radius, "radius", 0, "with 'query uniqueness'/'query novelty': neighbor radius in the corpus-normalized characteristic space (0: default 1.0)")
+	fs.IntVar(&f.Probe, "probe", 0, "with 'query nearest': scan only this many IVF partitions instead of every row (0: exact scan; >= the quantizer size is identical to exact)")
+	fs.BoolVar(&f.Ingest, "corpus-ingest", false, "with the 'service' target: ingest every completed job's result into -corpus")
+	return f
+}
+
 // ParseWorkers parses a -workers-addr comma-separated worker list into
 // normalized base URLs ("http://host:port"); a bare host:port gets the
 // http scheme. Empty entries are rejected rather than skipped — a stray

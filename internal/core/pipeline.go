@@ -8,6 +8,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/ga"
+	"repro/internal/kernel"
 	"repro/internal/stats"
 )
 
@@ -357,6 +358,34 @@ func (r *Result) ProminentRawMatrix() *stats.Matrix {
 		copy(m.Row(i), p.RepVector)
 	}
 	return m
+}
+
+// RawCentroids maps the clustering back into the raw characteristic
+// space: row c is the mean of the raw vectors assigned to cluster c
+// (zero for an empty cluster), counts[c] its member count. The k-means
+// itself runs in rescaled-PCA space, so these are the centroids a
+// cross-run phase database can compare against — same 69 columns as
+// every interval vector. Accumulation is serial in row order, so the
+// result is bit-identical at any worker count.
+func (r *Result) RawCentroids() (centroids *stats.Matrix, counts []int) {
+	k := r.Clusters.Centers.Rows
+	centroids = stats.NewMatrix(k, r.Dataset.Raw.Cols)
+	counts = make([]int, k)
+	for i, a := range r.Clusters.Assignments {
+		kernel.Add(centroids.Row(a), r.Dataset.Raw.Row(i))
+		counts[a]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		row := centroids.Row(c)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return centroids, counts
 }
 
 // SelectKeyCharacteristics runs the genetic algorithm over the prominent

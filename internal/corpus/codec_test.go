@@ -1,0 +1,211 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// testSegment builds a small internally-consistent segment.
+func testSegment() *segment {
+	b := Batch{
+		Dataset: 0x1111, Params: 0x2222, Seed: 7,
+		Entries: []Entry{
+			{Bench: "SuiteA/one", Suite: "SuiteA", Kind: KindInterval, Index: 3, Vector: []float64{1, 2, 3}},
+			{Bench: "SuiteA/one", Suite: "SuiteA", Kind: KindInterval, Index: 5, Vector: []float64{4, 5, 6}},
+			{Bench: "SuiteB/two", Suite: "SuiteB", Kind: KindInterval, Index: 0, Vector: []float64{7, 8, 9}},
+			{Kind: KindCentroid, Index: 1, Vector: []float64{2.5, 3.5, 4.5}},
+		},
+	}
+	return buildSegment(b, 100)
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := testSegment()
+	buf := encodeSegment(s)
+	got, err := decodeSegment(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.recs) != len(s.recs) || len(got.benches) != len(s.benches) || len(got.ingests) != len(s.ingests) {
+		t.Fatalf("decoded %d recs / %d benches / %d ingests, want %d / %d / %d",
+			len(got.recs), len(got.benches), len(got.ingests), len(s.recs), len(s.benches), len(s.ingests))
+	}
+	for i := range s.recs {
+		if got.recs[i] != s.recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got.recs[i], s.recs[i])
+		}
+	}
+	for i := range s.benches {
+		if got.benches[i] != s.benches[i] {
+			t.Fatalf("bench %d = %+v, want %+v", i, got.benches[i], s.benches[i])
+		}
+	}
+	if got.ingests[0] != s.ingests[0] {
+		t.Fatalf("ingest = %+v, want %+v", got.ingests[0], s.ingests[0])
+	}
+	for i, v := range s.vecs.Data {
+		if got.vecs.Data[i] != v {
+			t.Fatalf("vector data %d = %g, want %g", i, got.vecs.Data[i], v)
+		}
+	}
+	// The encoding is deterministic: same segment, same bytes.
+	if string(encodeSegment(got)) != string(buf) {
+		t.Fatal("re-encoding a decoded segment changed the bytes")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &manifest{
+		nextSeq: 42, nextFile: 3, dim: 69,
+		segments: []string{newSegmentName(0), newSegmentName(2)},
+		ledger:   []uint64{5, 9, 100},
+	}
+	buf := encodeManifest(m)
+	got, err := decodeManifest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.nextSeq != m.nextSeq || got.nextFile != m.nextFile || got.dim != m.dim {
+		t.Fatalf("decoded header %+v, want %+v", got, m)
+	}
+	if len(got.segments) != 2 || got.segments[0] != m.segments[0] || got.segments[1] != m.segments[1] {
+		t.Fatalf("segments = %v, want %v", got.segments, m.segments)
+	}
+	if len(got.ledger) != 3 || got.ledger[2] != 100 {
+		t.Fatalf("ledger = %v, want %v", got.ledger, m.ledger)
+	}
+}
+
+// TestCodecRejectsCorruption: any flipped byte fails the trailer
+// checksum (or a validation downstream of it) — never decodes silently.
+func TestCodecRejectsCorruption(t *testing.T) {
+	buf := encodeSegment(testSegment())
+	for _, i := range []int{0, 4, len(buf) / 2, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x40
+		if _, err := decodeSegment(bad); err == nil {
+			t.Fatalf("flipping byte %d decoded cleanly", i)
+		}
+	}
+	man := encodeManifest(&manifest{dim: 3})
+	man[len(man)/2] ^= 1
+	if _, err := decodeManifest(man); err == nil {
+		t.Fatal("corrupt manifest decoded cleanly")
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	buf := encodeSegment(testSegment())
+	for n := 0; n < len(buf); n += 7 {
+		if _, err := decodeSegment(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+}
+
+// reseal recomputes the trailer over a patched body so the payload
+// reaches the structural validators instead of dying at the checksum.
+func reseal(buf []byte) []byte {
+	return sealPayload(append([]byte(nil), buf[:len(buf)-8]...))
+}
+
+// TestSegmentRejectsCountBombs: a checksum-valid header advertising
+// billions of elements must be rejected against the bytes present, not
+// allocated.
+func TestSegmentRejectsCountBombs(t *testing.T) {
+	base := encodeSegment(testSegment())
+	// The ingest count is the first u32 after magic+version.
+	for _, off := range []int{8} {
+		bomb := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(bomb[off:], 1<<30)
+		bomb = reseal(bomb)
+		if _, err := decodeSegment(bomb); err == nil {
+			t.Fatalf("count bomb at offset %d decoded cleanly", off)
+		} else if !strings.Contains(err.Error(), "ingest entries") {
+			t.Fatalf("count bomb error = %v, want the bounded-count rejection", err)
+		}
+	}
+	// nSeg sits after magic+version (8) + nextSeq/nextFile (16) + dim (4).
+	man := encodeManifest(&manifest{dim: 3})
+	binary.LittleEndian.PutUint32(man[28:], 1<<30)
+	man = reseal(man)
+	if _, err := decodeManifest(man); err == nil {
+		t.Fatal("manifest count bomb decoded cleanly")
+	}
+}
+
+// TestSegmentRejectsInconsistency covers the structural validators:
+// dangling references, unknown kinds, non-increasing sequences, row
+// mismatches and trailing bytes.
+func TestSegmentRejectsInconsistency(t *testing.T) {
+	cases := map[string]func(s *segment){
+		"dangling benchRef":  func(s *segment) { s.recs[0].benchRef = 99 },
+		"dangling ingestRef": func(s *segment) { s.recs[0].ingestRef = 99 },
+		"unknown kind":       func(s *segment) { s.recs[0].kind = 7 },
+		"seq not increasing": func(s *segment) { s.recs[1].seq = s.recs[0].seq },
+	}
+	for name, mutate := range cases {
+		s := testSegment()
+		mutate(s)
+		if _, err := decodeSegment(encodeSegment(s)); err == nil {
+			t.Fatalf("%s decoded cleanly", name)
+		}
+	}
+
+	s := testSegment()
+	s.vecs = stats.NewMatrix(len(s.recs)+1, 3)
+	if _, err := decodeSegment(encodeSegment(s)); err == nil {
+		t.Fatal("vector-row/record-count mismatch decoded cleanly")
+	}
+
+	enc := encodeSegment(testSegment())
+	body := append([]byte(nil), enc[:len(enc)-8]...)
+	trailing := sealPayload(append(body, 0xAB))
+	if _, err := decodeSegment(trailing); err == nil {
+		t.Fatal("trailing bytes decoded cleanly")
+	}
+}
+
+func TestManifestRejectsBadSegmentNames(t *testing.T) {
+	for _, name := range []string{
+		"", "seg-.seg", "seg-0000000000000000", "0000000000000000.seg",
+		"seg-000000000000000G.seg", "seg-0000000000000000.seg/..",
+		"../seg-0000000000000000.seg", "seg-0000000000000000.segx",
+		"seg-00000000000000000.seg", "seg-ABCDEF0000000000.seg",
+	} {
+		if validSegmentName(name) {
+			t.Fatalf("validSegmentName(%q) = true", name)
+		}
+		m := &manifest{segments: []string{name}}
+		if _, err := decodeManifest(encodeManifest(m)); err == nil {
+			t.Fatalf("manifest naming %q decoded cleanly", name)
+		}
+	}
+	if !validSegmentName(newSegmentName(0)) || !validSegmentName(newSegmentName(1<<40)) {
+		t.Fatal("minted segment names must validate")
+	}
+}
+
+func TestManifestRejectsUnsortedLedger(t *testing.T) {
+	for _, ledger := range [][]uint64{{2, 1}, {3, 3}} {
+		m := &manifest{ledger: ledger}
+		if _, err := decodeManifest(encodeManifest(m)); err == nil {
+			t.Fatalf("ledger %v decoded cleanly", ledger)
+		}
+	}
+}
+
+// TestSchemaVersionSkew: payloads from a future schema are reported as
+// such, not misparsed.
+func TestSchemaVersionSkew(t *testing.T) {
+	buf := encodeSegment(testSegment())
+	binary.LittleEndian.PutUint32(buf[4:], schemaVersion+1)
+	buf = reseal(buf)
+	_, err := decodeSegment(buf)
+	if err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("future-schema decode error = %v, want a version-skew report", err)
+	}
+}

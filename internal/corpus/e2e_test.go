@@ -1,0 +1,183 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// End-to-end corpus test: two sequential characterization runs — the
+// standard seven-suite roster, then the emerging BigData suite loaded
+// from models/bigdata.json — ingested into one corpus directory, then
+// queried the way the CLI and the service do. This pins the paper-level
+// property the corpus exists for (an emerging domain-specific suite
+// shows more novel behaviour against the installed base than the
+// suites already in it) and the engineering invariants (idempotent
+// re-ingest, worker-count invariance, compaction transparency).
+
+// e2eRuns executes both runs at the given worker count and ingests
+// them into dir, returning the two results.
+func e2eRuns(t *testing.T, dir string, workers int) (*core.Result, *core.Result) {
+	t.Helper()
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.TestConfig()
+	cfg.Seed = 1
+	cfg.Workers = workers
+	res1, err := core.Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mf, err := bench.ReadModelFiles("../../models/bigdata.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := reg.WithModels(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := merged.FilterSuites("BigData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigCfg := core.TestConfig()
+	bigCfg.Seed = 1
+	bigCfg.Workers = workers
+	// Six benchmarks sample far fewer intervals than the full roster;
+	// the cluster count must stay below the interval count.
+	bigCfg.NumClusters = 12
+	bigCfg.NumProminent = 6
+	res2, err := core.Run(big, bigCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*core.Result{res1, res2} {
+		info, err := c.IngestResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Skipped || info.Records == 0 {
+			t.Fatalf("ingest info = %+v, want a real append", info)
+		}
+	}
+	return res1, res2
+}
+
+// e2eQueries is the query set compared across worker counts and across
+// compaction. The nearest probe uses an inline vector (the first
+// sampled interval of the standard run — Result is worker-invariant,
+// so the probe itself is too).
+func e2eQueries(probe []float64) []QueryRequest {
+	return []QueryRequest{
+		{Op: "nearest", Vector: probe, K: 7},
+		{Op: "uniqueness", Bench: "BigData/graphtraverse"},
+		{Op: "uniqueness", Bench: "SPECint2000/gzip"},
+		{Op: "novelty", Suite: "BigData"},
+		{Op: "novelty", Suite: "SPECint2000"},
+	}
+}
+
+func TestCorpusEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline runs")
+	}
+	dir := t.TempDir()
+	res1, _ := e2eRuns(t, dir, 1)
+	probe := res1.Dataset.Raw.Row(0)
+
+	c, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingests != 2 || st.Segments != 2 || st.Suites != 8 {
+		t.Fatalf("corpus stats after both runs = %+v, want 2 ingests / 2 segments / 8 suites", st)
+	}
+
+	// The emerging suite is more novel against the installed base than
+	// the general-purpose suites already in it (the paper's emerging-
+	// suite conclusion, as a corpus query).
+	resp, err := c.Query(QueryRequest{Op: "novelty", Suite: "BigData"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigNovelty := resp.Novelty.Novelty
+	for _, suite := range []string{"SPECint2000", "SPECfp2000", "SPECint2006", "SPECfp2006"} {
+		resp, err := c.Query(QueryRequest{Op: "novelty", Suite: suite})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Novelty.Novelty >= bigNovelty {
+			t.Fatalf("suite %s novelty %.3f >= BigData's %.3f — emerging suite should be the more novel",
+				suite, resp.Novelty.Novelty, bigNovelty)
+		}
+	}
+
+	// Re-running and re-ingesting the first characterization is a no-op:
+	// the ledger keys on the dataset hash, not on run identity.
+	reg, err := bench.StandardRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.TestConfig()
+	cfg.Seed = 1
+	rerun, err := core.Run(reg, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.IngestResult(rerun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Skipped {
+		t.Fatalf("re-ingest of run 1 info = %+v, want Skipped", info)
+	}
+	if st2, err := c.Stats(); err != nil || st2 != st {
+		t.Fatalf("stats changed across a skipped ingest: %+v -> %+v (err %v)", st, st2, err)
+	}
+
+	// Worker-count invariance: a corpus built at Workers=4 answers every
+	// query with byte-identical responses.
+	dir4 := t.TempDir()
+	e2eRuns(t, dir4, 4)
+	c4, err := Open(dir4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := e2eQueries(probe)
+	before := make([][]byte, len(queries))
+	for i, q := range queries {
+		before[i] = queryBytes(t, c, q)
+		if got := queryBytes(t, c4, q); !bytes.Equal(before[i], got) {
+			t.Fatalf("query %+v differs between Workers=1 and Workers=4 corpora:\n%s\nvs\n%s", q, before[i], got)
+		}
+	}
+
+	// Compaction transparency: merging the two segments into one changes
+	// no answer.
+	cinfo, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cinfo.Before != 2 || cinfo.After != 1 {
+		t.Fatalf("compact info = %+v, want 2 segments -> 1", cinfo)
+	}
+	for i, q := range queries {
+		if got := queryBytes(t, c, q); !bytes.Equal(before[i], got) {
+			t.Fatalf("query %+v changed across compaction:\n%s\nvs\n%s", q, before[i], got)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package corpus
+
+// Fuzz targets for the corpus codecs. Corpus files cross a trust
+// boundary — a corpus directory may be shared between machines and
+// users — so the decoders must error on arbitrary bytes, never panic or
+// allocate unboundedly, and accepted payloads must re-encode and
+// re-decode cleanly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func corpusFuzzSeeds() map[string][][]byte {
+	segBytes := encodeSegment(testSegment())
+	manBytes := encodeManifest(&manifest{
+		nextSeq: 104, nextFile: 2, dim: 3,
+		segments: []string{newSegmentName(0), newSegmentName(1)},
+		ledger:   []uint64{0x1111, 0x9999},
+	})
+
+	// Checksum-valid headers advertising 2^30 elements: the counts must
+	// be rejected against the payload size, never allocated.
+	segBomb := append([]byte(nil), segBytes[:len(segBytes)-8]...)
+	binary.LittleEndian.PutUint32(segBomb[8:], 1<<30)
+	segBomb = sealPayload(segBomb)
+	manBomb := append([]byte(nil), manBytes[:len(manBytes)-8]...)
+	binary.LittleEndian.PutUint32(manBomb[28:], 1<<30) // the segment-name count
+	manBomb = sealPayload(manBomb)
+
+	return map[string][][]byte{
+		"FuzzCorpusSegment":  {segBytes, segBytes[:12], segBomb, {}},
+		"FuzzCorpusManifest": {manBytes, manBytes[:9], manBomb, {}},
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Run with WRITE_FUZZ_CORPUS=1 after changing a codec.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for target, entries := range corpusFuzzSeeds() {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range entries {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func FuzzCorpusSegment(f *testing.F) {
+	for _, s := range corpusFuzzSeeds()["FuzzCorpusSegment"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeSegment(data)
+		if err != nil {
+			return
+		}
+		out := encodeSegment(s)
+		if _, err := decodeSegment(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}
+
+func FuzzCorpusManifest(f *testing.F) {
+	for _, s := range corpusFuzzSeeds()["FuzzCorpusManifest"] {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		out := encodeManifest(m)
+		if _, err := decodeManifest(out); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package corpus
+
+// The pipeline adapter: turning a completed core.Result into a Batch.
+// The ledger key is core.DatasetHash — the exact fingerprint the
+// artifact cache keys stage results on, covering the registry content
+// and every input-shaping knob while excluding worker counts and cache
+// placement — so "the same characterization" means the same thing to
+// the corpus as it does to the resume path, and re-ingesting any
+// equivalent re-run is a no-op.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FromResult assembles a completed run into an ingestable batch: every
+// distinct sampled interval once (first appearance order — sampling is
+// with replacement, and duplicate draws carry identical vectors), then
+// the non-empty clusters' centroids mapped back to raw space.
+func FromResult(res *core.Result) (Batch, error) {
+	if res == nil || res.Dataset == nil || res.Clusters == nil {
+		return Batch{}, fmt.Errorf("corpus: incomplete result")
+	}
+	dataset, err := core.DatasetHash(res.Registry, res.Config)
+	if err != nil {
+		return Batch{}, err
+	}
+	b := Batch{
+		Dataset: dataset,
+		Params:  paramsDigest(res.Config),
+		Seed:    uint64(res.Config.Seed),
+	}
+
+	type key struct {
+		bench string
+		index int
+	}
+	seen := make(map[key]bool, len(res.Dataset.Refs))
+	for i, ref := range res.Dataset.Refs {
+		k := key{bench: ref.Bench.ID(), index: ref.Index}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Entries = append(b.Entries, Entry{
+			Bench:  k.bench,
+			Suite:  string(ref.Bench.Suite),
+			Kind:   KindInterval,
+			Index:  ref.Index,
+			Vector: res.Dataset.Raw.Row(i),
+		})
+	}
+
+	centroids, counts := res.RawCentroids()
+	for c := 0; c < centroids.Rows; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		b.Entries = append(b.Entries, Entry{
+			Kind:   KindCentroid,
+			Index:  c,
+			Vector: centroids.Row(c),
+		})
+	}
+	return b, nil
+}
+
+// IngestResult ingests a completed run (FromResult + IngestBatch).
+func (c *Corpus) IngestResult(res *core.Result) (IngestInfo, error) {
+	b, err := FromResult(res)
+	if err != nil {
+		return IngestInfo{}, err
+	}
+	return c.IngestBatch(b)
+}
+
+// paramsDigest folds the analysis-shaping configuration into the
+// config/params provenance hash — informational (the ledger key is the
+// dataset hash), answering "what settings produced this record?".
+func paramsDigest(cfg core.Config) uint64 {
+	h := uint64(checksumSeed)
+	fold := func(v uint64) {
+		h ^= v
+		h *= checksumPrime
+	}
+	fold(uint64(cfg.IntervalLength))
+	fold(uint64(cfg.SamplesPerBenchmark))
+	fold(uint64(cfg.MaxIntervalsPerBenchmark))
+	if cfg.SampleByBenchmark {
+		fold(1)
+	} else {
+		fold(2)
+	}
+	fold(uint64(cfg.NumClusters))
+	fold(uint64(cfg.NumProminent))
+	fold(uint64(cfg.KeyCharacteristics))
+	fold(uint64(cfg.Seed))
+	return h
+}

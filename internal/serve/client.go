@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/corpus"
 )
 
 // Client talks to a characterization service — the `phasechar submit`
@@ -174,6 +176,27 @@ func (c *Client) Events(id string, fn func(Status)) (Status, error) {
 		}
 	}
 	return last, sc.Err()
+}
+
+// CorpusQuery posts one phase-corpus query and returns the raw answer
+// JSON — the exact bytes `phasechar query` prints for the same
+// question. A service without a corpus replies 404 (a StatusError).
+func (c *Client) CorpusQuery(q corpus.QueryRequest) ([]byte, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.url("/corpus/query"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // Metrics fetches the service's live /metrics report (raw JSON).

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// seedCorpus fills dir with a small two-suite corpus and returns a
+// direct handle to it — the "CLI side" of the byte-identity checks.
+func seedCorpus(t *testing.T, dir string) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := corpus.Batch{Dataset: 0xD1, Params: 0xE2, Seed: 3}
+	for bench := 0; bench < 3; bench++ {
+		suite := "SuiteA"
+		if bench == 2 {
+			suite = "SuiteB"
+		}
+		for i := 0; i < 4; i++ {
+			v := float64(bench*10 + i)
+			b.Entries = append(b.Entries, corpus.Entry{
+				Bench: fmt.Sprintf("%s/b%d", suite, bench), Suite: suite,
+				Kind: corpus.KindInterval, Index: i,
+				Vector: []float64{v, v * 0.5, 3 - v, v * v * 0.01},
+			})
+		}
+	}
+	if _, err := c.IngestBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCorpusQueryDisabled: a service started without -corpus has no
+// corpus resource — 404 with a clear JSON error body, not a 500.
+func TestCorpusQueryDisabled(t *testing.T) {
+	_, c := testServer(t, Config{
+		execute: func(JobSpec) ([]byte, error) { return []byte("{}"), nil },
+	})
+	_, err := c.CorpusQuery(corpus.QueryRequest{Op: "stats"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("corpus query on corpus-less service: err = %v, want HTTP 404", err)
+	}
+	var ce corpusError
+	if jerr := json.Unmarshal([]byte(se.Body), &ce); jerr != nil || !strings.Contains(ce.Error, "-corpus") {
+		t.Fatalf("404 body = %q, want a JSON error pointing at -corpus", se.Body)
+	}
+}
+
+// TestCorpusQueryBadRequests: malformed bodies, unknown ops and
+// oversized payloads are the client's fault — 400/413 with a JSON
+// reason, never a 500.
+func TestCorpusQueryBadRequests(t *testing.T) {
+	dir := t.TempDir()
+	seedCorpus(t, dir)
+	_, c := testServer(t, Config{
+		CorpusDir: dir,
+		execute:   func(JobSpec) ([]byte, error) { return []byte("{}"), nil },
+	})
+
+	post := func(body []byte) (int, string) {
+		t.Helper()
+		resp, err := http.Post(c.url("/corpus/query"), "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	for name, tc := range map[string]struct {
+		body []byte
+		want int
+	}{
+		"malformed json": {[]byte(`{"op": "near`), http.StatusBadRequest},
+		"unknown op":     {[]byte(`{"op":"frobnicate"}`), http.StatusBadRequest},
+		"bad ref":        {[]byte(`{"op":"nearest","ref":"not-a-ref"}`), http.StatusBadRequest},
+		"oversized":      {bytes.Repeat([]byte("x"), maxQueryBytes+1), http.StatusRequestEntityTooLarge},
+	} {
+		code, body := post(tc.body)
+		if code != tc.want {
+			t.Fatalf("%s: HTTP %d (%s), want %d", name, code, body, tc.want)
+		}
+		var ce corpusError
+		if err := json.Unmarshal([]byte(body), &ce); err != nil || ce.Error == "" {
+			t.Fatalf("%s: body %q is not a JSON corpus error", name, body)
+		}
+	}
+
+	// And the method is pinned: GET has no corpus route.
+	resp, err := http.Get(c.url("/corpus/query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /corpus/query = HTTP %d, want it refused", resp.StatusCode)
+	}
+}
+
+// TestCorpusQueryMatchesCLI: the service answer is byte-identical to
+// what `phasechar query` prints for the same question — both ends
+// marshal the same corpus.QueryResponse with the same encoder.
+func TestCorpusQueryMatchesCLI(t *testing.T) {
+	dir := t.TempDir()
+	direct := seedCorpus(t, dir)
+	_, c := testServer(t, Config{
+		CorpusDir: dir,
+		execute:   func(JobSpec) ([]byte, error) { return []byte("{}"), nil },
+	})
+
+	for _, q := range []corpus.QueryRequest{
+		{Op: "stats"},
+		{Op: "nearest", Ref: "SuiteA/b0#1", K: 4},
+		{Op: "nearest", Vector: []float64{5, 2.5, -2, 0.25}, K: 3},
+		{Op: "uniqueness", Bench: "SuiteB/b2", Radius: 2},
+		{Op: "novelty", Suite: "SuiteA"},
+	} {
+		resp, err := direct.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cli bytes.Buffer
+		if err := corpus.WriteResponse(&cli, resp); err != nil {
+			t.Fatal(err)
+		}
+		served, err := c.CorpusQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cli.Bytes(), served) {
+			t.Fatalf("query %+v: service bytes differ from CLI bytes:\n%s\nvs\n%s", q, served, cli.Bytes())
+		}
+	}
+}
+
+// TestIngestOnJobCompletion: with -corpus-ingest, a completed job's
+// phases land in the corpus, and an equivalent job (even at a different
+// worker count) adds nothing — the ledger keys on the dataset hash.
+func TestIngestOnJobCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real pipeline")
+	}
+	dir := t.TempDir()
+	_, c := testServer(t, Config{CorpusDir: dir, IngestJobs: true, Workers: 2})
+
+	corpusStats := func() corpus.Stats {
+		t.Helper()
+		body, err := c.CorpusQuery(corpus.QueryRequest{Op: "stats"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp struct {
+			Stats corpus.Stats `json:"stats"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Stats
+	}
+
+	spec := JobSpec{Suites: "BioPerf", Interval: 2000, Samples: 8, Clusters: 20, Prominent: 10}
+	st, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, c, st.ID, StateDone)
+	after := corpusStats()
+	if after.Ingests != 1 || after.Records == 0 {
+		t.Fatalf("corpus stats after first job = %+v, want one real ingest", after)
+	}
+
+	// The same characterization at another worker count is the same
+	// dataset: ingest is skipped, the corpus does not grow.
+	again := spec
+	again.Workers = 2
+	st2, err := c.Submit(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, c, st2.ID, StateDone)
+	if got := corpusStats(); got != after {
+		t.Fatalf("corpus grew on an equivalent job: %+v -> %+v", after, got)
+	}
+}
+
+// TestEventsOrderingUnderConcurrentCompletion: with several jobs
+// finishing at once, every SSE stream individually stays in order —
+// states never move backwards, the terminal event arrives exactly once
+// and closes the stream.
+func TestEventsOrderingUnderConcurrentCompletion(t *testing.T) {
+	const jobs = 6
+	release := make(chan struct{})
+	_, c := testServer(t, Config{
+		Workers: 4,
+		execute: func(JobSpec) ([]byte, error) {
+			<-release
+			return []byte("{}"), nil
+		},
+	})
+
+	ids := make([]string, jobs)
+	for i := range ids {
+		st, err := c.Submit(JobSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+
+	rank := map[State]int{StateQueued: 0, StateRunning: 1, StateDone: 2, StateFailed: 2, StateCancelled: 2}
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var states []State
+			last, err := c.Events(id, func(s Status) { states = append(states, s.State) })
+			if err != nil {
+				errs <- fmt.Errorf("job %s: events: %w", id, err)
+				return
+			}
+			if !last.State.Terminal() {
+				errs <- fmt.Errorf("job %s: stream ended on non-terminal %q", id, last.State)
+				return
+			}
+			terminals := 0
+			for i, s := range states {
+				if _, ok := rank[s]; !ok {
+					errs <- fmt.Errorf("job %s: unknown state %q", id, s)
+					return
+				}
+				if i > 0 && rank[s] < rank[states[i-1]] {
+					errs <- fmt.Errorf("job %s: state went backwards: %v", id, states)
+					return
+				}
+				if s.Terminal() {
+					terminals++
+				}
+			}
+			if terminals != 1 {
+				errs <- fmt.Errorf("job %s: %d terminal events in %v, want exactly 1", id, terminals, states)
+			}
+		}(id)
+	}
+
+	// Release every worker at once: completions race the streams.
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

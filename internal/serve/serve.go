@@ -18,6 +18,8 @@
 //	GET  /jobs/{id}/result   the result JSON; ?wait=1 blocks until done
 //	GET  /jobs/{id}/events   server-sent events: one Status per change
 //	POST /jobs/{id}/cancel   cancel a still-queued job
+//	POST /corpus/query       phase-corpus similarity/uniqueness queries
+//	                         (404 unless the service has a corpus dir)
 //	GET  /healthz            liveness
 //	GET  /metrics            the live obs run report (queue depth,
 //	                         admission rejects, cache traffic,
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/fcache"
 	"repro/internal/obs"
 )
@@ -62,6 +65,14 @@ type Config struct {
 	Metrics *obs.Metrics
 	// Logf receives job-level logging. Nil disables it.
 	Logf func(string, ...any)
+	// CorpusDir, when set, opens the phase corpus at that directory and
+	// serves POST /corpus/query from it. Empty: the endpoint is 404.
+	CorpusDir string
+	// IngestJobs, with CorpusDir set, ingests every completed job's
+	// result into the corpus (idempotently — a job equivalent to one
+	// already ingested adds nothing), so tenants' submitted workloads
+	// accumulate into the database their later queries run against.
+	IngestJobs bool
 
 	// execute, when non-nil, replaces the pipeline execution — the
 	// concurrency tests' way to get arbitrarily slow, failing or
@@ -76,6 +87,7 @@ type Server struct {
 	m      *obs.Metrics
 	quotas *quotaTable
 	queue  chan *job
+	corpus *corpus.Corpus
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -111,12 +123,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
+	if cfg.IngestJobs && cfg.CorpusDir == "" {
+		return nil, fmt.Errorf("serve: IngestJobs needs a corpus directory")
+	}
 	if cfg.HotBytes > 0 {
 		fcache.EnableHotTier(cfg.CacheDir, cfg.HotBytes)
+	}
+	var corp *corpus.Corpus
+	if cfg.CorpusDir != "" {
+		var err error
+		if corp, err = corpus.Open(cfg.CorpusDir, cfg.Metrics); err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:    cfg,
 		m:      cfg.Metrics,
+		corpus: corp,
 		quotas: newQuotaTable(cfg.QuotaPerSec, cfg.QuotaBurst),
 		queue:  make(chan *job, cfg.QueueDepth),
 		jobs:   make(map[string]*job),
@@ -267,6 +290,17 @@ func (s *Server) executeJob(spec JobSpec) ([]byte, error) {
 	res, err := core.Run(reg, cfg, nil)
 	if err != nil {
 		return nil, err
+	}
+	// Opt-in accumulation: the finished run's phases join the corpus.
+	// The job already succeeded — its payload is what the tenant asked
+	// for — so an ingest failure is logged, never propagated.
+	if s.corpus != nil && s.cfg.IngestJobs {
+		if info, ierr := s.corpus.IngestResult(res); ierr != nil {
+			s.logf("serve: corpus ingest failed: %v", ierr)
+		} else if !info.Skipped {
+			s.logf("serve: corpus ingest: +%d records (%d intervals, %d centroids) in %s",
+				info.Records, info.Intervals, info.Centroids, info.Segment)
+		}
 	}
 	var buf bytes.Buffer
 	if err := res.WriteJSON(&buf); err != nil {

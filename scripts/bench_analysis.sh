@@ -34,7 +34,7 @@ trap 'rm -f "$RAW" "$PREV"' EXIT
 [ -f "$OUT" ] && cp "$OUT" "$PREV"
 
 go test -run '^$' \
-    -bench 'BenchmarkKMeansParallel|BenchmarkGAFitnessParallel|BenchmarkSelectKSweep|BenchmarkFullPipeline$|BenchmarkFig1GASweep|BenchmarkCharacterize$|BenchmarkCharacterizeCached$|BenchmarkCharacterizeAppend' \
+    -bench 'BenchmarkKMeansParallel|BenchmarkGAFitnessParallel|BenchmarkSelectKSweep|BenchmarkFullPipeline$|BenchmarkFig1GASweep|BenchmarkCharacterize$|BenchmarkCharacterizeCached$|BenchmarkCharacterizeAppend|BenchmarkCorpusQuery' \
     -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '

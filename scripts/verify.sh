@@ -9,7 +9,10 @@
 # checked-in emerging-era suites load and analyze), and the
 # characterization-service loopback gate (jobs over HTTP byte-identical
 # to one-shot exports — including jobs shipping inline tenant models —
-# cold and hot-warm, with backpressure and latency histograms). Run
+# cold and hot-warm, with backpressure and latency histograms), and the
+# phase-corpus gate (a six-suite corpus built through the CLI answers
+# queries byte-identically to the checked-in goldens, across worker
+# counts, across compaction, and over the service front door). Run
 # before every merge.
 set -eu
 
@@ -64,6 +67,8 @@ FuzzTimelineArtifact ./internal/core/
 FuzzShardRequest ./internal/shardnet/
 FuzzShardResponse ./internal/shardnet/
 FuzzDecodeModels ./internal/bench/
+FuzzCorpusSegment ./internal/corpus/
+FuzzCorpusManifest ./internal/corpus/
 EOF
 
 echo "== allocation gate (BenchmarkCharacterizeCached)"
@@ -246,5 +251,67 @@ assert post["p50_seconds"] <= post["p95_seconds"] <= post["p99_seconds"] <= post
 print("service gate: hot hits =", c["fcache.hot_hits"],
       "| post_jobs p50/p95/p99 =", post["p50_seconds"], post["p95_seconds"], post["p99_seconds"])
 EOF
+
+echo "== phase corpus gate (six-suite corpus, online queries)"
+# The corpus contract end to end: a six-suite quick run ingested into a
+# fresh corpus must answer queries byte-identically to the checked-in
+# goldens; re-ingesting the same run is a no-op; a corpus built at
+# -workers 1 answers identically; compaction changes no answer; the
+# corpus.* counters surface in the run report; and the service's
+# POST /corpus/query returns the same bytes as the CLI.
+corpus="$tmp/corpus"
+"$tmp/phasechar" -quick -quiet -suites "$six" -corpus "$corpus" \
+  -report "$tmp/corpus_report.json" export > /dev/null
+"$tmp/phasechar" -corpus "$corpus" query stats > "$tmp/corpus_stats.json"
+cmp scripts/testdata/corpus_six_stats.json "$tmp/corpus_stats.json"
+"$tmp/phasechar" -corpus "$corpus" -topk 3 query nearest 'BioPerf/blast#3' > "$tmp/corpus_near.json"
+cmp scripts/testdata/corpus_six_nearest.json "$tmp/corpus_near.json"
+# Idempotent re-ingest: an equivalent rerun adds nothing.
+"$tmp/phasechar" -quick -quiet -suites "$six" -corpus "$corpus" export > /dev/null
+"$tmp/phasechar" -corpus "$corpus" query stats | cmp scripts/testdata/corpus_six_stats.json -
+# Worker-count invariance: the corpus is the same corpus at any -workers.
+"$tmp/phasechar" -quick -quiet -suites "$six" -workers 1 -corpus "$tmp/corpus_w1" export > /dev/null
+"$tmp/phasechar" -corpus "$tmp/corpus_w1" -topk 3 query nearest 'BioPerf/blast#3' |
+  cmp scripts/testdata/corpus_six_nearest.json -
+# A second ingest (the emerging-era suite) then compaction: two segments
+# merge into one and every answer survives byte-identically.
+"$tmp/phasechar" -quick -quiet -models models -suites BigData \
+  -clusters 40 -prominent 20 -corpus "$corpus" export > /dev/null
+"$tmp/phasechar" -corpus "$corpus" -topk 5 query nearest 'BioPerf/blast#3' > "$tmp/corpus_pre_near.json"
+"$tmp/phasechar" -corpus "$corpus" query uniqueness BioPerf/blast > "$tmp/corpus_pre_uniq.json"
+"$tmp/phasechar" -corpus "$corpus" query novelty BigData > "$tmp/corpus_pre_nov.json"
+"$tmp/phasechar" -corpus "$corpus" compact
+"$tmp/phasechar" -corpus "$corpus" -topk 5 query nearest 'BioPerf/blast#3' | cmp "$tmp/corpus_pre_near.json" -
+"$tmp/phasechar" -corpus "$corpus" query uniqueness BioPerf/blast | cmp "$tmp/corpus_pre_uniq.json" -
+"$tmp/phasechar" -corpus "$corpus" query novelty BigData | cmp "$tmp/corpus_pre_nov.json" -
+# The run report carries the corpus counters.
+python3 - "$tmp/corpus_report.json" <<'EOF'
+import json, sys
+
+c = json.load(open(sys.argv[1]))["counters"]
+assert c.get("corpus.ingested", 0) > 0, f"no corpus.ingested in report: {sorted(c)}"
+assert c.get("corpus.segments", 0) == 1, f"corpus.segments = {c.get('corpus.segments')}"
+print("corpus gate: ingested", c["corpus.ingested"], "records into", c["corpus.segments"], "segment")
+EOF
+# The service answers the same question with the same bytes.
+"$tmp/phasechar" -cache "$tmp/qcache" -corpus "$corpus" -addr 127.0.0.1:0 \
+  service > "$tmp/corpus_service.out" 2>&1 &
+WORKER_PIDS="$WORKER_PIDS $!"
+qaddr=""
+tries=0
+while [ -z "$qaddr" ]; do
+  qaddr="$(sed -n 's|^phasechar: characterization service at http://||p' "$tmp/corpus_service.out")"
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "corpus service never reported its address" >&2
+    cat "$tmp/corpus_service.out" >&2
+    exit 1
+  fi
+  [ -z "$qaddr" ] && sleep 0.1
+done
+curl -s -X POST -H 'Content-Type: application/json' \
+  -d '{"op":"nearest","ref":"BioPerf/blast#3","k":5}' \
+  "http://$qaddr/corpus/query" | cmp "$tmp/corpus_pre_near.json" -
+echo "corpus gate: CLI and service answers byte-identical"
 
 echo "verify: OK"
